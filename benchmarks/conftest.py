@@ -1,0 +1,28 @@
+"""Benchmark-suite helpers.
+
+Each benchmark regenerates one figure of the paper's evaluation section:
+it runs the corresponding experiment once (via the ``benchmark`` fixture so
+``pytest benchmarks/ --benchmark-only`` drives it), prints the same
+rows/series the paper reports, and asserts the qualitative *shape* — who
+wins, by what rough factor, where crossovers fall.  Absolute numbers differ
+from the paper's testbed; EXPERIMENTS.md records both sides.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark fixture.
+
+    Experiment functions are deterministic and expensive; a single round
+    both times them and yields the result object for shape assertions.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def banner(title: str) -> None:
+    """Print a section banner so the bench output reads as a report."""
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

@@ -1,0 +1,43 @@
+"""Fig. 3 — environment detection over a scripted minute.
+
+Paper: sitting → sinusoid-like phase difference; empty room → flat line;
+standing up and walking → large fluctuations.  A V-statistic threshold
+separates the stationary (usable) state from the rest.
+"""
+
+from conftest import banner, run_once
+
+from repro.eval.experiments import fig03_environment_detection
+from repro.eval.reporting import format_table
+
+
+def test_fig03_environment_detection(benchmark):
+    result = run_once(benchmark, fig03_environment_detection)
+
+    segment_v = result["segment_mean_v"]
+    lo, hi = result["stationary_band"]
+    banner("Fig. 3 — environment detection (V per activity segment)")
+    print(
+        format_table(
+            ["segment", "mean V", "classified"],
+            [
+                [
+                    state,
+                    v,
+                    "stationary" if lo <= v <= hi else (
+                        "empty" if v < lo else "motion"
+                    ),
+                ]
+                for state, v in segment_v.items()
+            ],
+        )
+    )
+    print(f"stationary band: [{lo}, {hi}]")
+
+    # Shape: the four states are separated exactly as the paper's panel.
+    assert segment_v["no_person"] < lo
+    assert lo <= segment_v["sitting"] <= hi
+    assert segment_v["standing_up"] > hi
+    assert segment_v["walking"] > hi
+    # Motion deviations dwarf the sitting baseline.
+    assert segment_v["walking"] > 5 * segment_v["sitting"]

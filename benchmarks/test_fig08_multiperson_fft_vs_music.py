@@ -1,0 +1,44 @@
+"""Fig. 8 — multi-person breathing: FFT vs root-MUSIC.
+
+Paper: FFT recovers two persons at 0.20/0.30 Hz accurately, but for three
+persons at 0.1467/0.2233/0.2483 Hz the FFT shows only two peaks, while
+root-MUSIC recovers all three (0.1467/0.2233/0.2483 in their run) and
+separates the 0.025 Hz-close pair.
+"""
+
+import numpy as np
+from conftest import banner, run_once
+
+from repro.eval.experiments import fig08_multiperson_fft_vs_music
+from repro.eval.reporting import format_table
+
+
+def test_fig08_multiperson_fft_vs_music(benchmark):
+    result = run_once(benchmark, fig08_multiperson_fft_vs_music)
+
+    banner("Fig. 8 — breathing rates for 2 and 3 persons (bpm)")
+    for label in ("two_persons", "three_persons"):
+        data = result[label]
+        print(f"\n{label}:")
+        print(
+            format_table(
+                ["", "rates (bpm)"],
+                [
+                    ["truth", np.round(data["truth_bpm"], 2).tolist()],
+                    ["fft", np.round(data["fft_bpm"], 2).tolist()],
+                    ["root-music", np.round(data["music_bpm"], 2).tolist()],
+                ],
+            )
+        )
+
+    two = result["two_persons"]
+    three = result["three_persons"]
+
+    # Shape: both methods succeed for two persons…
+    assert two["fft_errors"].max() < 1.0
+    assert two["music_errors"].max() < 1.0
+    # …for three persons root-MUSIC resolves everyone while FFT breaks on
+    # the close pair (its worst error is an order of magnitude larger).
+    assert three["music_errors"].max() < 1.0
+    assert three["fft_errors"].max() > 3.0
+    assert three["fft_errors"].max() > 5 * three["music_errors"].max()

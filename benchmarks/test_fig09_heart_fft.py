@@ -1,0 +1,33 @@
+"""Fig. 9 — heart-rate estimation via FFT with 3-bin refinement.
+
+Paper: the estimated heartbeat frequency is 1.07 Hz against a fingertip
+pulse sensor reading of 1.06 Hz — a 0.01 Hz (0.6 bpm) error, with a
+directional TX antenna boosting the reflected power.
+"""
+
+from conftest import banner, run_once
+
+from repro.eval.experiments import fig09_heart_fft
+from repro.eval.reporting import format_table
+
+
+def test_fig09_heart_fft(benchmark):
+    result = run_once(benchmark, fig09_heart_fft)
+
+    banner("Fig. 9 — single-subject heart rate (directional TX)")
+    print(
+        format_table(
+            ["quantity", "Hz", "bpm"],
+            [
+                ["ground truth", result["truth_hz"], result["truth_bpm"]],
+                ["PhaseBeat", result["estimate_hz"], result["estimate_bpm"]],
+                ["error", abs(result["truth_hz"] - result["estimate_hz"]),
+                 result["error_bpm"]],
+            ],
+        )
+    )
+    print("paper: 1.07 Hz estimated vs 1.06 Hz reference (0.6 bpm error)")
+
+    # Shape: sub-bpm error on the canonical subject, comfortably better
+    # than the raw FFT bin (2 bpm at this window).
+    assert result["error_bpm"] < 1.0

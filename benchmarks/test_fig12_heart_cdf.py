@@ -1,0 +1,31 @@
+"""Fig. 12 — heart-error CDF with the directional TX.
+
+Paper: median ≈ 1 bpm, 80% of errors under 2.5 bpm, maximum ≈ 10 bpm — an
+order of magnitude worse than breathing, because the heart signal is weak
+and buried under breathing interference.
+"""
+
+from conftest import banner, run_once
+
+from repro.eval.experiments import fig11_breathing_cdf, fig12_heart_cdf
+from repro.eval.reporting import format_cdf_summary
+
+
+def test_fig12_heart_cdf(benchmark):
+    result = run_once(benchmark, fig12_heart_cdf, n_trials=20)
+
+    banner("Fig. 12 — heart-error CDF (20 directional-TX lab trials)")
+    print(format_cdf_summary("phasebeat-heart", result))
+    print(
+        f"successful trials: {result['n_successful']}/{result['n_trials']}"
+    )
+    print("paper: median ~1 bpm, 80% < 2.5 bpm, max ~10 bpm")
+
+    # Shape: low median; a heavier tail than breathing (heart is the hard
+    # problem).  The simulator's worst-case sideband confusions exceed the
+    # paper's 10 bpm — documented in EXPERIMENTS.md.
+    assert result["median"] < 2.0
+    assert result["n_successful"] >= 0.8 * result["n_trials"]
+    # Heart errors are an order of magnitude above breathing errors.
+    breathing = fig11_breathing_cdf(n_trials=10)
+    assert result["max"] > breathing["phasebeat"]["median"]

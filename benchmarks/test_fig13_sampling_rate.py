@@ -1,0 +1,55 @@
+"""Fig. 13 — accuracy vs packet sampling rate.
+
+Paper: breathing accuracy is ~98% and flat across 20–600 Hz; heart accuracy
+is only ~88% at 20 Hz and reaches ~95% at 400 Hz — the reason PhaseBeat
+samples at 400 Hz and downsamples to 20 Hz afterwards.
+"""
+
+import numpy as np
+from conftest import banner, run_once
+
+from repro.eval.experiments import fig13_sampling_rate
+from repro.eval.reporting import format_table
+
+
+def test_fig13_sampling_rate(benchmark):
+    result = run_once(benchmark, fig13_sampling_rate, n_trials=8)
+
+    banner("Fig. 13 — accuracy (and heart-tone SNR) vs sampling rate")
+    print(
+        format_table(
+            ["rate (Hz)", "breathing acc", "heart acc", "heart tone SNR"],
+            list(
+                zip(
+                    result["rates_hz"],
+                    result["breathing"],
+                    result["heart"],
+                    result["heart_tone_snr"],
+                )
+            ),
+        )
+    )
+    print("paper: breathing ~0.98 flat; heart 0.88 @ 20 Hz -> 0.95 @ 400 Hz")
+    print(
+        "mechanism: more packets per 20 Hz output sample -> more noise "
+        "averaging -> taller heart peak"
+    )
+
+    breathing = np.asarray(result["breathing"])
+    heart = np.asarray(result["heart"])
+    snr = np.asarray(result["heart_tone_snr"])
+    rates = result["rates_hz"]
+    idx_20 = rates.index(20.0)
+    idx_400 = rates.index(400.0)
+
+    # Shape: breathing accuracy is high and flat across rates.
+    assert breathing.min() > 0.9
+    assert breathing.max() - breathing.min() < 0.07
+    # Heart is always the harder problem.
+    assert heart.mean() < breathing.mean()
+    # The rate mechanism: the heart tone stands much taller above the
+    # spectral floor at 400 Hz than at 20 Hz.  (The accuracy *mean* is also
+    # perturbed by rate-independent sideband confusions — EXPERIMENTS.md.)
+    assert snr[idx_400] > 1.3 * snr[idx_20]
+    # Accuracy at the paper's chosen 400 Hz rate stays high.
+    assert heart[idx_400] > 0.75

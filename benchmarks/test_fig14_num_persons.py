@@ -1,0 +1,48 @@
+"""Fig. 14 — multi-person breathing accuracy by estimator.
+
+Paper: for two persons every method exceeds 90% accuracy; accuracy drops
+with the person count, and at four persons root-MUSIC over 30 subcarriers
+is the best of the three (then single-subcarrier root-MUSIC, then FFT).
+"""
+
+import numpy as np
+from conftest import banner, run_once
+
+from repro.eval.experiments import fig14_num_persons
+from repro.eval.reporting import format_table
+
+
+def test_fig14_num_persons(benchmark):
+    result = run_once(benchmark, fig14_num_persons, n_trials=6)
+
+    banner("Fig. 14 — breathing accuracy vs number of persons")
+    rows = []
+    for i, count in enumerate(result["person_counts"]):
+        rows.append(
+            [
+                count,
+                result["music_30sc"][i],
+                result["music_1sc"][i],
+                result["fft"][i],
+            ]
+        )
+    print(
+        format_table(
+            ["persons", "root-MUSIC 30sc", "root-MUSIC 1sc", "FFT"], rows
+        )
+    )
+    print("paper: all > 0.9 at 2 persons; 30-subcarrier MUSIC wins at 4")
+
+    music30 = np.asarray(result["music_30sc"])
+    music1 = np.asarray(result["music_1sc"])
+    fft = np.asarray(result["fft"])
+
+    # Shape: two persons are easy for every method.
+    assert music30[0] > 0.9
+    assert music1[0] > 0.85
+    assert fft[0] > 0.85
+    # Accuracy does not improve as the cohort grows (allowing trial noise).
+    assert music30[-1] <= music30[0] + 0.05
+    # At four persons the 30-subcarrier root-MUSIC is the best method.
+    assert music30[-1] >= music1[-1] - 0.02
+    assert music30[-1] >= fft[-1] - 0.02

@@ -1,0 +1,35 @@
+"""Fig. 15 — breathing error vs TX–RX distance in the long corridor.
+
+Paper: the mean estimation error grows with the separation (weaker
+reflected signal shrinks the dynamic range of the phase difference),
+reaching ≈ 0.3 bpm at 7 m and ≈ 0.55 bpm at 11 m.
+"""
+
+import numpy as np
+from conftest import banner, run_once
+
+from repro.eval.experiments import fig15_distance_corridor
+from repro.eval.reporting import format_series
+
+
+def test_fig15_distance_corridor(benchmark):
+    result = run_once(benchmark, fig15_distance_corridor, n_trials=8)
+
+    banner("Fig. 15 — mean breathing error vs distance (corridor)")
+    print(
+        format_series(
+            result["distances_m"],
+            result["mean_error_bpm"],
+            x_label="distance (m)",
+            y_label="mean error (bpm)",
+        )
+    )
+    print("paper: rising curve, ~0.3 bpm @ 7 m, ~0.55 bpm @ 11 m")
+
+    errors = np.asarray(result["mean_error_bpm"])
+    # Shape: short range is accurate; error grows with distance overall.
+    assert errors[0] < 0.5
+    assert errors[-1] > errors[0]
+    # The far half of the sweep is worse than the near half.
+    half = errors.size // 2
+    assert errors[half:].mean() > errors[:half].mean()

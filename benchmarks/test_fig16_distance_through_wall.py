@@ -1,0 +1,44 @@
+"""Fig. 16 — breathing error vs distance, through-wall.
+
+Paper: the error rises with distance like the corridor but is uniformly
+worse at equal distance (≈ 0.52 vs ≈ 0.3 bpm at 7 m) because the wall
+attenuates the signal on every traversal.
+"""
+
+import numpy as np
+from conftest import banner, run_once
+
+from repro.eval.experiments import (
+    fig15_distance_corridor,
+    fig16_distance_through_wall,
+)
+from repro.eval.reporting import format_series
+
+
+def test_fig16_distance_through_wall(benchmark):
+    result = run_once(benchmark, fig16_distance_through_wall, n_trials=8)
+
+    banner("Fig. 16 — mean breathing error vs distance (through-wall)")
+    print(
+        format_series(
+            result["distances_m"],
+            result["mean_error_bpm"],
+            x_label="distance (m)",
+            y_label="mean error (bpm)",
+        )
+    )
+    print("paper: rising curve, worse than the corridor at equal distance")
+
+    errors = np.asarray(result["mean_error_bpm"])
+    # Shape: error grows overall from the near to the far end.
+    assert errors[-1] > errors[0]
+
+    # Cross-figure shape: through-wall ≥ corridor at the common 7 m point.
+    corridor = fig15_distance_corridor(distances_m=(7.0,), n_trials=8)
+    wall_at_7 = errors[result["distances_m"].index(7.0)]
+    corridor_at_7 = corridor["mean_error_bpm"][0]
+    print(
+        f"\n7 m comparison: through-wall {wall_at_7:.3f} bpm vs corridor "
+        f"{corridor_at_7:.3f} bpm"
+    )
+    assert wall_at_7 >= corridor_at_7

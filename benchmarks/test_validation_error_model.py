@@ -1,0 +1,90 @@
+"""Validation — the injected error model matches the PHY-derived one.
+
+The evaluation harness uses :class:`~repro.rf.hardware.HardwareErrorModel`
+to inject the paper's Eq. 3 phase errors analytically.  This bench derives
+the same structure from first principles with the symbol-level OFDM PHY
+(packet detection + LS channel estimation) and verifies the two agree:
+
+* the per-packet phase slope equals −2π·Δt/N with Δt the residual packet-
+  boundary error (the paper's λ_p);
+* the slope varies packet to packet (raw phase unusable, Fig. 1);
+* the cross-antenna phase difference is invariant to it (Theorem 1).
+"""
+
+import numpy as np
+from conftest import banner, run_once
+
+from repro.eval.reporting import format_table
+from repro.rf.constants import INTEL5300_SUBCARRIER_INDICES
+from repro.rf.multipath import StaticRay
+from repro.rf.ofdm import OfdmPhy, OfdmPhyConfig
+
+
+def _run(n_packets: int = 24) -> dict:
+    ray = StaticRay(
+        amplitudes=np.full(3, 0.7), delays_s=np.full(3, 35e-9)
+    )
+    phy = OfdmPhy(
+        OfdmPhyConfig(snr_db=40.0, timing_jitter_samples=2.0, seed=17)
+    )
+    m = INTEL5300_SUBCARRIER_INDICES.astype(float)
+    slopes, predicted, diff_spread = [], [], []
+    for packet in range(n_packets):
+        estimate = phy.measure_packet([ray], packet_index=packet)
+        phase = np.unwrap(np.angle(estimate.csi[0]))
+        slopes.append(float(np.polyfit(m, phase, 1)[0]))
+        predicted.append(
+            float(-2 * np.pi * estimate.timing_error_samples / 64)
+        )
+        diff_spread.append(
+            np.angle(estimate.csi[0] * np.conj(estimate.csi[1]))
+        )
+    slopes = np.asarray(slopes)
+    predicted = np.asarray(predicted)
+    residual = slopes - predicted
+    return {
+        "n_packets": n_packets,
+        "slope_std": float(np.std(slopes)),
+        "prediction_rms_error": float(np.sqrt(np.mean(residual**2))),
+        "slope_correlation": float(np.corrcoef(slopes, predicted)[0, 1]),
+        "difference_spread": float(
+            np.std(np.asarray(diff_spread), axis=0).max()
+        ),
+    }
+
+
+def test_validation_error_model(benchmark):
+    result = run_once(benchmark, _run)
+
+    banner("Validation — emergent (PHY) vs injected (Eq. 3) error model")
+    print(
+        format_table(
+            ["quantity", "value"],
+            [
+                ["packets measured", result["n_packets"]],
+                ["per-packet slope std (rad/index)", result["slope_std"]],
+                [
+                    "corr(measured slope, −2π·Δt/N)",
+                    result["slope_correlation"],
+                ],
+                ["slope prediction RMS error", result["prediction_rms_error"]],
+                [
+                    "max cross-antenna diff spread (rad)",
+                    result["difference_spread"],
+                ],
+            ],
+        )
+    )
+    print(
+        "\nthe boundary-detection residual Δt reappears as the Eq. 3 slope "
+        "λ_p = 2πΔt/N, packet by packet; the cross-antenna difference is "
+        "blind to it — the premise of the whole PhaseBeat system."
+    )
+
+    # The emergent slope tracks the λ_p prediction almost perfectly…
+    assert result["slope_correlation"] > 0.99
+    assert result["prediction_rms_error"] < 0.1 * result["slope_std"]
+    # …it genuinely scrambles raw phase across packets…
+    assert result["slope_std"] > 0.01
+    # …and the cross-antenna difference doesn't see it.
+    assert result["difference_spread"] < 0.1

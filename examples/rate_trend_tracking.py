@@ -1,0 +1,98 @@
+"""Rate-trend tracking: following a breathing rate that changes.
+
+A single whole-session rate hides slow physiological changes (falling
+asleep, stress responses).  This example simulates a subject whose
+breathing slows from ~19 to ~13 bpm over three minutes, then follows the
+rate two ways:
+
+* the sliding-window PhaseBeat monitor (estimates every 10 s);
+* the STFT ridge tracker on the calibrated series (the time–frequency
+  view the paper contrasts the DWT against).
+
+Run:
+    python examples/rate_trend_tracking.py
+"""
+
+import numpy as np
+
+from repro import Person, capture_trace, laboratory_scenario
+from repro.core import StreamingConfig, StreamingMonitor
+from repro.core.pipeline import prepare_calibrated_matrix
+from repro.core.subcarrier_selection import select_subcarrier
+from repro.dsp.stft import track_rate
+from repro.physio.breathing import BreathingModel
+
+
+class SlowingBreathing(BreathingModel):
+    """Breathing that decelerates linearly from f_start to f_end."""
+
+    def __init__(self, f_start=0.32, f_end=0.22, duration_s=180.0,
+                 amplitude_m=5e-3):
+        self.f_start = f_start
+        self.f_end = f_end
+        self.duration_s = duration_s
+        self.amplitude_m = amplitude_m
+        self.frequency_hz = 0.5 * (f_start + f_end)  # nominal
+
+    def instantaneous_frequency(self, t):
+        ramp = np.clip(np.asarray(t) / self.duration_s, 0.0, 1.0)
+        return self.f_start + (self.f_end - self.f_start) * ramp
+
+    def displacement(self, t):
+        t = np.asarray(t, dtype=float)
+        freq = self.instantaneous_frequency(t)
+        dt = np.diff(t, prepend=t[0] if t.size else 0.0)
+        phase = 2 * np.pi * np.cumsum(freq * dt)
+        return self.amplitude_m * np.cos(phase)
+
+
+def main() -> None:
+    breathing = SlowingBreathing()
+    person = Person(position=(2.2, 3.0, 1.0), breathing=breathing, heartbeat=None)
+    scenario = laboratory_scenario([person], clutter_seed=4)
+    print("simulating 3 minutes with a decelerating breathing rate ...")
+    trace = capture_trace(scenario, duration_s=180.0, seed=4)
+
+    # Method 1: sliding-window PhaseBeat estimates.
+    monitor = StreamingMonitor(
+        trace.sample_rate_hz, StreamingConfig(window_s=30.0, hop_s=10.0)
+    )
+    print(f"\n{'t (s)':>6} {'truth':>7} {'window est':>11} {'STFT ridge':>11}")
+    window_estimates = {
+        round(e.time_s): e.result.breathing_rates_bpm[0]
+        for e in monitor.push_trace(trace)
+        if e.ok
+    }
+
+    # Method 2: STFT ridge on the selected calibrated series.
+    matrix, quality, rate = prepare_calibrated_matrix(trace)
+    column = select_subcarrier(matrix, mask=quality).selected
+    times, ridge = track_rate(
+        matrix[:, column], rate, (0.15, 0.45),
+        window_s=30.0, hop_s=10.0, max_step_hz=0.05,
+    )
+
+    def ridge_at(t: float) -> float:
+        """Ridge value at the frame whose *end* is closest to time t."""
+        ends = times + 15.0  # frame center + half window
+        return float(60.0 * ridge[int(np.argmin(np.abs(ends - t)))])
+
+    for t in sorted(window_estimates):
+        # Truth at the window center (the estimate reflects the window mean).
+        truth = 60.0 * breathing.instantaneous_frequency(t - 15.0)
+        print(
+            f"{t:>6} {truth:>7.2f} {window_estimates[t]:>11.2f} "
+            f"{ridge_at(t):>11.2f}"
+        )
+
+    print(
+        "\nboth trackers follow the deceleration with ~half-a-window lag.  "
+        "note the STFT ridge is quantized to its 2 bpm bin width (30 s "
+        "frames) while the peak-timing estimate moves continuously — "
+        "exactly the paper's argument for peak detection over FFT-family "
+        "rate readers (Section III-C1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Realtime streaming: sliding-window monitoring with activity changes.
+
+PhaseBeat is designed to run online — packets arrive at 400 Hz and the
+20 Hz downsampled pipeline re-estimates on a sliding window.  This example
+scripts a 90-second session in which the subject sits, walks around, and
+sits again; the streaming monitor keeps emitting estimates and flags the
+windows environment detection rejects.
+
+Run:
+    python examples/realtime_streaming.py
+"""
+
+import dataclasses
+
+from repro import (
+    ActivityScript,
+    Person,
+    SinusoidalBreathing,
+    StreamingConfig,
+    StreamingMonitor,
+    capture_trace,
+    laboratory_scenario,
+)
+from repro.physio.motion import ActivityState, MotionEvent
+
+
+def main() -> None:
+    person = Person(
+        position=(2.2, 3.0, 1.0),
+        breathing=SinusoidalBreathing(frequency_hz=0.27),
+        heartbeat=None,
+    )
+    # 0–40 s sitting, 40–60 s walking, 60–90 s sitting again.
+    script = ActivityScript(
+        events=(MotionEvent(ActivityState.WALKING, 40.0, 20.0),), seed=3
+    )
+    scenario = dataclasses.replace(
+        laboratory_scenario([person], clutter_seed=3), activity=script
+    )
+    print("simulating a 90 s session (sit / walk / sit) ...")
+    trace = capture_trace(scenario, duration_s=90.0, seed=3)
+
+    monitor = StreamingMonitor(
+        sample_rate_hz=trace.sample_rate_hz,
+        config=StreamingConfig(window_s=25.0, hop_s=5.0),
+    )
+
+    print(f"\ntruth: {person.breathing_rate_bpm:.2f} bpm\n")
+    print(f"{'t (s)':>6}  {'estimate':>9}  note")
+    for estimate in monitor.push_trace(trace):
+        if estimate.ok:
+            rate = estimate.result.breathing_rates_bpm[0]
+            print(f"{estimate.time_s:>6.0f}  {rate:>7.2f} bpm")
+        else:
+            print(f"{estimate.time_s:>6.0f}  {'--':>9}  ({estimate.rejected_reason})")
+
+    print(
+        "\nwindows overlapping the walking segment are rejected by "
+        "environment detection (Eq. 8) and produce no estimate — exactly "
+        "the paper's gating behaviour."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Through-wall breathing monitoring and range behaviour.
+
+The paper's second deployment puts the subject on the transmitter side of a
+wall, with the receiver in the next room.  This example estimates the
+breathing rate through the wall and then sweeps the TX–RX separation to
+show the Fig. 15/16 effect: error grows with distance, and the wall costs
+accuracy at every range.
+
+Run:
+    python examples/through_wall_monitoring.py
+"""
+
+import numpy as np
+
+from repro import (
+    Person,
+    PhaseBeat,
+    PhaseBeatConfig,
+    SinusoidalBreathing,
+    capture_trace,
+    corridor_scenario,
+    through_wall_scenario,
+)
+
+
+def subject(y: float) -> Person:
+    return Person(
+        position=(1.5, y, 1.0),
+        breathing=SinusoidalBreathing(frequency_hz=0.3),
+        heartbeat=None,
+    )
+
+
+def main() -> None:
+    pipeline = PhaseBeat(PhaseBeatConfig(enforce_stationarity=False))
+
+    # Single through-wall estimate at 4 m.
+    scenario = through_wall_scenario(4.0, [subject(1.2)], clutter_seed=7)
+    print("through-wall capture at 4 m (7 dB wall) ...")
+    trace = capture_trace(scenario, duration_s=30.0, seed=7)
+    result = pipeline.process(trace, estimate_heart=False)
+    print(
+        f"breathing through the wall: {result.breathing_rates_bpm[0]:.2f} bpm "
+        f"(truth 18.00)"
+    )
+
+    # Distance sweep: corridor vs through-wall, 3 seeds per point.
+    print("\ndistance sweep (mean |error| over 3 seeds, bpm):")
+    print(f"{'d (m)':>6} {'corridor':>10} {'through-wall':>14}")
+    for distance in (2.0, 4.0, 6.0):
+        errors = {"corridor": [], "wall": []}
+        for seed in (1, 2, 3):
+            corridor = corridor_scenario(
+                distance, [subject(max(0.8, distance / 2))], clutter_seed=seed
+            )
+            wall = through_wall_scenario(
+                distance,
+                [subject(max(0.4, distance / 2 - 0.8))],
+                clutter_seed=seed,
+            )
+            for label, sc in (("corridor", corridor), ("wall", wall)):
+                t = capture_trace(sc, duration_s=30.0, seed=seed)
+                try:
+                    r = pipeline.process(t, estimate_heart=False)
+                    errors[label].append(
+                        abs(r.breathing_rates_bpm[0] - 18.0)
+                    )
+                except Exception:
+                    errors[label].append(1.8)  # failed estimate
+        print(
+            f"{distance:>6.1f} {np.mean(errors['corridor']):>10.3f} "
+            f"{np.mean(errors['wall']):>14.3f}"
+        )
+    print(
+        "\nthe wall's per-traversal loss weakens the chest reflection; with"
+        "\nmany trials (see benchmarks/test_fig16_*) the through-wall curve"
+        "\nsits above the corridor's at equal distance."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+This environment has no network access and no ``wheel`` package, so PEP 660
+editable installs (which build an editable wheel) cannot run.  Keeping a
+``setup.py`` lets ``pip install -e .`` fall back to the legacy
+``setup.py develop`` path, which works offline.  All project metadata lives
+in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

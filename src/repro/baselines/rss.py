@@ -1,0 +1,89 @@
+"""UbiBreathe-style RSS baseline (paper ref. [10]).
+
+UbiBreathe estimates breathing from plain WiFi RSS — one coarse, quantized
+power number per packet instead of 30 complex subcarrier responses.  The
+paper cites it as the motivating contrast for fine-grained CSI: RSS needs
+the subject on the LOS path and degrades quickly otherwise.
+
+The model here derives RSS from the simulated CSI (total received power
+summed over subcarriers and chains), quantizes it to the 1 dB granularity
+real RSSI reports have, then runs a breathing-band FFT peak search on the
+smoothed series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.breathing import BREATHING_SEARCH_BAND_HZ
+from ..dsp.fft_utils import fundamental_frequency
+from ..dsp.hampel import hampel_filter
+from ..dsp.resample import decimate, downsampled_rate
+from ..errors import ConfigurationError
+from ..io_.trace import CSITrace
+
+__all__ = ["RSSMethodConfig", "RSSMethod", "rss_series_db"]
+
+
+def rss_series_db(trace: CSITrace, quantization_db: float = 1.0) -> np.ndarray:
+    """Received signal strength per packet, quantized like a real RSSI.
+
+    Args:
+        trace: The CSI capture.
+        quantization_db: Reporting granularity (1 dB on commodity NICs;
+            0 disables quantization).
+
+    Returns:
+        ``(n_packets,)`` RSS values in dB (arbitrary reference).
+    """
+    power = np.sum(np.abs(trace.csi) ** 2, axis=(1, 2))
+    rss = 10.0 * np.log10(np.maximum(power, 1e-30))
+    if quantization_db > 0:
+        rss = np.round(rss / quantization_db) * quantization_db
+    return rss
+
+
+@dataclass(frozen=True)
+class RSSMethodConfig:
+    """Parameters of the RSS baseline.
+
+    Attributes:
+        quantization_db: RSSI reporting granularity.
+        smooth_window_s: Hampel smoothing window over the RSS series.
+        target_rate_hz: Downsampled processing rate.
+        band_hz: Breathing search band for the FFT peak.
+    """
+
+    quantization_db: float = 1.0
+    smooth_window_s: float = 0.25
+    target_rate_hz: float = 20.0
+    band_hz: tuple[float, float] = BREATHING_SEARCH_BAND_HZ
+
+    def __post_init__(self) -> None:
+        if self.quantization_db < 0:
+            raise ConfigurationError("quantization must be >= 0 dB")
+        if self.smooth_window_s <= 0 or self.target_rate_hz <= 0:
+            raise ConfigurationError("window and rate must be positive")
+
+
+class RSSMethod:
+    """Coarse RSS breathing estimator (the UbiBreathe-style contrast)."""
+
+    def __init__(self, config: RSSMethodConfig | None = None):
+        self.config = config if config is not None else RSSMethodConfig()
+
+    def estimate_breathing_bpm(self, trace: CSITrace) -> float:
+        """Breathing rate (bpm) from quantized RSS via FFT peak."""
+        cfg = self.config
+        rss = rss_series_db(trace, cfg.quantization_db)
+        window = max(3, int(round(cfg.smooth_window_s * trace.sample_rate_hz)))
+        smoothed = hampel_filter(rss, min(window, rss.size), 0.01)
+        detrended = smoothed - hampel_filter(
+            smoothed, min(rss.size, 8 * window), 0.01
+        )
+        factor = max(1, int(round(trace.sample_rate_hz / cfg.target_rate_hz)))
+        series = decimate(detrended, factor)
+        rate = downsampled_rate(trace.sample_rate_hz, factor)
+        return 60.0 * fundamental_frequency(series, rate, band=cfg.band_hz)

@@ -1,0 +1,285 @@
+"""Command-line interface: simulate, estimate, and reproduce from a shell.
+
+Four subcommands::
+
+    repro-phasebeat simulate  --scenario lab --duration 30 --out trace.npz
+    repro-phasebeat estimate  trace.npz --persons 1 --heart
+    repro-phasebeat dataset   --out corpus/ --count 10 --duration 30
+    repro-phasebeat experiment fig11 --trials 20
+
+``simulate`` builds one of the paper's three deployments and writes a CSI
+trace; ``estimate`` runs the PhaseBeat pipeline on a stored trace;
+``dataset`` generates a labelled corpus; ``experiment`` regenerates one of
+the paper's figures and prints the same rows/series the benchmarks assert
+against.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from . import __version__
+from .core.pipeline import PhaseBeat, PhaseBeatConfig
+from .errors import ReproError
+from .eval import experiments
+from .io_.dataset import generate_dataset
+from .io_.trace import CSITrace
+from .rf.receiver import capture_trace
+from .rf.scene import (
+    corridor_scenario,
+    laboratory_scenario,
+    through_wall_scenario,
+)
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENTS = {
+    name.split("_", 1)[0]: getattr(experiments, name)
+    for name in experiments.__all__
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-phasebeat",
+        description="PhaseBeat (ICDCS 2017) reproduction toolkit",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser(
+        "simulate", help="simulate a CSI capture and write it to .npz"
+    )
+    simulate.add_argument(
+        "--scenario",
+        choices=("lab", "through-wall", "corridor"),
+        default="lab",
+        help="deployment to simulate",
+    )
+    simulate.add_argument("--duration", type=float, default=30.0, help="seconds")
+    simulate.add_argument(
+        "--rate", type=float, default=400.0, help="packets per second"
+    )
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument(
+        "--persons", type=int, default=1, help="number of subjects"
+    )
+    simulate.add_argument(
+        "--distance", type=float, default=None,
+        help="TX-RX separation for through-wall / corridor (m)",
+    )
+    simulate.add_argument(
+        "--directional", action="store_true",
+        help="aim a directional TX at the first subject (heart setup)",
+    )
+    simulate.add_argument("--out", required=True, help="output .npz path")
+
+    estimate = sub.add_parser(
+        "estimate", help="run the PhaseBeat pipeline on a stored trace"
+    )
+    estimate.add_argument("trace", help="path to a .npz trace")
+    estimate.add_argument("--persons", type=int, default=1)
+    estimate.add_argument(
+        "--heart", action="store_true", help="also estimate heart rate"
+    )
+    estimate.add_argument(
+        "--method",
+        choices=("peak", "fft", "music", "music-single", "tensorbeat"),
+        default=None,
+        help="breathing estimator override",
+    )
+    estimate.add_argument(
+        "--no-gate",
+        action="store_true",
+        help="skip the environment-detection stationarity gate",
+    )
+
+    dataset = sub.add_parser(
+        "dataset", help="generate a labelled corpus of simulated traces"
+    )
+    dataset.add_argument("--out", required=True, help="corpus directory")
+    dataset.add_argument("--count", type=int, default=10)
+    dataset.add_argument("--duration", type=float, default=30.0)
+    dataset.add_argument("--rate", type=float, default=400.0)
+    dataset.add_argument("--seed", type=int, default=0)
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate a paper figure's data"
+    )
+    experiment.add_argument(
+        "figure",
+        choices=sorted(_EXPERIMENTS),
+        help="which figure to regenerate (e.g. fig11)",
+    )
+    experiment.add_argument(
+        "--trials", type=int, default=None,
+        help="override the experiment's default trial count",
+    )
+    experiment.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the result dictionary as JSON",
+    )
+    return parser
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .eval.harness import default_subject
+
+    rng = np.random.default_rng(args.seed)
+    persons = [
+        default_subject(rng, with_heartbeat=True) for _ in range(args.persons)
+    ]
+    if args.scenario == "lab":
+        scenario = laboratory_scenario(
+            persons, directional_tx=args.directional, clutter_seed=args.seed
+        )
+    elif args.scenario == "through-wall":
+        scenario = through_wall_scenario(
+            args.distance or 4.0, persons, clutter_seed=args.seed
+        )
+    else:
+        scenario = corridor_scenario(
+            args.distance or 5.0, persons, clutter_seed=args.seed
+        )
+    trace = capture_trace(
+        scenario,
+        duration_s=args.duration,
+        sample_rate_hz=args.rate,
+        seed=args.seed,
+    )
+    path = trace.save(args.out)
+    truth = ", ".join(f"{r:.2f}" for r in trace.meta["breathing_rates_bpm"])
+    print(f"wrote {path} ({trace.n_packets} packets, truth: {truth} bpm)")
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    trace = CSITrace.load(args.trace)
+    config = PhaseBeatConfig(enforce_stationarity=not args.no_gate)
+
+    result = PhaseBeat(config).process(
+        trace,
+        n_persons=args.persons,
+        estimate_heart=args.heart,
+        breathing_method=args.method,
+    )
+    print("breathing:", np.round(result.breathing_rates_bpm, 2), "bpm")
+    if result.heart_rate_bpm is not None:
+        print(f"heart:     {result.heart_rate_bpm:.2f} bpm")
+    diag = result.diagnostics
+    print(
+        f"V={diag.v_statistic:.3f} ({diag.environment_state.value}), "
+        f"subcarrier {diag.selected_subcarrier} on pair "
+        f"{diag.selected_antenna_pair}"
+    )
+    if "breathing_rates_bpm" in trace.meta:
+        truth = trace.meta["breathing_rates_bpm"]
+        print("ground truth:", np.round(truth, 2), "bpm")
+    return 0
+
+
+def _cmd_dataset(args: argparse.Namespace) -> int:
+    from .eval.harness import default_subject
+
+    def factory(k: int, rng: np.random.Generator):
+        return laboratory_scenario(
+            [default_subject(rng)], clutter_seed=args.seed + k
+        )
+
+    dataset = generate_dataset(
+        args.out,
+        factory,
+        args.count,
+        duration_s=args.duration,
+        sample_rate_hz=args.rate,
+        base_seed=args.seed,
+    )
+    print(f"wrote {len(dataset)} traces to {args.out}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    fn = _EXPERIMENTS[args.figure]
+    kwargs = {}
+    if args.trials is not None:
+        import inspect
+
+        if "n_trials" in inspect.signature(fn).parameters:
+            kwargs["n_trials"] = args.trials
+    result = fn(**kwargs)
+    _print_experiment(args.figure, result)
+    if args.json:
+        import json
+        from pathlib import Path
+
+        Path(args.json).write_text(
+            json.dumps(_jsonable(result), indent=2)
+        )
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _jsonable(value):
+    """Recursively convert an experiment result to JSON-safe types."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    return value
+
+
+def _print_experiment(figure: str, result: dict) -> None:
+    """Generic pretty-printer for experiment dictionaries."""
+    print(f"=== {figure} ===")
+    for key, value in result.items():
+        if isinstance(value, np.ndarray):
+            if value.size > 12:
+                print(f"{key}: array(shape={value.shape})")
+            else:
+                print(f"{key}: {np.round(value, 4).tolist()}")
+        elif isinstance(value, dict):
+            print(f"{key}:")
+            for inner_key, inner_value in value.items():
+                if isinstance(inner_value, np.ndarray) and inner_value.size > 12:
+                    print(f"  {inner_key}: array(shape={inner_value.shape})")
+                elif isinstance(inner_value, np.ndarray):
+                    print(f"  {inner_key}: {np.round(inner_value, 4).tolist()}")
+                elif isinstance(inner_value, float):
+                    print(f"  {inner_key}: {inner_value:.4g}")
+                else:
+                    print(f"  {inner_key}: {inner_value}")
+        elif isinstance(value, float):
+            print(f"{key}: {value:.4g}")
+        else:
+            print(f"{key}: {value}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "simulate": _cmd_simulate,
+        "estimate": _cmd_estimate,
+        "dataset": _cmd_dataset,
+        "experiment": _cmd_experiment,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

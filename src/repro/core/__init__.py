@@ -1,0 +1,77 @@
+"""The paper's contribution: the PhaseBeat processing pipeline."""
+
+from .apnea import ApneaConfig, ApneaEvent, breathing_envelope, detect_apnea
+from .breathing import (
+    BREATHING_SEARCH_BAND_HZ,
+    FFTBreathingEstimator,
+    MusicBreathingEstimator,
+    PeakBreathingEstimator,
+)
+from .calibration import CalibratedData, CalibrationConfig, calibrate
+from .dwt_stage import DWTBands, DWTConfig, decompose
+from .environment import (
+    EnvironmentConfig,
+    EnvironmentDetector,
+    classify_windows,
+    v_statistic,
+    windowed_v,
+)
+from .heart import HEART_SEARCH_BAND_HZ, FFTHeartEstimator
+from .phase_difference import phase_difference, raw_phase
+from .pipeline import PhaseBeat, PhaseBeatConfig, prepare_calibrated_matrix
+from .results import PhaseBeatResult, PipelineDiagnostics, VitalSignEstimate
+from .session import SessionReport, analyze_session
+from .streaming import StreamingConfig, StreamingEstimate, StreamingMonitor
+from .waveform import BreathingWaveformStats, analyze_waveform, breath_intervals
+from .subcarrier_selection import (
+    SelectionConfig,
+    SelectionResult,
+    amplitude_quality_mask,
+    select_subcarrier,
+    subcarrier_sensitivities,
+)
+
+__all__ = [
+    "ApneaConfig",
+    "ApneaEvent",
+    "BREATHING_SEARCH_BAND_HZ",
+    "BreathingWaveformStats",
+    "CalibratedData",
+    "CalibrationConfig",
+    "DWTBands",
+    "DWTConfig",
+    "EnvironmentConfig",
+    "EnvironmentDetector",
+    "FFTBreathingEstimator",
+    "FFTHeartEstimator",
+    "HEART_SEARCH_BAND_HZ",
+    "MusicBreathingEstimator",
+    "PeakBreathingEstimator",
+    "PhaseBeat",
+    "PhaseBeatConfig",
+    "PhaseBeatResult",
+    "PipelineDiagnostics",
+    "SelectionConfig",
+    "SelectionResult",
+    "SessionReport",
+    "StreamingConfig",
+    "StreamingEstimate",
+    "StreamingMonitor",
+    "VitalSignEstimate",
+    "amplitude_quality_mask",
+    "analyze_session",
+    "analyze_waveform",
+    "breath_intervals",
+    "breathing_envelope",
+    "calibrate",
+    "detect_apnea",
+    "classify_windows",
+    "decompose",
+    "phase_difference",
+    "prepare_calibrated_matrix",
+    "raw_phase",
+    "select_subcarrier",
+    "subcarrier_sensitivities",
+    "v_statistic",
+    "windowed_v",
+]

@@ -1,0 +1,68 @@
+"""Data Extraction: CSI phase difference between two receive antennas.
+
+The first module of the PhaseBeat architecture (Fig. 2).  Per Theorem 1 the
+measured phase difference between two chains of the same NIC cancels the
+per-packet error terms (they share the clock and down-converter), leaving
+``Δ∠CSI + Δβ + ΔZ`` — stable across packets, with the breathing modulation
+riding on ``Δ∠CSI``.
+
+The difference is computed as ``angle(csi_a · conj(csi_b))`` (numerically
+robust near the ±π seam) and then unwrapped along the packet axis so slow
+oscillations become continuous series the calibration stage can filter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..io_.trace import CSITrace
+
+__all__ = ["phase_difference", "raw_phase"]
+
+
+def phase_difference(
+    trace: CSITrace,
+    antenna_pair: tuple[int, int] = (0, 1),
+    *,
+    unwrap: bool = True,
+) -> np.ndarray:
+    """Measured phase difference Δ∠CSI_i per packet and subcarrier.
+
+    Args:
+        trace: The captured CSI stream.
+        antenna_pair: Indices (a, b) of the two receive chains; the paper
+            uses two adjacent antennas of the Intel 5300.
+        unwrap: Unwrap along the packet axis, turning the wrapped difference
+            into a continuous series (required before filtering; set False
+            to reproduce the Fig. 1 polar scatter).
+
+    Returns:
+        ``(n_packets, n_subcarriers)`` phase differences in radians.
+    """
+    a, b = antenna_pair
+    if a == b:
+        raise ConfigurationError("antenna pair must name two distinct chains")
+    for idx in (a, b):
+        if not 0 <= idx < trace.n_rx:
+            raise ConfigurationError(
+                f"antenna index {idx} out of range for {trace.n_rx} chains"
+            )
+    diff = np.angle(trace.csi[:, a, :] * np.conj(trace.csi[:, b, :]))
+    if unwrap:
+        diff = np.unwrap(diff, axis=0)
+    return diff
+
+
+def raw_phase(trace: CSITrace, antenna: int = 0) -> np.ndarray:
+    """Raw measured phase ∠CSI of a single chain (the Fig. 1 foil).
+
+    Unusable for vital signs — the per-packet PBD/SFO/CFO terms scatter it
+    over the whole circle — but needed by the phase-stability experiment and
+    the raw-phase ablation.
+    """
+    if not 0 <= antenna < trace.n_rx:
+        raise ConfigurationError(
+            f"antenna index {antenna} out of range for {trace.n_rx} chains"
+        )
+    return np.angle(trace.csi[:, antenna, :])

@@ -1,0 +1,397 @@
+"""The end-to-end PhaseBeat pipeline (paper Fig. 2).
+
+:class:`PhaseBeat` wires the four modules together:
+
+1. **Data Extraction** — cross-antenna phase difference from the trace.
+2. **Data Preprocessing** — environment detection, calibration, subcarrier
+   selection, DWT band split.
+3. **Breathing Rate Estimation** — peak detection (one person) or
+   root-MUSIC over all 30 subcarriers (multiple persons).
+4. **Heart Rate Estimation** — FFT with 3-bin phase refinement on the DWT
+   detail band.
+
+Typical use::
+
+    from repro import PhaseBeat, laboratory_scenario, capture_trace
+
+    trace = capture_trace(laboratory_scenario(), duration_s=60.0)
+    result = PhaseBeat().process(trace)
+    print(result.breathing_rates_bpm, result.heart_rate_bpm)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..dsp.template import subtract_cycle_template
+from ..errors import NotStationaryError, SignalTooShortError
+from ..io_.trace import CSITrace
+from ..physio.motion import ActivityState
+from .breathing import (
+    FFTBreathingEstimator,
+    MusicBreathingEstimator,
+    PeakBreathingEstimator,
+)
+from .calibration import CalibrationConfig, calibrate
+from .dwt_stage import DWTConfig, decompose
+from .environment import (
+    EnvironmentConfig,
+    EnvironmentDetector,
+    v_statistic,
+    windowed_v,
+)
+from .heart import FFTHeartEstimator
+from .phase_difference import phase_difference
+from .results import PhaseBeatResult, PipelineDiagnostics, VitalSignEstimate
+from .subcarrier_selection import (
+    SelectionConfig,
+    amplitude_quality_mask,
+    select_subcarrier,
+)
+
+__all__ = ["PhaseBeatConfig", "PhaseBeat", "prepare_calibrated_matrix"]
+
+
+def prepare_calibrated_matrix(
+    trace: CSITrace,
+    *,
+    antenna_pairs: list[tuple[int, int]] | None = None,
+    calibration: CalibrationConfig | None = None,
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """Phase-difference extraction + calibration for one or more pairs.
+
+    The shared front half of the pipeline, exposed for experiments and
+    ablations that want the same calibrated, quality-gated subcarrier
+    matrix the estimator stages see (including antenna-pair diversity).
+
+    Args:
+        trace: The capture.
+        antenna_pairs: Pairs to stack column-wise; default both adjacent
+            pairs of a 3-chain NIC.
+        calibration: Calibration parameters.
+
+    Returns:
+        ``(matrix, quality, sample_rate_hz)`` -- the stacked calibrated
+        series of shape ``(n_samples, 30 * n_pairs)``, the per-column
+        eligibility mask, and the post-calibration rate.
+    """
+    if antenna_pairs is None:
+        antenna_pairs = [(0, 1)]
+        if trace.n_rx >= 3:
+            antenna_pairs.append((1, 2))
+    columns = []
+    masks = []
+    sample_rate = trace.sample_rate_hz
+    for pair in antenna_pairs:
+        diff = phase_difference(trace, pair)
+        calibrated = calibrate(diff, trace.sample_rate_hz, calibration)
+        columns.append(calibrated.series)
+        masks.append(amplitude_quality_mask(trace, pair))
+        sample_rate = calibrated.sample_rate_hz
+    return np.hstack(columns), np.concatenate(masks), sample_rate
+
+
+@dataclass(frozen=True)
+class PhaseBeatConfig:
+    """All pipeline parameters in one place (paper defaults).
+
+    Attributes:
+        antenna_pair: RX chains whose phase difference is used.
+        use_pair_diversity: Also derive phase differences from the second
+            adjacent antenna pair and let subcarrier selection choose across
+            both.  A chest reflection can sit at a *null point* of one
+            pair's phase response (the static operating phase makes the
+            breathing fundamental vanish, leaving only its second
+            harmonic); the other pair, a half-wavelength away, almost never
+            nulls simultaneously.  The paper's hardware exposes all three
+            chains; using two pairs is free diversity.
+        environment: Environment-detection parameters.
+        calibration: Calibration (Hampel + downsample) parameters.
+        selection: Subcarrier-selection parameters.
+        dwt: DWT-stage parameters.
+        peak_estimator: Single-person breathing estimator.
+        music_estimator: Multi-person breathing estimator.
+        fft_estimator: FFT breathing estimator (used when explicitly
+            requested via ``breathing_method="fft"``).
+        heart_estimator: Heart-rate estimator.
+        enforce_stationarity: Raise :class:`NotStationaryError` when the
+            segment fails environment detection; when False the pipeline
+            estimates anyway (used by sweeps that control the scene).
+    """
+
+    antenna_pair: tuple[int, int] = (0, 1)
+    use_pair_diversity: bool = True
+    environment: EnvironmentConfig = field(default_factory=EnvironmentConfig)
+    calibration: CalibrationConfig = field(default_factory=CalibrationConfig)
+    selection: SelectionConfig = field(default_factory=SelectionConfig)
+    dwt: DWTConfig = field(default_factory=DWTConfig)
+    peak_estimator: PeakBreathingEstimator = field(
+        default_factory=PeakBreathingEstimator
+    )
+    music_estimator: MusicBreathingEstimator = field(
+        default_factory=MusicBreathingEstimator
+    )
+    fft_estimator: FFTBreathingEstimator = field(
+        default_factory=FFTBreathingEstimator
+    )
+    heart_estimator: FFTHeartEstimator = field(default_factory=FFTHeartEstimator)
+    enforce_stationarity: bool = True
+
+
+class PhaseBeat:
+    """CSI phase-difference vital-sign monitor.
+
+    Args:
+        config: Pipeline parameters; paper defaults when omitted.
+    """
+
+    def __init__(self, config: PhaseBeatConfig | None = None):
+        self.config = config if config is not None else PhaseBeatConfig()
+        self._detector = EnvironmentDetector(self.config.environment)
+
+    def process(
+        self,
+        trace: CSITrace,
+        *,
+        n_persons: int = 1,
+        estimate_heart: bool = True,
+        breathing_method: str | None = None,
+    ) -> PhaseBeatResult:
+        """Run the full pipeline on one trace.
+
+        Args:
+            trace: Captured CSI.
+            n_persons: Number of subjects to resolve; 1 uses peak detection,
+                >1 uses root-MUSIC (paper Section III-C).
+            estimate_heart: Also estimate heart rate (single-person only —
+                the paper does not attempt multi-person heart rates).
+            breathing_method: Force ``"peak"``, ``"fft"``, ``"music"``,
+                ``"music-single"`` (root-MUSIC on the selected subcarrier
+                only) or ``"tensorbeat"`` (the Hankel-tensor CP method of
+                the authors' follow-up); ``None`` chooses by ``n_persons``.
+
+        Returns:
+            :class:`PhaseBeatResult`.
+
+        Raises:
+            NotStationaryError: If environment detection rejects the
+                segment and ``enforce_stationarity`` is set.
+            EstimationError: If an estimator cannot produce a rate.
+        """
+        cfg = self.config
+        pairs = self._antenna_pairs(trace)
+        diff = phase_difference(trace, pairs[0])
+
+        v = v_statistic(diff)
+        lo, hi = cfg.environment.stationary_band
+        if v < lo:
+            state = ActivityState.NO_PERSON
+        elif v > hi:
+            state = ActivityState.WALKING
+        else:
+            state = ActivityState.SITTING
+            # A motion burst occupying only part of the segment can leave
+            # the whole-segment V inside the band while corrupting the
+            # estimate; any single sliding window above the band flags it.
+            window = int(round(cfg.environment.window_s * trace.sample_rate_hz))
+            if diff.shape[0] >= 2 * window:
+                _, windowed = windowed_v(
+                    diff, trace.sample_rate_hz, cfg.environment
+                )
+                if windowed.max() > hi:
+                    state = ActivityState.WALKING
+                    v = float(windowed.max())
+        if cfg.enforce_stationarity and state is not ActivityState.SITTING:
+            raise NotStationaryError(v, state.value)
+
+        # Calibrate every pair's series and stack them column-wise: the
+        # selection and multi-person stages then draw on the diversity of
+        # both baselines.
+        columns = []
+        masks = []
+        sample_rate = None
+        for pair in pairs:
+            pair_diff = diff if pair == pairs[0] else phase_difference(trace, pair)
+            calibrated = calibrate(pair_diff, trace.sample_rate_hz, cfg.calibration)
+            columns.append(calibrated.series)
+            masks.append(self._subcarrier_quality_mask(trace, pair))
+            sample_rate = calibrated.sample_rate_hz
+        stacked = np.hstack(columns)
+        quality = np.concatenate(masks)
+        n_sub = trace.n_subcarriers
+
+        selection = select_subcarrier(stacked, cfg.selection, mask=quality)
+        selected_series = stacked[:, selection.selected]
+        selected_pair = pairs[selection.selected // n_sub]
+        bands = decompose(selected_series, sample_rate, cfg.dwt)
+
+        matrix = stacked[:, quality] if quality.any() else stacked
+        method = breathing_method or ("peak" if n_persons == 1 else "music")
+        breathing = self._estimate_breathing(
+            method, bands.breathing, matrix, selected_series,
+            sample_rate, n_persons,
+        )
+
+        heart = None
+        heart_signal = bands.heart
+        if estimate_heart and n_persons == 1:
+            f_breath = breathing[0].rate_bpm / 60.0
+            heart_signal = self._best_heart_signal(
+                stacked, quality, selection.sensitivities, sample_rate, f_breath
+            )
+            if heart_signal is None:
+                heart_signal = bands.heart
+            rate = cfg.heart_estimator.estimate_bpm(
+                heart_signal,
+                bands.sample_rate_hz,
+                breathing_rate_hz=f_breath,
+            )
+            heart = VitalSignEstimate(rate_bpm=rate, method="fft+3bin")
+
+        diagnostics = PipelineDiagnostics(
+            v_statistic=v,
+            environment_state=state,
+            selected_subcarrier=selection.selected % n_sub,
+            selected_antenna_pair=selected_pair,
+            candidate_subcarriers=tuple(c % n_sub for c in selection.candidates),
+            sensitivities=selection.sensitivities,
+            calibrated_rate_hz=sample_rate,
+            n_calibrated_samples=stacked.shape[0],
+            breathing_band_hz=bands.breathing_band_hz,
+            heart_band_hz=bands.heart_band_hz,
+        )
+        return PhaseBeatResult(
+            breathing=breathing,
+            heart=heart,
+            diagnostics=diagnostics,
+            breathing_signal=bands.breathing,
+            heart_signal=heart_signal,
+        )
+
+    def _antenna_pairs(self, trace: CSITrace) -> list[tuple[int, int]]:
+        """The antenna pairs to draw phase differences from.
+
+        The configured pair first, then (with diversity enabled on a ≥3
+        chain NIC) the first other adjacent pair.
+        """
+        cfg = self.config
+        pairs = [cfg.antenna_pair]
+        if cfg.use_pair_diversity:
+            configured = tuple(sorted(cfg.antenna_pair))
+            for x in range(trace.n_rx - 1):
+                if (x, x + 1) != configured:
+                    pairs.append((x, x + 1))
+                    break
+        return pairs
+
+    def _best_heart_signal(
+        self,
+        stacked: np.ndarray,
+        quality: np.ndarray,
+        sensitivities: np.ndarray,
+        sample_rate: float,
+        f_breath: float,
+        n_candidates: int = 8,
+    ) -> np.ndarray | None:
+        """Heart-band series from the candidate column with the best peak.
+
+        Heart-stage subcarrier selection: the breathing-MAD selection can
+        pick a series whose geometry nulls the (far weaker) heart
+        modulation, so the heart stage re-selects among the top-MAD
+        candidates by the quantity that actually matters to it — the
+        heart-band peak SNR after the breathing-locked waveform (fundamental
+        plus harmonic comb, see :func:`subtract_cycle_template`) has been
+        removed.  Returns ``None`` when no candidate can be cleansed.
+        """
+        from ..dsp.fft_utils import band_mask, magnitude_spectrum
+
+        cfg = self.config
+        eligible = np.flatnonzero(quality) if quality.any() else np.arange(
+            stacked.shape[1]
+        )
+        order = eligible[np.argsort(sensitivities[eligible])[::-1]]
+        best_signal = None
+        best_snr = -np.inf
+        for column in order[:n_candidates]:
+            try:
+                cleansed = subtract_cycle_template(
+                    stacked[:, column], sample_rate, f_breath
+                )
+                candidate = decompose(cleansed, sample_rate, cfg.dwt).heart
+            except SignalTooShortError:
+                continue
+            freqs, mag = magnitude_spectrum(candidate, sample_rate)
+            mask = band_mask(freqs, cfg.heart_estimator.band_hz)
+            if not mask.any():
+                continue
+            in_band = mag[mask]
+            floor = float(np.median(in_band))
+            snr = float(in_band.max()) / max(floor, 1e-12)
+            if snr > best_snr:
+                best_snr = snr
+                best_signal = candidate
+        return best_signal
+
+    def _subcarrier_quality_mask(
+        self, trace: CSITrace, pair: tuple[int, int] | None = None
+    ) -> np.ndarray:
+        """Per-pair eligibility mask (see :func:`amplitude_quality_mask`)."""
+        return amplitude_quality_mask(
+            trace, pair if pair is not None else self.config.antenna_pair
+        )
+
+    def _estimate_breathing(
+        self,
+        method: str,
+        breathing_band: np.ndarray,
+        calibrated_matrix: np.ndarray,
+        selected_series: np.ndarray,
+        sample_rate_hz: float,
+        n_persons: int,
+    ) -> tuple[VitalSignEstimate, ...]:
+        cfg = self.config
+        if method == "peak":
+            rate = cfg.peak_estimator.estimate_bpm(breathing_band, sample_rate_hz)
+            return (VitalSignEstimate(rate_bpm=rate, method="peak"),)
+        if method == "fft":
+            rates = cfg.fft_estimator.estimate_bpm(
+                breathing_band if n_persons == 1 else calibrated_matrix,
+                sample_rate_hz,
+                n_persons,
+            )
+            return tuple(
+                VitalSignEstimate(rate_bpm=float(r), method="fft") for r in rates
+            )
+        if method == "music":
+            rates = cfg.music_estimator.estimate_bpm(
+                calibrated_matrix, sample_rate_hz, n_persons
+            )
+            return tuple(
+                VitalSignEstimate(rate_bpm=float(r), method="root-music")
+                for r in rates
+            )
+        if method == "music-single":
+            rates = cfg.music_estimator.estimate_bpm(
+                selected_series, sample_rate_hz, n_persons
+            )
+            return tuple(
+                VitalSignEstimate(rate_bpm=float(r), method="root-music-1sc")
+                for r in rates
+            )
+        if method == "tensorbeat":
+            # Imported lazily: the extension is optional machinery.
+            from ..extensions.tensorbeat import TensorBeatEstimator
+
+            rates = TensorBeatEstimator().estimate_bpm(
+                calibrated_matrix, sample_rate_hz, n_persons
+            )
+            return tuple(
+                VitalSignEstimate(rate_bpm=float(r), method="tensorbeat")
+                for r in rates
+            )
+        raise ValueError(
+            f"unknown breathing method {method!r}; expected 'peak', 'fft', "
+            "'music', 'music-single', or 'tensorbeat'"
+        )

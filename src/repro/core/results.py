@@ -1,0 +1,85 @@
+"""Typed result records produced by the PhaseBeat pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..physio.motion import ActivityState
+
+__all__ = ["VitalSignEstimate", "PipelineDiagnostics", "PhaseBeatResult"]
+
+
+@dataclass(frozen=True)
+class VitalSignEstimate:
+    """One estimated rate with its provenance.
+
+    Attributes:
+        rate_bpm: The estimate in beats (breaths) per minute.
+        method: Which estimator produced it (``"peak"``, ``"fft"``,
+            ``"root-music"``, ``"fft+3bin"``).
+    """
+
+    rate_bpm: float
+    method: str
+
+
+@dataclass(frozen=True)
+class PipelineDiagnostics:
+    """Intermediate quantities useful for inspection and plotting.
+
+    Attributes:
+        v_statistic: Environment-detection V of the processed segment.
+        environment_state: Classified activity state.
+        selected_subcarrier: Subcarrier chosen by selection (0–29).
+        selected_antenna_pair: The antenna pair the selected series came
+            from (pair diversity may pick the non-primary pair).
+        candidate_subcarriers: The top-k selection candidates.
+        sensitivities: Per-subcarrier MAD profile (Fig. 7).
+        calibrated_rate_hz: Sample rate after calibration.
+        n_calibrated_samples: Length of the calibrated series.
+        breathing_band_hz: DWT breathing band.
+        heart_band_hz: DWT heart band.
+    """
+
+    v_statistic: float
+    environment_state: ActivityState
+    selected_subcarrier: int
+    selected_antenna_pair: tuple[int, int]
+    candidate_subcarriers: tuple[int, ...]
+    sensitivities: np.ndarray
+    calibrated_rate_hz: float
+    n_calibrated_samples: int
+    breathing_band_hz: tuple[float, float]
+    heart_band_hz: tuple[float, float]
+
+
+@dataclass(frozen=True)
+class PhaseBeatResult:
+    """Full output of one pipeline run.
+
+    Attributes:
+        breathing: Breathing estimates, one per detected person (ascending
+            rate for multi-person runs).
+        heart: Heart estimate, or ``None`` when not requested / detectable.
+        diagnostics: Intermediate pipeline state.
+        breathing_signal: The DWT breathing-band series (for plots).
+        heart_signal: The DWT heart-band series (for plots).
+    """
+
+    breathing: tuple[VitalSignEstimate, ...]
+    heart: VitalSignEstimate | None
+    diagnostics: PipelineDiagnostics
+    breathing_signal: np.ndarray = field(repr=False, default=None)
+    heart_signal: np.ndarray = field(repr=False, default=None)
+
+    @property
+    def breathing_rates_bpm(self) -> tuple[float, ...]:
+        """Just the breathing numbers, ascending."""
+        return tuple(e.rate_bpm for e in self.breathing)
+
+    @property
+    def heart_rate_bpm(self) -> float | None:
+        """Just the heart number, if any."""
+        return None if self.heart is None else self.heart.rate_bpm

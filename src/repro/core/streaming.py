@@ -1,0 +1,160 @@
+"""Realtime (sliding-window) vital-sign monitoring.
+
+The paper emphasizes that PhaseBeat runs in realtime: downsampling to 20 Hz
+exists precisely to keep the per-window processing cheap.  This module
+provides the streaming counterpart of :class:`~repro.core.pipeline.PhaseBeat`:
+packets are pushed as they arrive, and once a full analysis window has
+accumulated the estimator re-runs over the most recent window, hopping
+forward by a configurable stride.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError, EstimationError, NotStationaryError
+from ..io_.trace import CSITrace
+from .pipeline import PhaseBeat, PhaseBeatConfig
+from .results import PhaseBeatResult
+
+__all__ = ["StreamingConfig", "StreamingEstimate", "StreamingMonitor"]
+
+
+@dataclass(frozen=True)
+class StreamingConfig:
+    """Streaming parameters.
+
+    Attributes:
+        window_s: Analysis window length (seconds of packets kept).
+        hop_s: How often a new estimate is emitted.
+        n_persons: Subjects to resolve per window.
+        estimate_heart: Also estimate heart rate per window.
+    """
+
+    window_s: float = 30.0
+    hop_s: float = 5.0
+    n_persons: int = 1
+    estimate_heart: bool = False
+
+    def __post_init__(self) -> None:
+        if self.window_s <= 0 or self.hop_s <= 0:
+            raise ConfigurationError("window and hop must be positive")
+        if self.hop_s > self.window_s:
+            raise ConfigurationError("hop must not exceed the window")
+        if self.n_persons < 1:
+            raise ConfigurationError("n_persons must be >= 1")
+
+
+@dataclass(frozen=True)
+class StreamingEstimate:
+    """One emitted estimate.
+
+    Attributes:
+        time_s: Timestamp of the window's last packet.
+        result: Full pipeline result for the window, or ``None`` when the
+            window was rejected (non-stationary) or estimation failed.
+        rejected_reason: Why the window produced no result (``None`` on
+            success; ``"not-stationary"`` or ``"estimation-failed"``).
+    """
+
+    time_s: float
+    result: PhaseBeatResult | None
+    rejected_reason: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether this window produced a usable estimate."""
+        return self.result is not None
+
+
+class StreamingMonitor:
+    """Push-based sliding-window monitor.
+
+    Args:
+        sample_rate_hz: Packet rate of the incoming stream.
+        config: Streaming parameters.
+        pipeline_config: Parameters for the underlying pipeline.
+    """
+
+    def __init__(
+        self,
+        sample_rate_hz: float,
+        config: StreamingConfig | None = None,
+        pipeline_config: PhaseBeatConfig | None = None,
+    ):
+        if sample_rate_hz <= 0:
+            raise ConfigurationError("sample rate must be positive")
+        self.sample_rate_hz = float(sample_rate_hz)
+        self.config = config if config is not None else StreamingConfig()
+        self._pipeline = PhaseBeat(pipeline_config)
+        self._window_packets = int(round(self.config.window_s * sample_rate_hz))
+        self._hop_packets = int(round(self.config.hop_s * sample_rate_hz))
+        self._buffer: deque = deque(maxlen=self._window_packets)
+        self._times: deque = deque(maxlen=self._window_packets)
+        self._since_last_emit = 0
+        self._subcarrier_indices: np.ndarray | None = None
+
+    def push_packet(
+        self, csi_packet: np.ndarray, timestamp_s: float
+    ) -> StreamingEstimate | None:
+        """Feed one packet; returns an estimate when a hop completes.
+
+        Args:
+            csi_packet: Complex CSI of one packet, shape
+                ``(n_rx, n_subcarriers)``.
+            timestamp_s: Capture time of the packet.
+
+        Returns:
+            A :class:`StreamingEstimate` when enough new packets have
+            arrived, otherwise ``None``.
+        """
+        csi_packet = np.asarray(csi_packet)
+        if csi_packet.ndim != 2:
+            raise ConfigurationError(
+                f"packet must be (n_rx, n_subcarriers), got {csi_packet.shape}"
+            )
+        if self._subcarrier_indices is None:
+            self._subcarrier_indices = np.arange(csi_packet.shape[1])
+        self._buffer.append(csi_packet)
+        self._times.append(float(timestamp_s))
+        self._since_last_emit += 1
+        if (
+            len(self._buffer) < self._window_packets
+            or self._since_last_emit < self._hop_packets
+        ):
+            return None
+        self._since_last_emit = 0
+        return self._emit()
+
+    def push_trace(self, trace: CSITrace) -> list[StreamingEstimate]:
+        """Feed a whole trace packet-by-packet; collect all estimates."""
+        estimates = []
+        for k in range(trace.n_packets):
+            out = self.push_packet(trace.csi[k], float(trace.timestamps_s[k]))
+            if out is not None:
+                estimates.append(out)
+        return estimates
+
+    def _emit(self) -> StreamingEstimate:
+        window = CSITrace(
+            csi=np.stack(self._buffer),
+            timestamps_s=np.asarray(self._times),
+            sample_rate_hz=self.sample_rate_hz,
+            subcarrier_indices=self._subcarrier_indices,
+            meta={"streaming_window": True},
+        )
+        t_end = float(self._times[-1])
+        try:
+            result = self._pipeline.process(
+                window,
+                n_persons=self.config.n_persons,
+                estimate_heart=self.config.estimate_heart,
+            )
+        except NotStationaryError:
+            return StreamingEstimate(t_end, None, rejected_reason="not-stationary")
+        except EstimationError:
+            return StreamingEstimate(t_end, None, rejected_reason="estimation-failed")
+        return StreamingEstimate(t_end, result)

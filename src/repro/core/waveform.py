@@ -1,0 +1,149 @@
+"""Respiration-waveform analytics beyond the mean rate.
+
+The paper stops at a single rate number, but the breathing-band signal the
+pipeline recovers is a full waveform, and clinically interesting features
+live in its *shape* and *timing*:
+
+* per-breath intervals and their variability (respiratory-rate variability
+  is a sleep-quality and stress marker, the breathing analogue of HRV);
+* the inspiration:expiration (I:E) time ratio, read from the rise/fall
+  segments between troughs and crests (prolonged expiration is an airway-
+  obstruction marker).
+
+All features are computed from peak/trough timing of the DWT breathing
+band, so they compose directly with :class:`~repro.core.pipeline.PhaseBeat`
+output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dsp.peaks import find_peaks
+from ..errors import ConfigurationError, EstimationError
+
+__all__ = ["BreathingWaveformStats", "analyze_waveform", "breath_intervals"]
+
+
+@dataclass(frozen=True)
+class BreathingWaveformStats:
+    """Per-breath timing statistics of a breathing-band signal.
+
+    Attributes:
+        n_breaths: Number of complete breaths analysed.
+        mean_rate_bpm: 60 / mean breath interval.
+        interval_std_s: Standard deviation of breath-to-breath intervals
+            (the respiratory analogue of HRV's SDNN).
+        interval_cv: Coefficient of variation of the intervals
+            (std / mean) — dimensionless variability.
+        ie_ratio: Median inspiration:expiration time ratio.  Computed from
+            trough→crest (inspiration) vs crest→trough (expiration) times;
+            healthy resting values sit around 0.5–0.8.
+        intervals_s: The individual breath intervals.
+    """
+
+    n_breaths: int
+    mean_rate_bpm: float
+    interval_std_s: float
+    interval_cv: float
+    ie_ratio: float
+    intervals_s: np.ndarray
+
+
+def breath_intervals(
+    signal: np.ndarray,
+    sample_rate_hz: float,
+    *,
+    window_samples: int = 51,
+    min_prominence_factor: float = 0.2,
+) -> np.ndarray:
+    """Breath-to-breath intervals (seconds) from crest timing.
+
+    Args:
+        signal: Breathing-band series (DWT α₄ reconstruction).
+        sample_rate_hz: Its sample rate.
+        window_samples: Peak-dominance window.
+        min_prominence_factor: Peak prominence floor as a fraction of the
+            signal's standard deviation.
+
+    Returns:
+        One interval per consecutive crest pair.
+
+    Raises:
+        EstimationError: If fewer than two crests are found.
+    """
+    signal = np.asarray(signal, dtype=float)
+    if sample_rate_hz <= 0:
+        raise ConfigurationError("sample rate must be positive")
+    prominence = min_prominence_factor * float(np.std(signal))
+    crests = find_peaks(signal, window=window_samples, min_prominence=prominence)
+    if crests.size < 2:
+        raise EstimationError(
+            f"need at least two breaths, found {crests.size} crest(s)"
+        )
+    return np.diff(crests) / sample_rate_hz
+
+
+def analyze_waveform(
+    signal: np.ndarray,
+    sample_rate_hz: float,
+    *,
+    window_samples: int = 51,
+    min_prominence_factor: float = 0.2,
+) -> BreathingWaveformStats:
+    """Full waveform analysis: rate, variability, and I:E ratio.
+
+    Args:
+        signal: Breathing-band series.
+        sample_rate_hz: Its sample rate.
+        window_samples: Peak/trough dominance window.
+        min_prominence_factor: Prominence floor (fraction of signal std).
+
+    Returns:
+        :class:`BreathingWaveformStats`.
+
+    Raises:
+        EstimationError: If too few breaths are present for the analysis.
+    """
+    signal = np.asarray(signal, dtype=float)
+    if sample_rate_hz <= 0:
+        raise ConfigurationError("sample rate must be positive")
+    prominence = min_prominence_factor * float(np.std(signal))
+    crests = find_peaks(signal, window=window_samples, min_prominence=prominence)
+    troughs = find_peaks(
+        -signal, window=window_samples, min_prominence=prominence
+    )
+    if crests.size < 2:
+        raise EstimationError(
+            f"need at least two breaths, found {crests.size} crest(s)"
+        )
+
+    intervals = np.diff(crests) / sample_rate_hz
+    mean_interval = float(np.mean(intervals))
+    interval_std = float(np.std(intervals))
+
+    # Inspiration = trough → next crest; expiration = crest → next trough.
+    inspirations = []
+    expirations = []
+    for crest in crests:
+        earlier = troughs[troughs < crest]
+        later = troughs[troughs > crest]
+        if earlier.size:
+            inspirations.append((crest - earlier[-1]) / sample_rate_hz)
+        if later.size:
+            expirations.append((later[0] - crest) / sample_rate_hz)
+    if inspirations and expirations:
+        ie_ratio = float(np.median(inspirations) / np.median(expirations))
+    else:
+        ie_ratio = float("nan")
+
+    return BreathingWaveformStats(
+        n_breaths=int(intervals.size),
+        mean_rate_bpm=60.0 / mean_interval,
+        interval_std_s=interval_std,
+        interval_cv=interval_std / mean_interval,
+        ie_ratio=ie_ratio,
+        intervals_s=intervals,
+    )

@@ -1,0 +1,34 @@
+"""Detrending helpers built on the Hampel trend extractor."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .hampel import hampel_filter, hampel_trend
+
+__all__ = ["remove_dc", "hampel_detrend", "hampel_denoise"]
+
+
+def remove_dc(x: np.ndarray, axis: int = 0) -> np.ndarray:
+    """Subtract the mean along ``axis`` (the crude DC-removal baseline)."""
+    x = np.asarray(x, dtype=float)
+    return x - x.mean(axis=axis, keepdims=True)
+
+
+def hampel_detrend(
+    x: np.ndarray, window: int = 2000, threshold: float = 0.01
+) -> np.ndarray:
+    """Remove the slow trend: ``x - hampel_trend(x, window)``.
+
+    The paper's DC-removal step (Section III-B2): the large-window Hampel
+    filter tracks the drifting baseline of the phase-difference series, and
+    subtracting it leaves the zero-mean vital-sign oscillation.
+    """
+    return np.asarray(x, dtype=float) - hampel_trend(x, window, threshold)
+
+
+def hampel_denoise(
+    x: np.ndarray, window: int = 50, threshold: float = 0.01
+) -> np.ndarray:
+    """Suppress high-frequency noise with the small-window Hampel filter."""
+    return hampel_filter(x, window, threshold)

@@ -1,0 +1,59 @@
+"""Downsampling for the calibration stage.
+
+PhaseBeat captures packets at 400 Hz and, after smoothing, keeps every 20th
+sample to obtain a 20 Hz series (Section III-B2).  Plain decimation is safe
+*only because* the Hampel denoising stage has already removed energy above
+the new Nyquist rate; :func:`decimate` therefore also offers an optional
+anti-alias guard for callers that decimate unsmoothed data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.signal import decimate as _scipy_decimate
+
+from ..errors import ConfigurationError
+
+__all__ = ["decimate", "downsampled_rate"]
+
+
+def decimate(
+    x: np.ndarray, factor: int, *, anti_alias: bool = False, axis: int = 0
+) -> np.ndarray:
+    """Keep every ``factor``-th sample of ``x`` along ``axis``.
+
+    Args:
+        x: Input array.
+        factor: Decimation factor (the paper uses 20).
+        anti_alias: When True, apply a zero-phase low-pass filter before
+            decimating (via :func:`scipy.signal.decimate`) instead of raw
+            slicing.  PhaseBeat's pipeline leaves this False because the
+            Hampel denoiser has already band-limited the series.
+        axis: Axis along which to decimate.
+
+    Returns:
+        The decimated array.
+    """
+    if factor < 1:
+        raise ConfigurationError(f"decimation factor must be >= 1, got {factor}")
+    x = np.asarray(x, dtype=float)
+    if factor == 1:
+        return x.copy()
+    if x.shape[axis] < factor:
+        raise ConfigurationError(
+            f"cannot decimate {x.shape[axis]} samples by a factor of {factor}"
+        )
+    if anti_alias:
+        return _scipy_decimate(x, factor, axis=axis, zero_phase=True)
+    slicer = [slice(None)] * x.ndim
+    slicer[axis] = slice(None, None, factor)
+    return x[tuple(slicer)].copy()
+
+
+def downsampled_rate(sample_rate: float, factor: int) -> float:
+    """Sample rate after decimating by ``factor`` (400 Hz / 20 → 20 Hz)."""
+    if factor < 1:
+        raise ConfigurationError(f"decimation factor must be >= 1, got {factor}")
+    if sample_rate <= 0:
+        raise ConfigurationError(f"sample rate must be positive, got {sample_rate}")
+    return sample_rate / factor

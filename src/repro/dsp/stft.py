@@ -1,0 +1,196 @@
+"""Short-time Fourier transform and time-frequency rate tracking.
+
+The paper (Section III-B4) argues for the DWT over the FFT and STFT because
+the DWT offers "optimal resolution both in the time and frequency domains".
+To make that comparison runnable, this module provides the STFT the paper
+alludes to: a windowed spectrogram, an STFT-based band filter (the direct
+competitor of the DWT band split), and a ridge tracker that follows the
+breathing rate over time — useful in its own right for monitoring rate
+*changes* during a session.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError, SignalTooShortError
+
+__all__ = ["Spectrogram", "stft_spectrogram", "stft_bandpass", "track_rate"]
+
+
+@dataclass(frozen=True)
+class Spectrogram:
+    """Magnitude spectrogram with its axes.
+
+    Attributes:
+        times_s: Center time of each frame.
+        freqs_hz: Frequency of each bin.
+        magnitude: ``(n_freqs, n_frames)`` magnitudes.
+    """
+
+    times_s: np.ndarray
+    freqs_hz: np.ndarray
+    magnitude: np.ndarray
+
+    @property
+    def n_frames(self) -> int:
+        """Number of analysis frames."""
+        return int(self.magnitude.shape[1])
+
+
+def _frame_signal(
+    x: np.ndarray, frame: int, hop: int
+) -> np.ndarray:
+    n_frames = 1 + (x.size - frame) // hop
+    idx = np.arange(frame)[None, :] + hop * np.arange(n_frames)[:, None]
+    return x[idx]
+
+
+def stft_spectrogram(
+    x: np.ndarray,
+    sample_rate_hz: float,
+    *,
+    window_s: float = 30.0,
+    hop_s: float = 5.0,
+    nfft: int | None = None,
+) -> Spectrogram:
+    """Hann-windowed magnitude spectrogram.
+
+    Args:
+        x: 1-D series (e.g. calibrated phase difference at 20 Hz).
+        sample_rate_hz: Its sample rate.
+        window_s: Analysis window length in seconds — the STFT's built-in
+            compromise: long windows resolve close rates but smear rate
+            changes; short windows do the opposite.  (The DWT sidesteps the
+            choice with its dyadic multi-scale split, which is the paper's
+            argument for it.)
+        hop_s: Frame hop in seconds.
+        nfft: FFT length per frame (zero-padded); default = frame length.
+
+    Returns:
+        A :class:`Spectrogram`.
+    """
+    x = np.asarray(x, dtype=float)
+    if x.ndim != 1:
+        raise ConfigurationError(f"expected a 1-D series, got {x.shape}")
+    if sample_rate_hz <= 0:
+        raise ConfigurationError("sample rate must be positive")
+    if window_s <= 0 or hop_s <= 0:
+        raise ConfigurationError("window and hop must be positive")
+    frame = int(round(window_s * sample_rate_hz))
+    hop = max(1, int(round(hop_s * sample_rate_hz)))
+    if x.size < frame:
+        raise SignalTooShortError(frame, x.size, "STFT input")
+    n = int(nfft) if nfft is not None else frame
+    if n < frame:
+        raise ConfigurationError(f"nfft ({n}) shorter than the frame ({frame})")
+
+    frames = _frame_signal(x, frame, hop)
+    frames = frames - frames.mean(axis=1, keepdims=True)
+    window = np.hanning(frame)
+    spectrum = np.fft.rfft(frames * window[None, :], n=n, axis=1)
+    times = (np.arange(frames.shape[0]) * hop + frame / 2.0) / sample_rate_hz
+    freqs = np.fft.rfftfreq(n, d=1.0 / sample_rate_hz)
+    return Spectrogram(
+        times_s=times, freqs_hz=freqs, magnitude=np.abs(spectrum).T
+    )
+
+
+def stft_bandpass(
+    x: np.ndarray,
+    sample_rate_hz: float,
+    band_hz: tuple[float, float],
+    *,
+    window_s: float = 12.8,
+) -> np.ndarray:
+    """Band-limit a series by zeroing STFT bins outside ``band_hz``.
+
+    Overlap-add analysis/synthesis with a Hann window at 50% overlap (COLA
+    compliant), used as the STFT counterpart of the DWT band split in the
+    DWT-vs-STFT ablation.
+
+    Returns:
+        The band-limited series, same length as ``x``.
+    """
+    x = np.asarray(x, dtype=float)
+    if x.ndim != 1:
+        raise ConfigurationError(f"expected a 1-D series, got {x.shape}")
+    lo, hi = band_hz
+    if lo < 0 or hi <= lo:
+        raise ConfigurationError(f"band must satisfy 0 <= lo < hi, got {band_hz}")
+    frame = int(round(window_s * sample_rate_hz))
+    frame += frame % 2  # even length for clean 50% overlap
+    hop = frame // 2
+    if x.size < frame:
+        raise SignalTooShortError(frame, x.size, "STFT band-pass input")
+
+    # Pad so overlap-add covers the edges, then trim.
+    padded = np.concatenate([np.zeros(hop), x, np.zeros(frame)])
+    window = np.hanning(frame + 1)[:-1]  # periodic Hann: COLA at 50% overlap
+    freqs = np.fft.rfftfreq(frame, d=1.0 / sample_rate_hz)
+    keep = (freqs >= lo) & (freqs <= hi)
+
+    out = np.zeros_like(padded)
+    for start in range(0, padded.size - frame + 1, hop):
+        segment = padded[start : start + frame] * window
+        spectrum = np.fft.rfft(segment)
+        spectrum[~keep] = 0.0
+        out[start : start + frame] += np.fft.irfft(spectrum, n=frame) * window
+    # Hann² overlap-add at 50% hop sums to a constant 1.5 gain... actually
+    # sum of hann² at 50% overlap equals 1.0 for the periodic window scaled
+    # by 2/... normalize empirically by the window compensation:
+    compensation = np.zeros_like(padded)
+    for start in range(0, padded.size - frame + 1, hop):
+        compensation[start : start + frame] += window**2
+    nonzero = compensation > 1e-9
+    out[nonzero] /= compensation[nonzero]
+    return out[hop : hop + x.size]
+
+
+def track_rate(
+    x: np.ndarray,
+    sample_rate_hz: float,
+    band_hz: tuple[float, float],
+    *,
+    window_s: float = 30.0,
+    hop_s: float = 5.0,
+    max_step_hz: float | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Follow the dominant in-band frequency over time (ridge tracking).
+
+    Per frame, the strongest spectral peak inside ``band_hz`` is taken;
+    with ``max_step_hz`` set, the ridge is constrained to move at most that
+    far between consecutive frames (a Viterbi-lite greedy continuity rule),
+    which stops single noisy frames from teleporting the estimate.
+
+    Returns:
+        ``(times_s, rates_hz)``, one entry per frame.
+    """
+    spec = stft_spectrogram(
+        x, sample_rate_hz, window_s=window_s, hop_s=hop_s
+    )
+    lo, hi = band_hz
+    if lo < 0 or hi <= lo:
+        raise ConfigurationError(f"band must satisfy 0 <= lo < hi, got {band_hz}")
+    in_band = (spec.freqs_hz >= lo) & (spec.freqs_hz <= hi)
+    if not in_band.any():
+        raise ConfigurationError(f"no STFT bins inside the band {band_hz}")
+    band_freqs = spec.freqs_hz[in_band]
+    band_mag = spec.magnitude[in_band, :]
+
+    rates = np.empty(spec.n_frames)
+    previous: float | None = None
+    for frame in range(spec.n_frames):
+        column = band_mag[:, frame]
+        if previous is not None and max_step_hz is not None:
+            reachable = np.abs(band_freqs - previous) <= max_step_hz
+            if reachable.any():
+                masked = np.where(reachable, column, -np.inf)
+                rates[frame] = band_freqs[int(np.argmax(masked))]
+                previous = rates[frame]
+                continue
+        rates[frame] = band_freqs[int(np.argmax(column))]
+        previous = rates[frame]
+    return spec.times_s, rates

@@ -1,0 +1,57 @@
+"""Sliding-window helpers shared by the filtering and detection stages."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+__all__ = ["sliding_view", "segment_indices", "centered_window_bounds"]
+
+
+def sliding_view(x: np.ndarray, window: int) -> np.ndarray:
+    """Read-only view of all length-``window`` slides of a 1-D array.
+
+    Thin wrapper over :func:`numpy.lib.stride_tricks.sliding_window_view`
+    with validation, so callers get a clear error instead of a numpy
+    broadcasting failure.
+    """
+    x = np.asarray(x)
+    if x.ndim != 1:
+        raise ValueError(f"sliding_view expects a 1-D array, got shape {x.shape}")
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    if window > x.size:
+        raise ValueError(
+            f"window ({window}) longer than the signal ({x.size} samples)"
+        )
+    return np.lib.stride_tricks.sliding_window_view(x, window)
+
+
+def segment_indices(n: int, window: int, hop: int) -> Iterator[tuple[int, int]]:
+    """Yield ``(start, stop)`` bounds of hopping windows over ``n`` samples.
+
+    Windows are full-length only; a trailing partial window is dropped, which
+    matches how the environment detector consumes packet streams.
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    if hop < 1:
+        raise ValueError(f"hop must be >= 1, got {hop}")
+    start = 0
+    while start + window <= n:
+        yield start, start + window
+        start += hop
+
+
+def centered_window_bounds(center: int, half_width: int, n: int) -> tuple[int, int]:
+    """Bounds of a window centered at ``center``, clipped to ``[0, n)``.
+
+    Used by the Hampel filter near the signal edges, where the window is
+    truncated rather than padded so edge medians reflect only real samples.
+    """
+    if n <= 0:
+        raise ValueError("empty signal has no windows")
+    lo = max(0, center - half_width)
+    hi = min(n, center + half_width + 1)
+    return lo, hi

@@ -1,0 +1,67 @@
+"""Exception hierarchy for the PhaseBeat reproduction.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one base class at an API boundary.  Subclasses are split by
+the subsystem that detects the problem, not by where the bad value came from:
+a malformed trace raises :class:`TraceFormatError` whether it was built by the
+simulator or loaded from disk.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A configuration object or parameter is invalid.
+
+    Raised eagerly at construction time (dataclass ``__post_init__``) so a bad
+    parameter fails where it is written, not deep inside a pipeline run.
+    """
+
+
+class SignalTooShortError(ReproError, ValueError):
+    """An input series is too short for the requested operation.
+
+    DWT decomposition, peak detection, and root-MUSIC all require a minimum
+    number of samples; this error reports the required and actual lengths.
+    """
+
+    def __init__(self, required: int, actual: int, what: str = "signal"):
+        self.required = int(required)
+        self.actual = int(actual)
+        self.what = what
+        super().__init__(
+            f"{what} too short: needs at least {required} samples, got {actual}"
+        )
+
+
+class EstimationError(ReproError, RuntimeError):
+    """An estimator could not produce a rate from the given data.
+
+    For example peak detection found fewer than two peaks, or root-MUSIC
+    found no roots inside the search band.
+    """
+
+
+class NotStationaryError(ReproError, RuntimeError):
+    """Environment detection rejected the segment as non-stationary.
+
+    The pipeline raises this when asked to estimate vital signs from a window
+    whose V statistic (paper Eq. 8) falls outside the stationary band, e.g.
+    because the person is walking or the room is empty.
+    """
+
+    def __init__(self, v_statistic: float, state: str):
+        self.v_statistic = float(v_statistic)
+        self.state = state
+        super().__init__(
+            f"segment is not stationary (V={v_statistic:.4g}, state={state!r}); "
+            "vital signs cannot be estimated"
+        )
+
+
+class TraceFormatError(ReproError, ValueError):
+    """A CSI trace container or file violates the expected layout."""

@@ -1,0 +1,33 @@
+"""Evaluation harness: metrics, trial runner, and per-figure experiments."""
+
+from .harness import (
+    BreathingTrialResults,
+    TrialOutcome,
+    default_subject,
+    run_breathing_trials,
+)
+from .metrics import (
+    absolute_error_bpm,
+    accuracy,
+    empirical_cdf,
+    match_rates,
+    multi_person_errors,
+    percentile_error,
+)
+from .reporting import format_cdf_summary, format_series, format_table
+
+__all__ = [
+    "BreathingTrialResults",
+    "TrialOutcome",
+    "absolute_error_bpm",
+    "accuracy",
+    "default_subject",
+    "empirical_cdf",
+    "format_cdf_summary",
+    "format_series",
+    "format_table",
+    "match_rates",
+    "multi_person_errors",
+    "percentile_error",
+    "run_breathing_trials",
+]

@@ -1,0 +1,115 @@
+"""Error metrics used in the paper's evaluation section.
+
+The paper reports three kinds of numbers: absolute estimation error in bpm
+(Figs. 11, 12, 15, 16 — median, percentile, and maximum read off CDFs),
+*accuracy* defined relative to the true rate (Figs. 13, 14), and CDF curves
+themselves.  For multi-person experiments, estimated and true rate sets are
+matched greedily by closeness before computing per-person errors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "absolute_error_bpm",
+    "accuracy",
+    "match_rates",
+    "multi_person_errors",
+    "empirical_cdf",
+    "percentile_error",
+]
+
+
+def absolute_error_bpm(estimate_bpm: float, truth_bpm: float) -> float:
+    """|estimate − truth| in beats (breaths) per minute."""
+    return float(abs(estimate_bpm - truth_bpm))
+
+
+def accuracy(estimate_bpm: float, truth_bpm: float) -> float:
+    """The paper's accuracy: ``1 − |error| / truth`` (clipped at 0).
+
+    An exact estimate scores 1.0; being wrong by the whole true rate (or
+    more) scores 0.
+    """
+    if truth_bpm <= 0:
+        raise ConfigurationError(f"truth must be positive, got {truth_bpm}")
+    return float(max(0.0, 1.0 - abs(estimate_bpm - truth_bpm) / truth_bpm))
+
+
+def match_rates(estimates: np.ndarray, truths: np.ndarray) -> list[tuple[float, float]]:
+    """Greedy closest-pair matching of estimated to true rates.
+
+    Each truth is matched to the nearest unused estimate (smallest gaps
+    first).  Unmatched truths — an estimator that returned fewer rates than
+    persons — are paired with ``nan`` so the caller can score the miss.
+
+    Returns:
+        List of ``(estimate, truth)`` pairs, one per truth; missing
+        estimates appear as ``nan``.
+    """
+    estimates = np.sort(np.asarray(estimates, dtype=float))
+    truths = np.sort(np.asarray(truths, dtype=float))
+    pairs: list[tuple[float, float]] = []
+    gaps = [
+        (abs(e - t), i, j)
+        for i, e in enumerate(estimates)
+        for j, t in enumerate(truths)
+    ]
+    gaps.sort()
+    used_e: set[int] = set()
+    used_t: set[int] = set()
+    matched: dict[int, float] = {}
+    for _, i, j in gaps:
+        if i in used_e or j in used_t:
+            continue
+        used_e.add(i)
+        used_t.add(j)
+        matched[j] = float(estimates[i])
+    for j, t in enumerate(truths):
+        pairs.append((matched.get(j, float("nan")), float(t)))
+    return pairs
+
+
+def multi_person_errors(
+    estimates: np.ndarray, truths: np.ndarray, *, miss_penalty_bpm: float | None = None
+) -> np.ndarray:
+    """Per-person absolute errors after closest-pair matching.
+
+    Args:
+        estimates: Estimated rates (bpm), any length.
+        truths: True rates (bpm), one per person.
+        miss_penalty_bpm: Error charged for an unmatched truth; ``None``
+            charges the truth itself (accuracy 0 under the paper's metric).
+
+    Returns:
+        One error per truth.
+    """
+    errors = []
+    for estimate, truth in match_rates(estimates, truths):
+        if np.isnan(estimate):
+            errors.append(truth if miss_penalty_bpm is None else miss_penalty_bpm)
+        else:
+            errors.append(abs(estimate - truth))
+    return np.asarray(errors, dtype=float)
+
+
+def empirical_cdf(errors: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF points ``(sorted errors, cumulative probability)``."""
+    errors = np.sort(np.asarray(errors, dtype=float))
+    if errors.size == 0:
+        raise ConfigurationError("cannot build a CDF from zero samples")
+    prob = np.arange(1, errors.size + 1) / errors.size
+    return errors, prob
+
+
+def percentile_error(errors: np.ndarray, q: float) -> float:
+    """The q-th percentile of the error sample (q in [0, 100])."""
+    errors = np.asarray(errors, dtype=float)
+    if errors.size == 0:
+        raise ConfigurationError("cannot take a percentile of zero samples")
+    if not 0 <= q <= 100:
+        raise ConfigurationError(f"percentile must be in [0, 100], got {q}")
+    return float(np.percentile(errors, q))

@@ -1,0 +1,63 @@
+"""ASCII reporting: print experiment results as the paper's rows/series."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "format_series", "format_cdf_summary"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], *, title: str = ""
+) -> str:
+    """Render a fixed-width ASCII table.
+
+    Floats are shown with 4 significant digits; everything else via str().
+    """
+    def _cell(value: object) -> str:
+        if isinstance(value, float) or isinstance(value, np.floating):
+            return f"{value:.4g}"
+        return str(value)
+
+    text_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in text_rows)) if text_rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x: Sequence[float],
+    y: Sequence[float],
+    *,
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str = "",
+) -> str:
+    """Render an (x, y) series as two table columns."""
+    return format_table(
+        [x_label, y_label], list(zip(x, y)), title=title
+    )
+
+
+def format_cdf_summary(label: str, summary: dict) -> str:
+    """One-line CDF digest: median / p90 / max / fraction under 0.5 bpm."""
+    parts = [f"{label}: median={summary['median']:.3g} bpm"]
+    if "p90" in summary:
+        parts.append(f"p90={summary['p90']:.3g}")
+    if "p80" in summary:
+        parts.append(f"p80={summary['p80']:.3g}")
+    parts.append(f"max={summary['max']:.3g}")
+    if "frac_under_half_bpm" in summary:
+        parts.append(f"P(err<=0.5)={summary['frac_under_half_bpm']:.2f}")
+    return "  ".join(parts)

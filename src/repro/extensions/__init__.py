@@ -1,0 +1,26 @@
+"""Extensions beyond the PhaseBeat paper.
+
+* :mod:`repro.extensions.tensor` / :mod:`repro.extensions.tensorbeat` —
+  the authors' follow-up direction (TensorBeat, paper ref. [23]):
+  multi-person breathing via Hankel-tensor CP decomposition.
+* :mod:`repro.extensions.csi_ratio` — the FarSense-style complex CSI
+  ratio: the same error cancellation as the phase difference, plus
+  null-point robustness from the complex-plane principal axis.
+"""
+
+from .csi_ratio import CsiRatioConfig, CsiRatioEstimator, csi_ratio_series
+from .tensor import CPDecomposition, cp_als, khatri_rao, unfold
+from .tensorbeat import TensorBeatConfig, TensorBeatEstimator, hankel_tensor
+
+__all__ = [
+    "CPDecomposition",
+    "CsiRatioConfig",
+    "CsiRatioEstimator",
+    "csi_ratio_series",
+    "TensorBeatConfig",
+    "TensorBeatEstimator",
+    "cp_als",
+    "hankel_tensor",
+    "khatri_rao",
+    "unfold",
+]

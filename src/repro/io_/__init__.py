@@ -1,0 +1,6 @@
+"""Trace containers and dataset generation utilities."""
+
+from .dataset import DatasetEntry, TraceDataset, generate_dataset
+from .trace import CSITrace
+
+__all__ = ["CSITrace", "DatasetEntry", "TraceDataset", "generate_dataset"]

@@ -1,0 +1,201 @@
+"""Labelled trace datasets: generate, store, and reload experiment corpora.
+
+The paper's evaluation ran four subjects over three months; the analogue
+here is a reproducible corpus of simulated captures.  A dataset is a
+directory of ``.npz`` traces plus an ``index.json`` listing each trace's
+file, scenario, seed, and ground truth — enough to rerun any experiment
+without re-simulating, or to share a corpus between machines.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterator
+
+import numpy as np
+
+from ..errors import TraceFormatError
+from ..rf.receiver import capture_trace
+from ..rf.scene import Scenario
+from .trace import CSITrace
+
+__all__ = ["DatasetEntry", "TraceDataset", "generate_dataset"]
+
+_INDEX_NAME = "index.json"
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class DatasetEntry:
+    """One trace of a dataset.
+
+    Attributes:
+        filename: Trace file name inside the dataset directory.
+        scenario: Scenario label.
+        seed: The capture seed.
+        breathing_rates_bpm: Ground-truth breathing rates.
+        heart_rates_bpm: Ground-truth heart rates (``None`` entries allowed).
+        duration_s: Capture length.
+        sample_rate_hz: Packet rate.
+    """
+
+    filename: str
+    scenario: str
+    seed: int
+    breathing_rates_bpm: tuple[float, ...]
+    heart_rates_bpm: tuple[float | None, ...]
+    duration_s: float
+    sample_rate_hz: float
+
+
+class TraceDataset:
+    """A directory of labelled CSI traces with a JSON index.
+
+    Args:
+        root: Dataset directory (created on first write).
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self._entries: list[DatasetEntry] = []
+        index = self.root / _INDEX_NAME
+        if index.exists():
+            self._load_index()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[DatasetEntry]:
+        return iter(self._entries)
+
+    @property
+    def entries(self) -> tuple[DatasetEntry, ...]:
+        """All index entries, in insertion order."""
+        return tuple(self._entries)
+
+    def add_trace(self, trace: CSITrace, *, name: str | None = None) -> DatasetEntry:
+        """Store one trace and append it to the index.
+
+        Args:
+            trace: The capture; ground truth is read from its metadata.
+            name: File stem; defaults to ``trace_<n>``.
+
+        Returns:
+            The new index entry.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        stem = name if name is not None else f"trace_{len(self._entries):04d}"
+        path = trace.save(self.root / f"{stem}.npz")
+        entry = DatasetEntry(
+            filename=path.name,
+            scenario=str(trace.meta.get("scenario", "unknown")),
+            seed=int(trace.meta.get("seed", -1)),
+            breathing_rates_bpm=tuple(
+                float(v) for v in trace.meta.get("breathing_rates_bpm", [])
+            ),
+            heart_rates_bpm=tuple(
+                None if v is None else float(v)
+                for v in trace.meta.get("heart_rates_bpm", [])
+            ),
+            duration_s=float(trace.duration_s),
+            sample_rate_hz=float(trace.sample_rate_hz),
+        )
+        self._entries.append(entry)
+        self._write_index()
+        return entry
+
+    def load_trace(self, entry: DatasetEntry | int) -> CSITrace:
+        """Load the trace behind an entry (or an index position)."""
+        if isinstance(entry, int):
+            entry = self._entries[entry]
+        return CSITrace.load(self.root / entry.filename)
+
+    def filter(self, predicate: Callable[[DatasetEntry], bool]) -> list[DatasetEntry]:
+        """Entries satisfying ``predicate`` (e.g. by scenario name)."""
+        return [e for e in self._entries if predicate(e)]
+
+    def _write_index(self) -> None:
+        payload = {
+            "format_version": _FORMAT_VERSION,
+            "entries": [
+                {
+                    "filename": e.filename,
+                    "scenario": e.scenario,
+                    "seed": e.seed,
+                    "breathing_rates_bpm": list(e.breathing_rates_bpm),
+                    "heart_rates_bpm": list(e.heart_rates_bpm),
+                    "duration_s": e.duration_s,
+                    "sample_rate_hz": e.sample_rate_hz,
+                }
+                for e in self._entries
+            ],
+        }
+        (self.root / _INDEX_NAME).write_text(json.dumps(payload, indent=2))
+
+    def _load_index(self) -> None:
+        try:
+            payload = json.loads((self.root / _INDEX_NAME).read_text())
+            version = payload["format_version"]
+            if version != _FORMAT_VERSION:
+                raise TraceFormatError(
+                    f"unsupported dataset index version {version}"
+                )
+            self._entries = [
+                DatasetEntry(
+                    filename=item["filename"],
+                    scenario=item["scenario"],
+                    seed=int(item["seed"]),
+                    breathing_rates_bpm=tuple(item["breathing_rates_bpm"]),
+                    heart_rates_bpm=tuple(
+                        None if v is None else float(v)
+                        for v in item["heart_rates_bpm"]
+                    ),
+                    duration_s=float(item["duration_s"]),
+                    sample_rate_hz=float(item["sample_rate_hz"]),
+                )
+                for item in payload["entries"]
+            ]
+        except (KeyError, json.JSONDecodeError) as exc:
+            raise TraceFormatError(
+                f"malformed dataset index in {self.root}: {exc}"
+            ) from exc
+
+
+def generate_dataset(
+    root: str | Path,
+    scenario_factory: Callable[[int, np.random.Generator], Scenario],
+    n_traces: int,
+    *,
+    duration_s: float = 30.0,
+    sample_rate_hz: float = 400.0,
+    base_seed: int = 0,
+) -> TraceDataset:
+    """Simulate and store a labelled corpus.
+
+    Args:
+        root: Output directory.
+        scenario_factory: Maps ``(index, rng)`` to a scenario; the factory
+            controls subjects, clutter, and geometry per trace.
+        n_traces: Corpus size.
+        duration_s: Capture length per trace.
+        sample_rate_hz: Packet rate.
+        base_seed: Trace k uses seed ``base_seed + k``.
+
+    Returns:
+        The populated :class:`TraceDataset`.
+    """
+    dataset = TraceDataset(root)
+    for k in range(n_traces):
+        seed = base_seed + k
+        rng = np.random.default_rng(seed)
+        scenario = scenario_factory(k, rng)
+        trace = capture_trace(
+            scenario,
+            duration_s=duration_s,
+            sample_rate_hz=sample_rate_hz,
+            seed=seed,
+        )
+        dataset.add_trace(trace)
+    return dataset

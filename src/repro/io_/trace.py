@@ -1,0 +1,161 @@
+"""CSI trace container and on-disk format.
+
+A :class:`CSITrace` is the interchange object of the whole library: the RF
+simulator produces one, the PhaseBeat pipeline consumes one, and traces can
+round-trip through ``.npz`` files so experiments are repeatable without
+re-simulating.  The layout mirrors what the Intel 5300 CSI tool delivers:
+complex CSI indexed ``[packet, rx_antenna, subcarrier]`` plus packet
+timestamps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+import json
+
+import numpy as np
+
+from ..errors import TraceFormatError
+
+__all__ = ["CSITrace"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class CSITrace:
+    """A captured (or simulated) CSI stream.
+
+    Attributes:
+        csi: Complex CSI, shape ``(n_packets, n_rx, n_subcarriers)``.
+        timestamps_s: Packet capture times, shape ``(n_packets,)``,
+            monotonically non-decreasing.
+        sample_rate_hz: Nominal packet rate (the paper injects at 400 Hz).
+        subcarrier_indices: The m_i index of each reported subcarrier.
+        meta: Free-form JSON-serializable metadata — scenario name, ground
+            truth rates, seeds.  Ground-truth keys used by the evaluation
+            harness: ``breathing_rates_bpm`` (list) and ``heart_rates_bpm``.
+    """
+
+    csi: np.ndarray
+    timestamps_s: np.ndarray
+    sample_rate_hz: float
+    subcarrier_indices: np.ndarray
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.csi = np.asarray(self.csi)
+        self.timestamps_s = np.asarray(self.timestamps_s, dtype=float)
+        self.subcarrier_indices = np.asarray(self.subcarrier_indices, dtype=int)
+        if self.csi.ndim != 3:
+            raise TraceFormatError(
+                f"CSI must be (packets, antennas, subcarriers), got {self.csi.shape}"
+            )
+        if not np.iscomplexobj(self.csi):
+            raise TraceFormatError("CSI must be complex-valued")
+        if not np.all(np.isfinite(self.csi)):
+            raise TraceFormatError(
+                "CSI contains non-finite values (NaN/inf); a real capture "
+                "never produces these — reject the packet source instead"
+            )
+        if self.timestamps_s.shape != (self.csi.shape[0],):
+            raise TraceFormatError(
+                f"timestamps shape {self.timestamps_s.shape} does not match "
+                f"{self.csi.shape[0]} packets"
+            )
+        if self.csi.shape[0] > 1 and np.any(np.diff(self.timestamps_s) < 0):
+            raise TraceFormatError("timestamps must be non-decreasing")
+        if self.subcarrier_indices.shape != (self.csi.shape[2],):
+            raise TraceFormatError(
+                f"{self.subcarrier_indices.size} subcarrier indices for "
+                f"{self.csi.shape[2]} subcarriers"
+            )
+        if self.sample_rate_hz <= 0:
+            raise TraceFormatError(
+                f"sample rate must be positive, got {self.sample_rate_hz}"
+            )
+
+    @property
+    def n_packets(self) -> int:
+        """Number of captured packets."""
+        return int(self.csi.shape[0])
+
+    @property
+    def n_rx(self) -> int:
+        """Number of receive antennas."""
+        return int(self.csi.shape[1])
+
+    @property
+    def n_subcarriers(self) -> int:
+        """Number of reported subcarriers (30 for the Intel 5300)."""
+        return int(self.csi.shape[2])
+
+    @property
+    def duration_s(self) -> float:
+        """Capture duration in seconds."""
+        if self.n_packets < 2:
+            return 0.0
+        return float(self.timestamps_s[-1] - self.timestamps_s[0])
+
+    def amplitudes(self) -> np.ndarray:
+        """|CSI| per packet/antenna/subcarrier (the baseline method's input)."""
+        return np.abs(self.csi)
+
+    def phases(self) -> np.ndarray:
+        """Raw measured phase ∠CSI in radians (wrapped to (−π, π])."""
+        return np.angle(self.csi)
+
+    def slice_packets(self, start: int, stop: int) -> "CSITrace":
+        """A sub-trace covering packets ``[start, stop)`` (metadata shared)."""
+        if not 0 <= start < stop <= self.n_packets:
+            raise TraceFormatError(
+                f"invalid packet slice [{start}, {stop}) of {self.n_packets}"
+            )
+        return CSITrace(
+            csi=self.csi[start:stop],
+            timestamps_s=self.timestamps_s[start:stop],
+            sample_rate_hz=self.sample_rate_hz,
+            subcarrier_indices=self.subcarrier_indices,
+            meta=dict(self.meta),
+        )
+
+    def save(self, path: str | Path) -> Path:
+        """Write the trace to an ``.npz`` file; returns the resolved path."""
+        path = Path(path)
+        if path.suffix != ".npz":
+            path = path.with_suffix(".npz")
+        np.savez_compressed(
+            path,
+            format_version=np.int64(_FORMAT_VERSION),
+            csi=self.csi,
+            timestamps_s=self.timestamps_s,
+            sample_rate_hz=np.float64(self.sample_rate_hz),
+            subcarrier_indices=self.subcarrier_indices,
+            meta_json=np.bytes_(json.dumps(self.meta).encode()),
+        )
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "CSITrace":
+        """Load a trace previously written by :meth:`save`."""
+        path = Path(path)
+        try:
+            with np.load(path) as data:
+                version = int(data["format_version"])
+                if version != _FORMAT_VERSION:
+                    raise TraceFormatError(
+                        f"unsupported trace format version {version} "
+                        f"(expected {_FORMAT_VERSION})"
+                    )
+                meta = json.loads(bytes(data["meta_json"]).decode())
+                return cls(
+                    csi=data["csi"],
+                    timestamps_s=data["timestamps_s"],
+                    sample_rate_hz=float(data["sample_rate_hz"]),
+                    subcarrier_indices=data["subcarrier_indices"],
+                    meta=meta,
+                )
+        except KeyError as exc:
+            raise TraceFormatError(f"{path} is missing trace field {exc}") from exc

@@ -1,0 +1,43 @@
+"""Physiological signal models: the paper's human subjects, simulated.
+
+Breathing and heartbeat chest-displacement waveforms, person/cohort
+construction, large-scale motion scripts for environment detection, and
+reference-sensor (ground truth) models.
+"""
+
+from .breathing import (
+    BREATHING_BAND_HZ,
+    ApneicBreathing,
+    BreathingModel,
+    RealisticBreathing,
+    SinusoidalBreathing,
+)
+from .ground_truth import PulseOximeter, ReferenceSensor, RespirationBelt
+from .heartbeat import (
+    HEART_BAND_HZ,
+    HeartbeatModel,
+    PulseHeartbeat,
+    SinusoidalHeartbeat,
+)
+from .motion import ActivityScript, ActivityState, MotionEvent
+from .person import Person, random_cohort
+
+__all__ = [
+    "ActivityScript",
+    "ApneicBreathing",
+    "ActivityState",
+    "BREATHING_BAND_HZ",
+    "BreathingModel",
+    "HEART_BAND_HZ",
+    "HeartbeatModel",
+    "MotionEvent",
+    "Person",
+    "PulseHeartbeat",
+    "PulseOximeter",
+    "RealisticBreathing",
+    "ReferenceSensor",
+    "RespirationBelt",
+    "SinusoidalBreathing",
+    "SinusoidalHeartbeat",
+    "random_cohort",
+]

@@ -1,0 +1,223 @@
+"""Breathing-induced chest displacement models.
+
+Lemma 1 of the paper models the chest as rising and falling sinusoidally:
+``d(t) = D + A·cos(2π f_b t)``.  Real respiration is close to but not exactly
+that — exhalation is longer than inhalation, the rate wanders slowly, and the
+waveform carries harmonics (which matter because breathing harmonics land in
+the heart band and are the main interference the heart estimator fights,
+Section III-D1).  Both the idealized and the realistic model are provided;
+every experiment can choose its fidelity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "BreathingModel",
+    "SinusoidalBreathing",
+    "RealisticBreathing",
+    "ApneicBreathing",
+]
+
+#: Adult resting breathing rates span roughly 10–37 breaths/min, i.e. the
+#: paper's 0.17–0.62 Hz breathing band.
+BREATHING_BAND_HZ = (0.17, 0.62)
+
+
+class BreathingModel:
+    """Interface: breathing chest displacement as a function of time.
+
+    Subclasses implement :meth:`displacement`; all displacements are in
+    meters, zero-mean over a full cycle.
+    """
+
+    #: Nominal breathing frequency in Hz (ground truth for experiments).
+    frequency_hz: float
+
+    def displacement(self, t: np.ndarray) -> np.ndarray:
+        """Chest-surface displacement (m) at each time in ``t`` (seconds)."""
+        raise NotImplementedError
+
+    @property
+    def rate_bpm(self) -> float:
+        """Ground-truth breathing rate in breaths per minute."""
+        return 60.0 * self.frequency_hz
+
+
+def _check_frequency(frequency_hz: float) -> None:
+    if not 0.05 <= frequency_hz <= 1.2:
+        raise ConfigurationError(
+            f"breathing frequency {frequency_hz} Hz is outside the plausible "
+            "human range [0.05, 1.2]"
+        )
+
+
+@dataclass
+class SinusoidalBreathing(BreathingModel):
+    """The paper's idealized model: a pure cosine at ``f_b``.
+
+    Attributes:
+        frequency_hz: Breathing frequency f_b in Hz.
+        amplitude_m: Peak chest displacement (typically ~5 mm).
+        phase: Initial phase in radians.
+    """
+
+    frequency_hz: float = 0.25
+    amplitude_m: float = 5.0e-3
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_frequency(self.frequency_hz)
+        if self.amplitude_m <= 0:
+            raise ConfigurationError(
+                f"breathing amplitude must be positive, got {self.amplitude_m}"
+            )
+
+    def displacement(self, t: np.ndarray) -> np.ndarray:
+        t = np.asarray(t, dtype=float)
+        return self.amplitude_m * np.cos(
+            2.0 * np.pi * self.frequency_hz * t + self.phase
+        )
+
+
+@dataclass
+class RealisticBreathing(BreathingModel):
+    """Breathing with inhale/exhale asymmetry, harmonics, and rate wander.
+
+    The waveform is built from the fundamental plus a few decaying harmonics
+    (asymmetric inhale/exhale shapes are exactly what creates harmonics), and
+    the instantaneous frequency performs a slow bounded random walk around
+    ``frequency_hz`` to model natural breathing-rate variability.
+
+    Attributes:
+        frequency_hz: Mean breathing frequency in Hz.
+        amplitude_m: Peak displacement of the fundamental.
+        harmonic_levels: Relative amplitude of harmonics 2, 3, … of the
+            fundamental.
+        rate_jitter: Standard deviation of the relative frequency wander
+            (0.02 → ±2% slow drift).
+        phase: Initial phase in radians.
+        seed: Seed for the frequency-wander realization, so traces are
+            reproducible.
+    """
+
+    frequency_hz: float = 0.25
+    amplitude_m: float = 5.0e-3
+    harmonic_levels: tuple[float, ...] = (0.25, 0.08)
+    rate_jitter: float = 0.01
+    phase: float = 0.0
+    seed: int = 0
+    _wander_cache: dict = field(default_factory=dict, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        _check_frequency(self.frequency_hz)
+        if self.amplitude_m <= 0:
+            raise ConfigurationError(
+                f"breathing amplitude must be positive, got {self.amplitude_m}"
+            )
+        if any(level < 0 for level in self.harmonic_levels):
+            raise ConfigurationError("harmonic levels must be non-negative")
+        if not 0 <= self.rate_jitter < 0.3:
+            raise ConfigurationError(
+                f"rate_jitter must be in [0, 0.3), got {self.rate_jitter}"
+            )
+
+    def _instantaneous_phase(self, t: np.ndarray) -> np.ndarray:
+        """Integrated instantaneous frequency (radians).
+
+        The wander is a smoothed random walk, regenerated deterministically
+        from the seed for any time grid.
+        """
+        t = np.asarray(t, dtype=float)
+        if self.rate_jitter == 0.0 or t.size < 2:
+            return 2.0 * np.pi * self.frequency_hz * t + self.phase
+        rng = np.random.default_rng(self.seed)
+        # One wander sample per second of signal, interpolated to the grid;
+        # an AR(1) chain keeps the drift slow and bounded.
+        duration = float(t[-1] - t[0]) if t[-1] > t[0] else 1.0
+        n_knots = max(4, int(np.ceil(duration)) + 2)
+        knots = np.empty(n_knots)
+        knots[0] = 0.0
+        rho = 0.95
+        innovation = rng.normal(scale=self.rate_jitter * np.sqrt(1 - rho**2), size=n_knots - 1)
+        for i in range(1, n_knots):
+            knots[i] = rho * knots[i - 1] + innovation[i - 1]
+        knot_times = t[0] + np.linspace(0.0, duration, n_knots)
+        relative = np.interp(t, knot_times, knots)
+        freq = self.frequency_hz * (1.0 + relative)
+        dt = np.diff(t, prepend=t[0])
+        return 2.0 * np.pi * np.cumsum(freq * dt) + self.phase
+
+    def displacement(self, t: np.ndarray) -> np.ndarray:
+        phi = self._instantaneous_phase(t)
+        signal = np.cos(phi)
+        for k, level in enumerate(self.harmonic_levels, start=2):
+            signal += level * np.cos(k * phi)
+        return self.amplitude_m * signal
+
+
+@dataclass
+class ApneicBreathing(BreathingModel):
+    """Breathing with scripted cessation (apnea) episodes.
+
+    Wraps a base breathing model and gates its displacement to (near) zero
+    during configured pause intervals, with smooth half-second on/off ramps
+    so the gating itself does not inject wideband transients.  Used by the
+    sleep-monitoring example and the apnea-detection tests.
+
+    Attributes:
+        base: The breathing model being interrupted.
+        pauses_s: ``(start, duration)`` pairs in seconds.
+        residual: Fraction of chest motion remaining during a pause
+            (obstructive apnea retains some paradoxical effort; 0 models a
+            central apnea).
+        ramp_s: On/off transition length.
+    """
+
+    base: BreathingModel = field(default_factory=SinusoidalBreathing)
+    pauses_s: tuple[tuple[float, float], ...] = ((30.0, 15.0),)
+    residual: float = 0.0
+    ramp_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.residual < 1.0:
+            raise ConfigurationError(
+                f"residual must be in [0, 1), got {self.residual}"
+            )
+        if self.ramp_s < 0:
+            raise ConfigurationError(f"ramp must be >= 0, got {self.ramp_s}")
+        for start, duration in self.pauses_s:
+            if duration <= 0 or start < 0:
+                raise ConfigurationError(
+                    f"invalid pause ({start}, {duration})"
+                )
+
+    @property
+    def frequency_hz(self) -> float:  # type: ignore[override]
+        """Breathing frequency of the underlying model (between pauses)."""
+        return self.base.frequency_hz
+
+    def gate(self, t: np.ndarray) -> np.ndarray:
+        """Multiplicative envelope: 1 while breathing, ``residual`` paused."""
+        t = np.asarray(t, dtype=float)
+        envelope = np.ones_like(t)
+        for start, duration in self.pauses_s:
+            end = start + duration
+            if self.ramp_s > 0:
+                down = np.clip((t - start) / self.ramp_s, 0.0, 1.0)
+                up = np.clip((t - end) / self.ramp_s, 0.0, 1.0)
+                pause_depth = down - up  # 1 inside the pause, 0 outside
+            else:
+                pause_depth = ((t >= start) & (t < end)).astype(float)
+            envelope = np.minimum(
+                envelope, 1.0 - (1.0 - self.residual) * pause_depth
+            )
+        return envelope
+
+    def displacement(self, t: np.ndarray) -> np.ndarray:
+        return self.base.displacement(t) * self.gate(t)

@@ -1,0 +1,87 @@
+"""Reference-sensor models standing in for the paper's ground-truth gear.
+
+The paper validates against a NEULOG respiration belt and a fingertip pulse
+oximeter.  In simulation the true rates are known exactly, but experiments
+that want to model reference-sensor imperfection (quantization to whole bpm,
+small sensor noise) can wrap the truth in these readers — e.g. Fig. 9's
+"commercial fingertip pulse sensor reads 1.06 Hz" against a true 1.07 Hz
+estimate is a quantization effect of exactly this kind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .person import Person
+
+__all__ = ["ReferenceSensor", "RespirationBelt", "PulseOximeter"]
+
+
+@dataclass(frozen=True)
+class ReferenceSensor:
+    """Base reference sensor: reads a true rate with noise and quantization.
+
+    Attributes:
+        noise_bpm: Standard deviation of zero-mean Gaussian reading noise.
+        resolution_bpm: Reading quantization step (0 disables quantization).
+        seed: RNG seed for reproducible readings.
+    """
+
+    noise_bpm: float = 0.0
+    resolution_bpm: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.noise_bpm < 0:
+            raise ConfigurationError(
+                f"noise_bpm must be >= 0, got {self.noise_bpm}"
+            )
+        if self.resolution_bpm < 0:
+            raise ConfigurationError(
+                f"resolution_bpm must be >= 0, got {self.resolution_bpm}"
+            )
+
+    def read(self, true_rate_bpm: float) -> float:
+        """One reading of ``true_rate_bpm`` through the sensor model."""
+        rng = np.random.default_rng(self.seed)
+        reading = true_rate_bpm
+        if self.noise_bpm > 0:
+            reading += float(rng.normal(scale=self.noise_bpm))
+        if self.resolution_bpm > 0:
+            reading = round(reading / self.resolution_bpm) * self.resolution_bpm
+        return float(reading)
+
+
+@dataclass(frozen=True)
+class RespirationBelt(ReferenceSensor):
+    """NEULOG-style respiration belt: near-perfect at resting rates."""
+
+    noise_bpm: float = 0.05
+    resolution_bpm: float = 0.0
+
+    def read_person(self, person: Person) -> float:
+        """Breathing-rate reading for ``person`` (breaths/min)."""
+        return self.read(person.breathing_rate_bpm)
+
+
+@dataclass(frozen=True)
+class PulseOximeter(ReferenceSensor):
+    """Fingertip pulse oximeter: integer-bpm display, slight noise."""
+
+    noise_bpm: float = 0.2
+    resolution_bpm: float = 1.0
+
+    def read_person(self, person: Person) -> float:
+        """Heart-rate reading for ``person`` (beats/min).
+
+        Raises:
+            ConfigurationError: If the person has no heartbeat model.
+        """
+        if person.heart_rate_bpm is None:
+            raise ConfigurationError(
+                f"{person.name} has no heartbeat model to read"
+            )
+        return self.read(person.heart_rate_bpm)

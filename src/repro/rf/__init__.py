@@ -1,0 +1,75 @@
+"""RF substrate: the simulated commodity-WiFi CSI capture chain.
+
+Implements the paper's channel model (Eq. 2 multipath frequency response),
+the Intel-5300 measured-phase error model (Eqs. 3–4), scene geometry for the
+three experimental setups, and the packet-rate CSI capture that produces
+:class:`~repro.io_.trace.CSITrace` objects.
+"""
+
+from .antennas import Antenna, DirectionalAntenna, OmniAntenna
+from .channel import simulate_clean_csi
+from .constants import (
+    ANTENNA_SPACING_M,
+    DEFAULT_CARRIER_HZ,
+    INTEL5300_SUBCARRIER_INDICES,
+    N_REPORTED_SUBCARRIERS,
+    N_RX_ANTENNAS,
+    SPEED_OF_LIGHT,
+    SUBCARRIER_SPACING_HZ,
+    subcarrier_frequencies,
+    wavelength,
+)
+from .geometry import distance, reflection_path_length, rx_antenna_positions
+from .hardware import HardwareConfig, HardwareErrorModel
+from .multipath import (
+    DynamicRay,
+    StaticRay,
+    Wall,
+    build_person_ray,
+    build_static_rays,
+)
+from .diagnostics import phase_difference_sensitivity, sensitivity_map
+from .ofdm import OfdmPhy, OfdmPhyConfig, PhyCsiEstimate
+from .receiver import capture_trace
+from .scene import (
+    Scenario,
+    corridor_scenario,
+    laboratory_scenario,
+    through_wall_scenario,
+)
+
+__all__ = [
+    "ANTENNA_SPACING_M",
+    "Antenna",
+    "DEFAULT_CARRIER_HZ",
+    "DirectionalAntenna",
+    "DynamicRay",
+    "HardwareConfig",
+    "HardwareErrorModel",
+    "INTEL5300_SUBCARRIER_INDICES",
+    "N_REPORTED_SUBCARRIERS",
+    "N_RX_ANTENNAS",
+    "OfdmPhy",
+    "OfdmPhyConfig",
+    "OmniAntenna",
+    "PhyCsiEstimate",
+    "SPEED_OF_LIGHT",
+    "SUBCARRIER_SPACING_HZ",
+    "Scenario",
+    "StaticRay",
+    "Wall",
+    "build_person_ray",
+    "build_static_rays",
+    "capture_trace",
+    "corridor_scenario",
+    "phase_difference_sensitivity",
+    "sensitivity_map",
+    "distance",
+    "laboratory_scenario",
+    "reflection_path_length",
+    "rx_antenna_positions",
+    "simulate_clean_csi",
+    "subcarrier_frequencies",
+    "through_wall_scenario",
+    "wavelength",
+]

@@ -1,0 +1,134 @@
+"""Time-varying channel frequency response (paper Eq. 2).
+
+Evaluates ``CSI_i(t) = Σ_k r_k(t) · exp(-j 2π f_i τ_k(t))`` over a packet
+time grid, for every RX antenna and reported subcarrier.  Three kinds of
+terms contribute:
+
+* static rays — constant delay and amplitude while the scene is stationary;
+* dynamic (chest) rays — delay modulated by ``2·displacement(t)/c``;
+* motion perturbation — during walking / standing-up segments the body
+  perturbs *every* path, modelled as per-ray amplitude and path-length
+  modulation proportional to the scripted body displacement.
+
+The output is *clean* CSI; :class:`repro.rf.hardware.HardwareErrorModel`
+turns it into what a real NIC would report.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .constants import SPEED_OF_LIGHT
+from .multipath import DynamicRay, StaticRay
+
+__all__ = ["simulate_clean_csi"]
+
+#: Body travel (m) at which motion perturbation reaches full modulation
+#: depth; walking sway of ±0.2 m then swings ray amplitudes by ±50%.
+_MOTION_AMPLITUDE_SCALE = 0.4
+
+
+def simulate_clean_csi(
+    static_rays: list[StaticRay],
+    dynamic_rays: list[tuple[DynamicRay, np.ndarray]],
+    times_s: np.ndarray,
+    frequencies_hz: np.ndarray,
+    *,
+    n_rx: int,
+    body_displacement_m: np.ndarray | None = None,
+    person_present: np.ndarray | None = None,
+) -> np.ndarray:
+    """Evaluate Eq. 2 over time for all antennas and subcarriers.
+
+    Args:
+        static_rays: Static multipath components.
+        dynamic_rays: Pairs of (chest ray, chest displacement array in
+            meters aligned with ``times_s``).  Displacement shifts the path
+            length by twice its value (both path segments change).
+        times_s: Packet times, shape ``(n_packets,)``.
+        frequencies_hz: Subcarrier center frequencies f_i.
+        n_rx: Number of receive antennas (validated against ray shapes).
+        body_displacement_m: Optional large-scale body displacement per
+            packet; nonzero values switch on motion perturbation of the
+            static rays and add to every dynamic ray's path.
+        person_present: Optional boolean mask per packet; where False the
+            dynamic rays vanish (empty-room segments of Fig. 3).
+
+    Returns:
+        Complex CSI of shape ``(n_packets, n_rx, n_subcarriers)``.
+    """
+    times_s = np.asarray(times_s, dtype=float)
+    frequencies_hz = np.asarray(frequencies_hz, dtype=float)
+    if times_s.ndim != 1 or frequencies_hz.ndim != 1:
+        raise ConfigurationError("times and frequencies must be 1-D arrays")
+    n_t = times_s.size
+    n_sub = frequencies_hz.size
+    out = np.zeros((n_t, n_rx, n_sub), dtype=complex)
+
+    body = (
+        np.zeros(n_t)
+        if body_displacement_m is None
+        else np.asarray(body_displacement_m, dtype=float)
+    )
+    if body.shape != times_s.shape:
+        raise ConfigurationError(
+            f"body displacement shape {body.shape} does not match "
+            f"{times_s.shape} packets"
+        )
+    moving = bool(np.any(body != 0.0))
+
+    for ray in static_rays:
+        if ray.amplitudes.shape != (n_rx,):
+            raise ConfigurationError(
+                f"static ray has {ray.amplitudes.shape} amplitudes for "
+                f"{n_rx} antennas"
+            )
+        if moving and (ray.motion_amp_sens != 0.0 or ray.motion_phase_sens != 0.0):
+            modulation = np.clip(
+                1.0 + ray.motion_amp_sens * body / _MOTION_AMPLITUDE_SCALE,
+                0.05,
+                None,
+            )
+            extra_delay = ray.motion_phase_sens * body / SPEED_OF_LIGHT
+            for a in range(n_rx):
+                tau = ray.delays_s[a] + extra_delay
+                phase = -2.0 * np.pi * np.outer(tau, frequencies_hz)
+                out[:, a, :] += (
+                    (ray.amplitudes[a] * modulation)[:, None] * np.exp(1j * phase)
+                )
+        else:
+            for a in range(n_rx):
+                phase = -2.0 * np.pi * ray.delays_s[a] * frequencies_hz
+                out[:, a, :] += ray.amplitudes[a] * np.exp(1j * phase)[None, :]
+
+    presence = (
+        np.ones(n_t, dtype=bool)
+        if person_present is None
+        else np.asarray(person_present, dtype=bool)
+    )
+    if presence.shape != times_s.shape:
+        raise ConfigurationError(
+            f"presence mask shape {presence.shape} does not match packets"
+        )
+
+    for ray, displacement in dynamic_rays:
+        displacement = np.asarray(displacement, dtype=float)
+        if displacement.shape != times_s.shape:
+            raise ConfigurationError(
+                f"displacement shape {displacement.shape} does not match packets"
+            )
+        if ray.amplitudes.shape != (n_rx,):
+            raise ConfigurationError(
+                f"dynamic ray has {ray.amplitudes.shape} amplitudes for "
+                f"{n_rx} antennas"
+            )
+        # Chest motion and scripted body travel both lengthen the two-segment
+        # reflection path by ~2× the displacement.
+        path_delta = 2.0 * (displacement + body) / SPEED_OF_LIGHT
+        gate = presence.astype(float)
+        for a in range(n_rx):
+            tau = ray.delays_s[a] + path_delta
+            phase = -2.0 * np.pi * np.outer(tau, frequencies_hz)
+            out[:, a, :] += (ray.amplitudes[a] * gate)[:, None] * np.exp(1j * phase)
+    return out

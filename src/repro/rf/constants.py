@@ -1,0 +1,73 @@
+"""Physical and Intel-5300 constants for the 5 GHz OFDM CSI model.
+
+The paper's receiver reports CSI on 30 of the 56 populated subcarriers of a
+20 MHz 802.11n channel (the standard grouped set of the Intel 5300 CSI
+tool), from 3 receive antennas spaced 2.68 cm apart — half a wavelength in
+the 5 GHz band they used.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "SPEED_OF_LIGHT",
+    "DEFAULT_CARRIER_HZ",
+    "SUBCARRIER_SPACING_HZ",
+    "INTEL5300_SUBCARRIER_INDICES",
+    "N_REPORTED_SUBCARRIERS",
+    "N_RX_ANTENNAS",
+    "ANTENNA_SPACING_M",
+    "FFT_SIZE",
+    "SYMBOL_DURATION_S",
+    "GUARD_INTERVAL_S",
+    "subcarrier_frequencies",
+    "wavelength",
+]
+
+#: Speed of light in vacuum (m/s).
+SPEED_OF_LIGHT = 299_792_458.0
+
+#: Antenna spacing on the paper's receiver: d = 2.68 cm, stated to be half a
+#: wavelength.  That fixes the carrier the reproduction uses:
+#: f = c / (2 · 0.0268 m) ≈ 5.593 GHz (upper 5 GHz U-NII band).
+ANTENNA_SPACING_M = 2.68e-2
+
+#: Carrier frequency consistent with the λ/2 = 2.68 cm antenna spacing.
+DEFAULT_CARRIER_HZ = SPEED_OF_LIGHT / (2.0 * ANTENNA_SPACING_M)
+
+#: 802.11n subcarrier spacing for a 20 MHz channel.
+SUBCARRIER_SPACING_HZ = 312_500.0
+
+#: OFDM FFT size for a 20 MHz channel (Eq. 4's N).
+FFT_SIZE = 64
+
+#: Useful OFDM symbol duration T_u = 3.2 µs.
+SYMBOL_DURATION_S = 3.2e-6
+
+#: Guard interval 0.8 µs; T_s = T_u + GI = 4 µs (Eq. 4's T_s).
+GUARD_INTERVAL_S = 0.8e-6
+
+#: The 30 subcarrier indices m_i the Intel 5300 reports for a 20 MHz channel
+#: (grouping Ng = 2, per the 802.11n CSI feedback spec used by the CSI tool).
+INTEL5300_SUBCARRIER_INDICES = np.array(
+    [-28, -26, -24, -22, -20, -18, -16, -14, -12, -10, -8, -6, -4, -2, -1,
+     1, 3, 5, 7, 9, 11, 13, 15, 17, 19, 21, 23, 25, 27, 28],
+    dtype=int,
+)
+
+#: Number of subcarriers in each CSI report.
+N_REPORTED_SUBCARRIERS = int(INTEL5300_SUBCARRIER_INDICES.size)
+
+#: Receive antennas on the Intel 5300.
+N_RX_ANTENNAS = 3
+
+
+def subcarrier_frequencies(carrier_hz: float = DEFAULT_CARRIER_HZ) -> np.ndarray:
+    """Absolute center frequency f_i of each reported subcarrier (Hz)."""
+    return carrier_hz + INTEL5300_SUBCARRIER_INDICES * SUBCARRIER_SPACING_HZ
+
+
+def wavelength(frequency_hz: float | np.ndarray) -> np.ndarray:
+    """Wavelength λ = c / f in meters."""
+    return SPEED_OF_LIGHT / np.asarray(frequency_hz, dtype=float)

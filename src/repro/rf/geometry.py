@@ -1,0 +1,78 @@
+"""Scene geometry: positions, path lengths, and reflection paths.
+
+All coordinates are meters in a right-handed (x, y, z) frame with z up.  The
+only geometric quantities the channel model needs are path *lengths*: direct
+TX→RX for the LOS ray, and TX→scatterer→RX for every reflected ray (the
+chest of each person, and static clutter).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "as_point",
+    "distance",
+    "reflection_path_length",
+    "unit_vector",
+    "rx_antenna_positions",
+]
+
+
+def as_point(p) -> np.ndarray:
+    """Coerce an (x, y, z) triple into a float ndarray, validating shape."""
+    arr = np.asarray(p, dtype=float)
+    if arr.shape != (3,):
+        raise ConfigurationError(f"expected an (x, y, z) point, got {p!r}")
+    return arr
+
+
+def distance(a, b) -> float:
+    """Euclidean distance between two points (meters)."""
+    return float(np.linalg.norm(as_point(a) - as_point(b)))
+
+
+def reflection_path_length(tx, scatterer, rx) -> float:
+    """TX → scatterer → RX total path length (meters)."""
+    return distance(tx, scatterer) + distance(scatterer, rx)
+
+
+def unit_vector(src, dst) -> np.ndarray:
+    """Unit vector pointing from ``src`` toward ``dst``.
+
+    Raises:
+        ConfigurationError: If the points coincide (direction undefined).
+    """
+    delta = as_point(dst) - as_point(src)
+    norm = np.linalg.norm(delta)
+    if norm == 0.0:
+        raise ConfigurationError("direction between coincident points is undefined")
+    return delta / norm
+
+
+def rx_antenna_positions(
+    center, spacing: float, n_antennas: int, axis=(1.0, 0.0, 0.0)
+) -> np.ndarray:
+    """Positions of a uniform linear receive array.
+
+    The array is centered on ``center`` with ``spacing`` between adjacent
+    elements along ``axis``, matching the Intel 5300's 3-element row with
+    d = 2.68 cm.
+
+    Returns:
+        ``(n_antennas, 3)`` array of element positions.
+    """
+    center = as_point(center)
+    axis = np.asarray(axis, dtype=float)
+    norm = np.linalg.norm(axis)
+    if norm == 0.0:
+        raise ConfigurationError("array axis must be a nonzero vector")
+    if spacing <= 0:
+        raise ConfigurationError(f"antenna spacing must be positive, got {spacing}")
+    if n_antennas < 1:
+        raise ConfigurationError(f"need at least one antenna, got {n_antennas}")
+    axis = axis / norm
+    offsets = (np.arange(n_antennas) - (n_antennas - 1) / 2.0) * spacing
+    return center[None, :] + offsets[:, None] * axis[None, :]

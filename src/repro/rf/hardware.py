@@ -1,0 +1,187 @@
+"""Receiver-hardware phase-error model (paper Eqs. 3–4).
+
+The measured phase of subcarrier i is
+
+    ∠ĈSI_i = ∠CSI_i + (λ_p + λ_s + λ_c)·m_i + β + Z
+
+with λ_p from packet-boundary-detection (PBD) delay, λ_s from sampling
+frequency offset (SFO), λ_c from carrier frequency offset (CFO), β the PLL
+initial phase, and Z measurement noise.  The PBD delay Δt and sampling time
+offset n change per packet, which is why raw phase is useless (uniform on
+the circle across packets, Fig. 1), while everything except β and Z is
+*identical across the RX chains* — they share one clock and down-converter —
+which is why the cross-antenna difference is stable (Theorem 1).
+
+:class:`HardwareErrorModel` draws per-packet error terms once and applies
+them to every antenna, adding a constant per-chain β and i.i.d. complex
+noise — precisely the structure the paper's analysis relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .constants import FFT_SIZE, GUARD_INTERVAL_S, SYMBOL_DURATION_S
+
+__all__ = ["HardwareConfig", "HardwareErrorModel"]
+
+
+@dataclass(frozen=True)
+class HardwareConfig:
+    """Parameters of the Eq. 3–4 error model.
+
+    Attributes:
+        pbd_jitter_samples: Packet-boundary-detection delay Δt varies
+            uniformly over ±this many FFT samples per packet.  Even a couple
+            of samples swings the per-subcarrier-index slope enough to
+            scramble raw phase across packets.
+        sfo_ppm: Sampling-clock offset (T' − T)/T in parts per million.
+        cfo_hz: Residual center-frequency difference Δf between TX and RX
+            after coarse correction.
+        pll_offsets_rad: Per-RX-chain initial PLL phase β (length = number
+            of RX antennas).  Constant for a session, different per chain.
+        noise_sigma: Standard deviation (per real/imag component) of the
+            additive complex Gaussian CSI noise Z.  Interacts with ray
+            amplitudes to set the effective phase noise.
+        agc_jitter_sigma: Log-amplitude standard deviation of the per-packet
+            receiver gain (AGC steps, TX power-control wobble).  The gain is
+            *common to all chains and subcarriers of a packet*, so it
+            cancels exactly in the cross-antenna phase difference but rides
+            straight into CSI amplitude — the physical reason amplitude-
+            based methods trail PhaseBeat (paper Fig. 11).
+        seed: Seed for the per-packet error realizations.
+    """
+
+    pbd_jitter_samples: float = 2.0
+    sfo_ppm: float = 20.0
+    cfo_hz: float = 5_000.0
+    pll_offsets_rad: tuple[float, ...] = (0.4, 3.5, 5.4)
+    noise_sigma: float = 0.012
+    agc_jitter_sigma: float = 0.03
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.pbd_jitter_samples < 0:
+            raise ConfigurationError("pbd_jitter_samples must be >= 0")
+        if self.noise_sigma < 0:
+            raise ConfigurationError("noise_sigma must be >= 0")
+        if self.agc_jitter_sigma < 0:
+            raise ConfigurationError("agc_jitter_sigma must be >= 0")
+        if len(self.pll_offsets_rad) < 1:
+            raise ConfigurationError("need at least one PLL offset")
+
+
+class HardwareErrorModel:
+    """Applies the measured-phase error model to clean CSI.
+
+    The model is deliberately *structured*, not generic noise: the
+    subcarrier-index-proportional terms are shared across antennas (so they
+    cancel in the cross-antenna difference) while β and Z are per-chain (so
+    the difference keeps a constant offset Δβ and doubled noise variance —
+    the exact statement of Theorem 1).
+    """
+
+    def __init__(self, config: HardwareConfig | None = None):
+        self.config = config if config is not None else HardwareConfig()
+
+    def phase_errors(
+        self, n_packets: int, packet_interval_s: float, subcarrier_indices: np.ndarray
+    ) -> np.ndarray:
+        """Common phase error e[k, i] = (λ_p + λ_s + λ_c)·m_i + λ_c0 per packet.
+
+        Args:
+            n_packets: Number of packets in the capture.
+            packet_interval_s: Time between packets (1 / packet rate).
+            subcarrier_indices: The m_i values (length 30 for Intel 5300).
+
+        Returns:
+            ``(n_packets, n_subcarriers)`` phase errors in radians, shared by
+            all RX chains.
+        """
+        cfg = self.config
+        if n_packets < 1:
+            raise ConfigurationError(f"n_packets must be >= 1, got {n_packets}")
+        if packet_interval_s <= 0:
+            raise ConfigurationError(
+                f"packet interval must be positive, got {packet_interval_s}"
+            )
+        rng = np.random.default_rng(cfg.seed)
+        m = np.asarray(subcarrier_indices, dtype=float)
+
+        # λ_p = 2π Δt / N, Δt drawn fresh for every packet.
+        delta_t = rng.uniform(
+            -cfg.pbd_jitter_samples, cfg.pbd_jitter_samples, size=n_packets
+        )
+        lambda_p = 2.0 * np.pi * delta_t / FFT_SIZE
+
+        # Sampling time offset n grows with the packet index: the receiver's
+        # sample counter keeps running between packets.
+        symbol_s = SYMBOL_DURATION_S + GUARD_INTERVAL_S
+        n_offset = np.arange(n_packets) * (packet_interval_s / symbol_s)
+
+        # λ_s = 2π · (T'−T)/T · (T_s/T_u) · n
+        lambda_s = (
+            2.0
+            * np.pi
+            * (cfg.sfo_ppm * 1e-6)
+            * (symbol_s / SYMBOL_DURATION_S)
+            * n_offset
+        )
+
+        # λ_c = 2π Δf T_s n — a per-packet common rotation (no m_i factor in
+        # its carrier part; the residual per-subcarrier part folds into the
+        # slope the same way).
+        lambda_c_common = 2.0 * np.pi * cfg.cfo_hz * symbol_s * n_offset
+
+        slope = lambda_p + lambda_s  # multiplies the subcarrier index
+        return slope[:, None] * m[None, :] + lambda_c_common[:, None]
+
+    def apply(
+        self,
+        csi: np.ndarray,
+        packet_interval_s: float,
+        subcarrier_indices: np.ndarray,
+    ) -> np.ndarray:
+        """Turn true CSI into measured CSI.
+
+        Args:
+            csi: Clean complex CSI, shape ``(n_packets, n_rx, n_subcarriers)``.
+            packet_interval_s: Time between packets.
+            subcarrier_indices: The m_i values.
+
+        Returns:
+            Measured CSI of the same shape: common per-packet phase errors,
+            per-chain constant β, and additive complex Gaussian noise.
+        """
+        csi = np.asarray(csi)
+        if csi.ndim != 3:
+            raise ConfigurationError(
+                f"CSI must be (packets, antennas, subcarriers), got {csi.shape}"
+            )
+        n_packets, n_rx, n_sub = csi.shape
+        cfg = self.config
+        if n_rx > len(cfg.pll_offsets_rad):
+            raise ConfigurationError(
+                f"{n_rx} RX chains but only {len(cfg.pll_offsets_rad)} PLL "
+                "offsets configured"
+            )
+
+        errors = self.phase_errors(n_packets, packet_interval_s, subcarrier_indices)
+        beta = np.asarray(cfg.pll_offsets_rad[:n_rx], dtype=float)
+        rotation = np.exp(1j * (errors[:, None, :] + beta[None, :, None]))
+
+        measured = csi * rotation
+        if cfg.agc_jitter_sigma > 0:
+            rng = np.random.default_rng(cfg.seed + 2)
+            gain = np.exp(rng.normal(scale=cfg.agc_jitter_sigma, size=n_packets))
+            measured = measured * gain[:, None, None]
+        if cfg.noise_sigma > 0:
+            rng = np.random.default_rng(cfg.seed + 1)
+            noise = cfg.noise_sigma * (
+                rng.standard_normal(csi.shape) + 1j * rng.standard_normal(csi.shape)
+            )
+            measured = measured + noise
+        return measured

@@ -1,0 +1,253 @@
+"""Multipath ray construction for the Eq. 2 channel model.
+
+The channel frequency response of subcarrier i is the paper's Eq. 2:
+
+    CSI_i = Σ_k r_k · exp(-j 2π f_i τ_k)
+
+Each *ray* is one term: the LOS path, reflections off static clutter
+(furniture, walls), and one dynamic reflection off each person's chest whose
+path length is modulated by breathing and heartbeat.  Rays carry per-antenna
+delays (the receive elements are 2.68 cm apart, so each sees a slightly
+different path length — that geometric difference is what makes the
+cross-antenna phase difference sensitive to path-length changes).
+
+Amplitudes follow a free-space-like 1/d law with a reflection loss for
+scattered paths and a per-traversal wall loss for through-wall scenarios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..physio.person import Person
+from .antennas import Antenna, OmniAntenna
+from .constants import SPEED_OF_LIGHT
+from .geometry import as_point, distance, reflection_path_length
+
+__all__ = ["Wall", "StaticRay", "DynamicRay", "build_static_rays", "build_person_ray"]
+
+#: Amplitude of the direct path at 1 m separation with unit antenna gains.
+#: An arbitrary reference — every derived quantity (phase noise vs. signal)
+#: only depends on amplitude *ratios* and the noise floor.
+REFERENCE_AMPLITUDE = 1.0
+
+#: Amplitude reflection coefficient of a human torso at 5 GHz (mostly water,
+#: near-specular at chest scale).
+BODY_REFLECTION_COEFF = 0.55
+
+
+@dataclass(frozen=True)
+class Wall:
+    """An infinite wall plane with a per-traversal transmission loss.
+
+    Attributes:
+        point: Any point on the wall plane.
+        normal: Plane normal (need not be unit length).
+        loss_db: One-way transmission loss in dB (power), typical interior
+            drywall ≈ 3–5 dB, brick ≈ 6–10 dB at 5 GHz.
+    """
+
+    point: tuple[float, float, float]
+    normal: tuple[float, float, float]
+    loss_db: float = 6.0
+
+    def __post_init__(self) -> None:
+        as_point(self.point)
+        n = np.asarray(self.normal, dtype=float)
+        if np.linalg.norm(n) == 0:
+            raise ConfigurationError("wall normal must be a nonzero vector")
+        if self.loss_db < 0:
+            raise ConfigurationError(f"wall loss must be >= 0 dB, got {self.loss_db}")
+
+    def crossings(self, a, b) -> int:
+        """1 if the segment a→b crosses the wall plane, else 0."""
+        n = np.asarray(self.normal, dtype=float)
+        p = as_point(self.point)
+        side_a = float(np.dot(as_point(a) - p, n))
+        side_b = float(np.dot(as_point(b) - p, n))
+        return int(side_a * side_b < 0)
+
+    def amplitude_factor(self, a, b) -> float:
+        """Amplitude attenuation of the segment a→b through this wall."""
+        n_crossings = self.crossings(a, b)
+        return 10.0 ** (-self.loss_db * n_crossings / 20.0)
+
+
+def _path_amplitude(path_length: float) -> float:
+    """Free-space-like amplitude 1/d law, floored at 0.2 m to avoid blowups."""
+    return REFERENCE_AMPLITUDE / max(path_length, 0.2)
+
+
+def _wall_factor(walls: tuple[Wall, ...], a, b) -> float:
+    factor = 1.0
+    for wall in walls:
+        factor *= wall.amplitude_factor(a, b)
+    return factor
+
+
+@dataclass(frozen=True)
+class StaticRay:
+    """A time-invariant multipath component (plus motion sensitivities).
+
+    Attributes:
+        amplitudes: Per-RX-antenna amplitude r_k, shape ``(n_rx,)``.
+        delays_s: Per-RX-antenna propagation delay τ_k, shape ``(n_rx,)``.
+        motion_amp_sens: How strongly large body motion modulates this ray's
+            amplitude (a walking body shadows and unshadows paths); drawn
+            per-ray in [-1, 1].
+        motion_phase_sens: How strongly body motion perturbs the ray's
+            effective path length, in path-lengths per meter of body travel.
+    """
+
+    amplitudes: np.ndarray
+    delays_s: np.ndarray
+    motion_amp_sens: float = 0.0
+    motion_phase_sens: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.amplitudes.shape != self.delays_s.shape:
+            raise ConfigurationError(
+                "amplitudes and delays must have the same per-antenna shape"
+            )
+
+
+@dataclass(frozen=True)
+class DynamicRay:
+    """The chest-reflected ray of one person.
+
+    The instantaneous delay of antenna a is
+    ``delays_s[a] + 2 · displacement(t) / c`` — chest motion changes both the
+    TX→chest and chest→RX segments by approximately the displacement each.
+
+    Attributes:
+        person: The subject this ray reflects off.
+        amplitudes: Per-antenna amplitude, shape ``(n_rx,)``.
+        delays_s: Per-antenna mean delay (at zero displacement).
+    """
+
+    person: Person
+    amplitudes: np.ndarray
+    delays_s: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.amplitudes.shape != self.delays_s.shape:
+            raise ConfigurationError(
+                "amplitudes and delays must have the same per-antenna shape"
+            )
+
+
+def build_static_rays(
+    tx_position,
+    rx_positions: np.ndarray,
+    *,
+    tx_antenna: Antenna | None = None,
+    walls: tuple[Wall, ...] = (),
+    n_clutter: int = 6,
+    clutter_region: tuple[tuple[float, float], tuple[float, float]] = ((0.0, 5.0), (0.0, 9.0)),
+    include_los: bool = True,
+    seed: int = 0,
+) -> list[StaticRay]:
+    """Construct the static part of the channel: LOS plus clutter rays.
+
+    Args:
+        tx_position: Transmit antenna location.
+        rx_positions: ``(n_rx, 3)`` receive element positions.
+        tx_antenna: TX gain pattern (omni by default).
+        walls: Walls attenuating any segment that crosses them.
+        n_clutter: Number of random scatterers (tables, PCs, walls of the
+            room) — the paper's lab is "crowded with tables and PCs".
+        clutter_region: ((x_min, x_max), (y_min, y_max)) area scatterers are
+            drawn from.
+        include_los: Whether a direct path exists (a heavy wall may still
+            attenuate rather than remove it).
+        seed: Clutter placement seed.
+
+    Returns:
+        List of :class:`StaticRay`.
+    """
+    tx = as_point(tx_position)
+    rx_positions = np.atleast_2d(np.asarray(rx_positions, dtype=float))
+    antenna = tx_antenna if tx_antenna is not None else OmniAntenna()
+    rng = np.random.default_rng(seed)
+    rays: list[StaticRay] = []
+
+    if include_los:
+        amplitudes = []
+        delays = []
+        for rx in rx_positions:
+            d = distance(tx, rx)
+            gain = antenna.gain_towards(tx, rx)
+            amplitudes.append(_path_amplitude(d) * gain * _wall_factor(walls, tx, rx))
+            delays.append(d / SPEED_OF_LIGHT)
+        rays.append(
+            StaticRay(
+                amplitudes=np.asarray(amplitudes),
+                delays_s=np.asarray(delays),
+                motion_amp_sens=float(rng.uniform(-0.3, 0.3)),
+                motion_phase_sens=float(rng.uniform(-0.2, 0.2)),
+            )
+        )
+
+    (x_lo, x_hi), (y_lo, y_hi) = clutter_region
+    for _ in range(n_clutter):
+        scatterer = np.array(
+            [rng.uniform(x_lo, x_hi), rng.uniform(y_lo, y_hi), rng.uniform(0.3, 2.2)]
+        )
+        reflection = float(rng.uniform(0.15, 0.5))
+        amplitudes = []
+        delays = []
+        for rx in rx_positions:
+            path = reflection_path_length(tx, scatterer, rx)
+            gain = antenna.gain_towards(tx, scatterer)
+            wall_att = _wall_factor(walls, tx, scatterer) * _wall_factor(
+                walls, scatterer, rx
+            )
+            amplitudes.append(_path_amplitude(path) * reflection * gain * wall_att)
+            delays.append(path / SPEED_OF_LIGHT)
+        rays.append(
+            StaticRay(
+                amplitudes=np.asarray(amplitudes),
+                delays_s=np.asarray(delays),
+                motion_amp_sens=float(rng.uniform(-1.0, 1.0)),
+                motion_phase_sens=float(rng.uniform(-1.0, 1.0)),
+            )
+        )
+    return rays
+
+
+def build_person_ray(
+    person: Person,
+    tx_position,
+    rx_positions: np.ndarray,
+    *,
+    tx_antenna: Antenna | None = None,
+    walls: tuple[Wall, ...] = (),
+) -> DynamicRay:
+    """Construct the breathing-modulated reflection ray for one person."""
+    tx = as_point(tx_position)
+    rx_positions = np.atleast_2d(np.asarray(rx_positions, dtype=float))
+    antenna = tx_antenna if tx_antenna is not None else OmniAntenna()
+    chest = as_point(person.position)
+
+    amplitudes = []
+    delays = []
+    gain = antenna.gain_towards(tx, chest)
+    for rx in rx_positions:
+        path = reflection_path_length(tx, chest, rx)
+        wall_att = _wall_factor(walls, tx, chest) * _wall_factor(walls, chest, rx)
+        amplitudes.append(
+            _path_amplitude(path)
+            * BODY_REFLECTION_COEFF
+            * person.reflectivity
+            * gain
+            * wall_att
+        )
+        delays.append(path / SPEED_OF_LIGHT)
+    return DynamicRay(
+        person=person,
+        amplitudes=np.asarray(amplitudes),
+        delays_s=np.asarray(delays),
+    )

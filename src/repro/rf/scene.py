@@ -1,0 +1,222 @@
+"""Deployment scenarios: the paper's three experimental setups.
+
+Section IV-A describes (1) a 4.5 × 8.8 m computer laboratory crowded with
+tables and PCs, (2) a through-wall setup with the person on the TX side of a
+wall, and (3) a 20 m corridor with up to 11 m TX–RX separation.  A
+:class:`Scenario` captures the geometry, clutter, wall set, antennas, and
+subjects; builder functions produce the three canonical setups with
+adjustable distances, which is what the Fig. 15/16 sweeps vary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..physio.motion import ActivityScript
+from ..physio.person import Person
+from .antennas import Antenna, DirectionalAntenna, OmniAntenna
+from .constants import ANTENNA_SPACING_M, DEFAULT_CARRIER_HZ, N_RX_ANTENNAS
+from .geometry import rx_antenna_positions
+from .multipath import Wall, build_person_ray, build_static_rays
+
+__all__ = [
+    "Scenario",
+    "laboratory_scenario",
+    "through_wall_scenario",
+    "corridor_scenario",
+]
+
+
+@dataclass
+class Scenario:
+    """One deployment: geometry, clutter, antennas, walls, and subjects.
+
+    Attributes:
+        name: Scenario label (appears in trace metadata and reports).
+        tx_position: Transmit antenna location (m).
+        rx_center: Center of the 3-element receive array (m).
+        persons: Monitored subjects.
+        walls: Attenuating walls (empty outside the through-wall setup).
+        n_clutter: Number of static scatterers.
+        clutter_region: ((x_min, x_max), (y_min, y_max)) area for clutter.
+        directional_tx: Aim a directional TX antenna at the first person
+            (the paper's heart-rate configuration); omni otherwise.
+        include_los: Whether a direct TX→RX path exists.
+        carrier_hz: Carrier frequency.
+        activity: Optional large-motion script applied to the first person.
+        clutter_seed: Placement seed for static scatterers.
+        rx_axis: Orientation of the receive array.
+    """
+
+    name: str
+    tx_position: tuple[float, float, float]
+    rx_center: tuple[float, float, float]
+    persons: list[Person] = field(default_factory=list)
+    walls: tuple[Wall, ...] = ()
+    n_clutter: int = 6
+    clutter_region: tuple[tuple[float, float], tuple[float, float]] = (
+        (0.0, 4.5),
+        (0.0, 8.8),
+    )
+    directional_tx: bool = False
+    include_los: bool = True
+    carrier_hz: float = DEFAULT_CARRIER_HZ
+    activity: ActivityScript | None = None
+    clutter_seed: int = 0
+    rx_axis: tuple[float, float, float] = (1.0, 0.0, 0.0)
+
+    def __post_init__(self) -> None:
+        if self.carrier_hz <= 0:
+            raise ConfigurationError("carrier frequency must be positive")
+        if self.n_clutter < 0:
+            raise ConfigurationError("n_clutter must be >= 0")
+        if self.directional_tx and not self.persons:
+            raise ConfigurationError(
+                "a directional TX needs a person to aim at"
+            )
+
+    def tx_antenna(self) -> Antenna:
+        """The TX gain pattern implied by the configuration."""
+        if self.directional_tx:
+            return DirectionalAntenna(
+                position=self.tx_position,
+                boresight=self.persons[0].position,
+            )
+        return OmniAntenna()
+
+    def rx_positions(self) -> np.ndarray:
+        """Positions of the 3 receive elements (λ/2 spacing)."""
+        return rx_antenna_positions(
+            self.rx_center, ANTENNA_SPACING_M, N_RX_ANTENNAS, axis=self.rx_axis
+        )
+
+    def build_rays(self):
+        """Construct (static rays, one dynamic ray per person)."""
+        rx = self.rx_positions()
+        antenna = self.tx_antenna()
+        static = build_static_rays(
+            self.tx_position,
+            rx,
+            tx_antenna=antenna,
+            walls=self.walls,
+            n_clutter=self.n_clutter,
+            clutter_region=self.clutter_region,
+            include_los=self.include_los,
+            seed=self.clutter_seed,
+        )
+        dynamic = [
+            build_person_ray(
+                person, self.tx_position, rx, tx_antenna=antenna, walls=self.walls
+            )
+            for person in self.persons
+        ]
+        return static, dynamic
+
+    def with_persons(self, persons: list[Person]) -> "Scenario":
+        """Copy of the scenario with a different subject list."""
+        return replace(self, persons=list(persons))
+
+    @property
+    def tx_rx_distance_m(self) -> float:
+        """TX–RX separation (the Fig. 15/16 sweep variable)."""
+        return float(
+            np.linalg.norm(
+                np.asarray(self.tx_position) - np.asarray(self.rx_center)
+            )
+        )
+
+
+def laboratory_scenario(
+    persons: list[Person] | None = None,
+    *,
+    directional_tx: bool = False,
+    clutter_seed: int = 0,
+) -> Scenario:
+    """The 4.5 × 8.8 m computer laboratory (dense clutter, short range).
+
+    TX and RX sit ~3 m apart with the subject roughly between and beside
+    them, mirroring the paper's Fig. 10 left panel.
+    """
+    if persons is None:
+        persons = [Person(position=(2.2, 3.0, 1.0))]
+    return Scenario(
+        name="laboratory",
+        tx_position=(1.0, 1.5, 1.2),
+        rx_center=(3.5, 4.0, 1.2),
+        persons=persons,
+        n_clutter=8,
+        clutter_region=((0.0, 4.5), (0.0, 8.8)),
+        directional_tx=directional_tx,
+        clutter_seed=clutter_seed,
+    )
+
+
+def through_wall_scenario(
+    distance_m: float = 4.0,
+    persons: list[Person] | None = None,
+    *,
+    wall_loss_db: float = 7.0,
+    clutter_seed: int = 0,
+) -> Scenario:
+    """Person on the TX side, a wall between TX and RX (paper setup 2).
+
+    The wall is the plane ``y = distance/2`` with the TX (and person) below
+    it and the RX above; both the LOS path and the chest reflection cross it
+    once, soaking up ``wall_loss_db`` each traversal.
+
+    Args:
+        distance_m: TX–RX separation (the Fig. 16 sweep, 2–7 m).
+        persons: Subjects; default one person near the TX.
+        wall_loss_db: One-way wall transmission loss.
+        clutter_seed: Clutter placement seed.
+    """
+    if distance_m <= 0.5:
+        raise ConfigurationError(
+            f"through-wall distance must exceed 0.5 m, got {distance_m}"
+        )
+    if persons is None:
+        persons = [Person(position=(2.5, 0.8, 1.0))]
+    wall_y = distance_m / 2.0
+    return Scenario(
+        name="through_wall",
+        tx_position=(2.0, 0.0, 1.2),
+        rx_center=(2.0, distance_m, 1.2),
+        persons=persons,
+        walls=(Wall(point=(0.0, wall_y, 0.0), normal=(0.0, 1.0, 0.0), loss_db=wall_loss_db),),
+        n_clutter=6,
+        clutter_region=((0.0, 4.5), (0.0, max(distance_m, 2.0))),
+        clutter_seed=clutter_seed,
+    )
+
+
+def corridor_scenario(
+    distance_m: float = 11.0,
+    persons: list[Person] | None = None,
+    *,
+    clutter_seed: int = 0,
+) -> Scenario:
+    """The 20 m corridor (long range, sparse clutter, paper setup 3).
+
+    Args:
+        distance_m: TX–RX separation (the Fig. 15 sweep, 1–11 m).
+        persons: Subjects; default one person midway along the corridor.
+        clutter_seed: Clutter placement seed.
+    """
+    if distance_m <= 0.5:
+        raise ConfigurationError(
+            f"corridor distance must exceed 0.5 m, got {distance_m}"
+        )
+    if persons is None:
+        persons = [Person(position=(1.0, distance_m / 2.0, 1.0))]
+    return Scenario(
+        name="corridor",
+        tx_position=(1.0, 0.0, 1.2),
+        rx_center=(1.0, distance_m, 1.2),
+        persons=persons,
+        n_clutter=4,
+        clutter_region=((0.0, 2.0), (0.0, 20.0)),
+        clutter_seed=clutter_seed,
+    )

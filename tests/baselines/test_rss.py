@@ -1,0 +1,60 @@
+"""Tests for the RSS (UbiBreathe-style) baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.rss import RSSMethod, RSSMethodConfig, rss_series_db
+from repro.errors import ConfigurationError
+
+
+class TestRSSSeries:
+    def test_shape(self, short_lab_trace):
+        rss = rss_series_db(short_lab_trace)
+        assert rss.shape == (short_lab_trace.n_packets,)
+
+    def test_quantization_applied(self, short_lab_trace):
+        rss = rss_series_db(short_lab_trace, quantization_db=1.0)
+        assert np.allclose(rss, np.round(rss))
+
+    def test_quantization_disabled(self, short_lab_trace):
+        rss = rss_series_db(short_lab_trace, quantization_db=0.0)
+        assert not np.allclose(rss, np.round(rss))
+
+    def test_rss_is_coarser_than_csi(self, lab_trace):
+        # One scalar per packet versus 90 complex numbers.
+        rss = rss_series_db(lab_trace)
+        assert rss.ndim == 1
+
+
+class TestRSSMethod:
+    def test_estimates_breathing_when_signal_strong(self):
+        """RSS works in the easy regime: strong modulation, no quantization."""
+        from repro.physio.breathing import SinusoidalBreathing
+        from repro.physio.person import Person
+        from repro.rf.receiver import capture_trace
+        from repro.rf.scene import laboratory_scenario
+
+        person = Person(
+            position=(2.2, 3.0, 1.0),
+            breathing=SinusoidalBreathing(frequency_hz=0.25, amplitude_m=8e-3),
+            heartbeat=None,
+        )
+        scenario = laboratory_scenario([person], clutter_seed=13)
+        trace = capture_trace(scenario, duration_s=30.0, seed=13)
+        method = RSSMethod(RSSMethodConfig(quantization_db=0.0))
+        rate = method.estimate_breathing_bpm(trace)
+        assert rate == pytest.approx(15.0, abs=1.5)
+
+    def test_quantization_degrades_estimate(self, lab_trace, lab_person):
+        fine = RSSMethod(RSSMethodConfig(quantization_db=0.0))
+        coarse = RSSMethod(RSSMethodConfig(quantization_db=4.0))
+        truth = lab_person.breathing_rate_bpm
+        fine_error = abs(fine.estimate_breathing_bpm(lab_trace) - truth)
+        coarse_error = abs(coarse.estimate_breathing_bpm(lab_trace) - truth)
+        assert coarse_error >= fine_error
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            RSSMethodConfig(quantization_db=-1.0)
+        with pytest.raises(ConfigurationError):
+            RSSMethodConfig(smooth_window_s=0.0)

@@ -1,0 +1,53 @@
+"""Shared fixtures: small, cached simulated traces.
+
+Trace simulation is the expensive part of most integration-level tests, so
+canonical traces are built once per session.  Tests that need special
+parameters build their own short captures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Person, capture_trace, laboratory_scenario
+from repro.physio import SinusoidalBreathing, SinusoidalHeartbeat
+
+
+@pytest.fixture(scope="session")
+def lab_person() -> Person:
+    """The canonical single subject: 15 bpm breathing, 64.2 bpm heart."""
+    return Person(
+        position=(2.2, 3.0, 1.0),
+        breathing=SinusoidalBreathing(frequency_hz=0.25),
+        heartbeat=SinusoidalHeartbeat(frequency_hz=1.07),
+    )
+
+
+@pytest.fixture(scope="session")
+def lab_trace(lab_person):
+    """30 s laboratory capture at 400 Hz (the paper's default rate)."""
+    scenario = laboratory_scenario([lab_person], clutter_seed=1)
+    return capture_trace(scenario, duration_s=30.0, seed=1)
+
+
+@pytest.fixture(scope="session")
+def short_lab_trace(lab_person):
+    """10 s capture at 200 Hz for cheaper unit-level checks."""
+    scenario = laboratory_scenario([lab_person], clutter_seed=2)
+    return capture_trace(scenario, duration_s=10.0, sample_rate_hz=200.0, seed=2)
+
+
+@pytest.fixture(scope="session")
+def directional_trace(lab_person):
+    """60 s directional-TX capture for heart-rate tests."""
+    scenario = laboratory_scenario(
+        [lab_person], directional_tx=True, clutter_seed=3
+    )
+    return capture_trace(scenario, duration_s=60.0, seed=3)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """Fresh deterministic RNG per test."""
+    return np.random.default_rng(12345)

@@ -1,0 +1,102 @@
+"""Tests for the session-level report API."""
+
+import numpy as np
+import pytest
+
+from repro import Person, SinusoidalBreathing, capture_trace, laboratory_scenario
+from repro.core.session import SessionReport, analyze_session
+from repro.errors import ConfigurationError
+from repro.physio import ApneicBreathing
+
+
+@pytest.fixture(scope="module")
+def clean_session():
+    person = Person(
+        position=(2.2, 3.0, 1.0),
+        breathing=SinusoidalBreathing(frequency_hz=0.25),
+        heartbeat=None,
+    )
+    scenario = laboratory_scenario([person], clutter_seed=11)
+    trace = capture_trace(scenario, duration_s=90.0, seed=11)
+    return person, analyze_session(trace)
+
+
+@pytest.fixture(scope="module")
+def apneic_session():
+    sleeper = Person(
+        position=(2.2, 3.0, 0.6),
+        breathing=ApneicBreathing(
+            base=SinusoidalBreathing(frequency_hz=0.24),
+            pauses_s=((50.0, 14.0),),
+        ),
+        heartbeat=None,
+    )
+    scenario = laboratory_scenario([sleeper], clutter_seed=9)
+    trace = capture_trace(scenario, duration_s=120.0, seed=9)
+    return sleeper, analyze_session(trace)
+
+
+class TestCleanSession:
+    def test_rate_matches_truth(self, clean_session):
+        person, report = clean_session
+        assert report.breathing_rate_bpm == pytest.approx(
+            person.breathing_rate_bpm, abs=0.5
+        )
+
+    def test_mostly_stationary(self, clean_session):
+        _, report = clean_session
+        assert report.stationary_fraction > 0.8
+
+    def test_rate_trend_present_and_consistent(self, clean_session):
+        person, report = clean_session
+        times, rates = report.rate_over_time
+        assert times.size >= 5
+        assert np.all(np.abs(rates - person.breathing_rate_bpm) < 1.5)
+
+    def test_waveform_statistics(self, clean_session):
+        _, report = clean_session
+        assert report.waveform is not None
+        assert report.waveform.n_breaths > 15
+        assert report.waveform.interval_cv < 0.1
+
+    def test_no_apnea_on_clean_breathing(self, clean_session):
+        _, report = clean_session
+        assert report.apnea_events == ()
+        assert report.apnea_index_per_hour == 0.0
+
+    def test_heart_nan_when_not_requested(self, clean_session):
+        _, report = clean_session
+        assert np.isnan(report.heart_rate_bpm)
+
+
+class TestApneicSession:
+    def test_apnea_event_found(self, apneic_session):
+        _, report = apneic_session
+        assert len(report.apnea_events) == 1
+        event = report.apnea_events[0]
+        assert event.start_s == pytest.approx(50.0, abs=3.0)
+        assert event.duration_s == pytest.approx(14.0, abs=4.0)
+
+    def test_apnea_index(self, apneic_session):
+        _, report = apneic_session
+        # One event in 2 minutes → 30 per hour (duration_s is measured
+        # from packet timestamps, so allow the last-packet offset).
+        assert report.apnea_index_per_hour == pytest.approx(30.0, rel=0.01)
+
+    def test_rate_still_estimated(self, apneic_session):
+        sleeper, report = apneic_session
+        assert report.breathing_rate_bpm == pytest.approx(
+            sleeper.breathing.rate_bpm, abs=0.8
+        )
+
+
+class TestValidation:
+    def test_too_short_session_rejected(self, short_lab_trace):
+        with pytest.raises(ConfigurationError):
+            analyze_session(short_lab_trace, window_s=60.0)
+
+    def test_report_is_frozen(self, clean_session):
+        _, report = clean_session
+        assert isinstance(report, SessionReport)
+        with pytest.raises(AttributeError):
+            report.duration_s = 0.0

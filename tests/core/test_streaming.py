@@ -1,0 +1,116 @@
+"""Tests for the realtime sliding-window monitor."""
+
+import numpy as np
+import pytest
+
+from repro.core.streaming import StreamingConfig, StreamingMonitor
+from repro.errors import ConfigurationError
+
+
+class TestStreamingConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StreamingConfig(window_s=0.0)
+        with pytest.raises(ConfigurationError):
+            StreamingConfig(window_s=10.0, hop_s=20.0)
+        with pytest.raises(ConfigurationError):
+            StreamingConfig(n_persons=0)
+
+
+class TestStreamingMonitor:
+    def test_no_estimate_before_window_fills(self, lab_trace):
+        monitor = StreamingMonitor(
+            400.0, StreamingConfig(window_s=20.0, hop_s=5.0)
+        )
+        outputs = [
+            monitor.push_packet(lab_trace.csi[k], lab_trace.timestamps_s[k])
+            for k in range(100)
+        ]
+        assert all(o is None for o in outputs)
+
+    def test_emission_cadence(self, lab_trace):
+        monitor = StreamingMonitor(
+            400.0, StreamingConfig(window_s=20.0, hop_s=5.0)
+        )
+        estimates = monitor.push_trace(lab_trace)
+        # 30 s trace, 20 s window, 5 s hop → estimates at ~20, 25, 30 s.
+        assert len(estimates) == 3
+        times = [e.time_s for e in estimates]
+        assert times == sorted(times)
+        assert times[0] == pytest.approx(20.0, abs=0.1)
+
+    def test_estimates_track_truth(self, lab_trace, lab_person):
+        monitor = StreamingMonitor(
+            400.0, StreamingConfig(window_s=20.0, hop_s=5.0)
+        )
+        estimates = [e for e in monitor.push_trace(lab_trace) if e.ok]
+        assert estimates, "no window produced an estimate"
+        for estimate in estimates:
+            rate = estimate.result.breathing_rates_bpm[0]
+            assert rate == pytest.approx(lab_person.breathing_rate_bpm, abs=1.0)
+
+    def test_rejected_window_reports_reason(self, rng):
+        # Pure-noise packets: every window is rejected, not crashed on.
+        monitor = StreamingMonitor(
+            100.0, StreamingConfig(window_s=2.0, hop_s=1.0)
+        )
+        n = 400
+        csi = 0.001 * (
+            rng.normal(size=(n, 3, 30)) + 1j * rng.normal(size=(n, 3, 30))
+        )
+        outputs = []
+        for k in range(n):
+            out = monitor.push_packet(csi[k], k / 100.0)
+            if out is not None:
+                outputs.append(out)
+        assert outputs
+        assert all(not o.ok for o in outputs)
+        assert all(
+            o.rejected_reason in ("not-stationary", "estimation-failed")
+            for o in outputs
+        )
+
+    def test_packet_shape_validated(self):
+        monitor = StreamingMonitor(100.0)
+        with pytest.raises(ConfigurationError):
+            monitor.push_packet(np.zeros(30, dtype=complex), 0.0)
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StreamingMonitor(0.0)
+
+
+class TestMultiPersonStreaming:
+    def test_two_person_windows(self):
+        from repro import Person, SinusoidalBreathing, capture_trace
+        from repro.rf.scene import laboratory_scenario
+
+        persons = [
+            Person(
+                position=(0.8, 5.5, 1.0),
+                breathing=SinusoidalBreathing(
+                    frequency_hz=0.20, amplitude_m=3e-3
+                ),
+                heartbeat=None,
+            ),
+            Person(
+                position=(3.8, 5.8, 1.0),
+                breathing=SinusoidalBreathing(
+                    frequency_hz=0.32, amplitude_m=3e-3, phase=1.0
+                ),
+                heartbeat=None,
+            ),
+        ]
+        scenario = laboratory_scenario(persons, clutter_seed=31)
+        trace = capture_trace(scenario, duration_s=70.0, seed=31)
+        monitor = StreamingMonitor(
+            400.0,
+            StreamingConfig(window_s=40.0, hop_s=15.0, n_persons=2),
+        )
+        estimates = [e for e in monitor.push_trace(trace) if e.ok]
+        assert estimates
+        for estimate in estimates:
+            rates = estimate.result.breathing_rates_bpm
+            assert len(rates) == 2
+            assert rates[0] == pytest.approx(12.0, abs=1.0)
+            assert rates[1] == pytest.approx(19.2, abs=1.0)

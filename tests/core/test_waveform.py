@@ -1,0 +1,80 @@
+"""Tests for respiration-waveform analytics."""
+
+import numpy as np
+import pytest
+
+from repro.core.waveform import analyze_waveform, breath_intervals
+from repro.errors import ConfigurationError, EstimationError
+
+
+def sine_breathing(f=0.25, fs=20.0, n=2400):
+    t = np.arange(n) / fs
+    return np.sin(2 * np.pi * f * t)
+
+
+def asymmetric_breathing(f=0.25, fs=20.0, n=2400, skew=0.3):
+    """Fast inhale / slow exhale waveform (phase-warped sine)."""
+    t = np.arange(n) / fs
+    phase = 2 * np.pi * f * t
+    warped = phase + skew * np.sin(phase)
+    return np.sin(warped)
+
+
+class TestBreathIntervals:
+    def test_regular_breathing(self):
+        intervals = breath_intervals(sine_breathing(), 20.0)
+        assert np.allclose(intervals, 4.0, atol=0.1)
+
+    def test_interval_count(self):
+        # 120 s at 0.25 Hz → 30 crests → 29 intervals.
+        intervals = breath_intervals(sine_breathing(), 20.0)
+        assert 27 <= intervals.size <= 30
+
+    def test_flat_signal_raises(self):
+        with pytest.raises(EstimationError):
+            breath_intervals(np.zeros(1200), 20.0)
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            breath_intervals(sine_breathing(), 0.0)
+
+
+class TestAnalyzeWaveform:
+    def test_regular_sine(self):
+        stats = analyze_waveform(sine_breathing(), 20.0)
+        assert stats.mean_rate_bpm == pytest.approx(15.0, abs=0.3)
+        assert stats.interval_cv < 0.05
+        assert stats.ie_ratio == pytest.approx(1.0, abs=0.15)
+
+    def test_variability_detected(self):
+        from repro.physio import RealisticBreathing
+
+        steady = analyze_waveform(sine_breathing(), 20.0)
+        t = np.arange(2400) / 20.0
+        wandering = RealisticBreathing(
+            frequency_hz=0.25, rate_jitter=0.08, seed=3
+        ).displacement(t)
+        wander_stats = analyze_waveform(wandering * 1000, 20.0)
+        assert wander_stats.interval_cv > steady.interval_cv
+
+    def test_asymmetric_ie_ratio(self):
+        # Phase-warped sine: inspiration (trough→crest) shorter than
+        # expiration (crest→trough) → I:E < 1.
+        stats = analyze_waveform(asymmetric_breathing(skew=0.4), 20.0)
+        assert stats.ie_ratio < 0.9
+
+    def test_breath_count(self):
+        stats = analyze_waveform(sine_breathing(), 20.0)
+        assert 27 <= stats.n_breaths <= 30
+
+    def test_on_pipeline_output(self, lab_trace, lab_person):
+        from repro import PhaseBeat
+
+        result = PhaseBeat().process(lab_trace, estimate_heart=False)
+        stats = analyze_waveform(
+            result.breathing_signal, result.diagnostics.calibrated_rate_hz
+        )
+        assert stats.mean_rate_bpm == pytest.approx(
+            lab_person.breathing_rate_bpm, abs=0.7
+        )
+        assert stats.interval_cv < 0.2

@@ -1,0 +1,57 @@
+"""Unit tests for decimation."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.resample import decimate, downsampled_rate
+from repro.errors import ConfigurationError
+
+
+class TestDecimate:
+    def test_paper_factor_20(self):
+        x = np.arange(10_000.0)
+        out = decimate(x, 20)
+        assert out.size == 500
+        assert out[0] == 0.0
+        assert out[1] == 20.0
+
+    def test_factor_one_is_copy(self):
+        x = np.arange(10.0)
+        out = decimate(x, 1)
+        assert np.array_equal(out, x)
+        out[0] = 99.0
+        assert x[0] == 0.0
+
+    def test_axis_selection(self):
+        x = np.arange(40.0).reshape(20, 2)
+        out = decimate(x, 5, axis=0)
+        assert out.shape == (4, 2)
+
+    def test_anti_alias_attenuates_high_tone(self):
+        fs = 400.0
+        t = np.arange(8000) / fs
+        # 71 Hz aliases to 9 Hz after plain 20× slicing (new Nyquist 10 Hz).
+        high = np.sin(2 * np.pi * 71.0 * t)
+        raw = decimate(high, 20)
+        filtered = decimate(high, 20, anti_alias=True)
+        assert np.std(raw) > 0.5  # the alias is real without the filter
+        assert np.std(filtered) < 0.2 * np.std(raw)
+
+    def test_bad_factor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            decimate(np.zeros(10), 0)
+
+    def test_signal_shorter_than_factor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            decimate(np.zeros(5), 10)
+
+
+class TestDownsampledRate:
+    def test_paper_rates(self):
+        assert downsampled_rate(400.0, 20) == pytest.approx(20.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            downsampled_rate(0.0, 2)
+        with pytest.raises(ConfigurationError):
+            downsampled_rate(100.0, 0)

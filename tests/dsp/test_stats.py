@@ -1,0 +1,120 @@
+"""Unit tests for robust and circular statistics."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.stats import (
+    MAD_TO_SIGMA,
+    angular_sector_width,
+    circular_mean,
+    circular_resultant_length,
+    circular_std,
+    circular_variance,
+    mean_absolute_deviation,
+    median_absolute_deviation,
+)
+
+
+class TestMeanAbsoluteDeviation:
+    def test_constant_series_has_zero_mad(self):
+        assert mean_absolute_deviation(np.full(100, 3.7)) == 0.0
+
+    def test_known_value(self):
+        # mean of [0, 4] is 2; |x - 2| = [2, 2] -> MAD 2.
+        assert mean_absolute_deviation(np.array([0.0, 4.0])) == pytest.approx(2.0)
+
+    def test_sine_wave_mad_is_2_over_pi_amplitude(self):
+        t = np.linspace(0.0, 1.0, 100_000, endpoint=False)
+        x = 3.0 * np.sin(2.0 * np.pi * 5 * t)
+        assert mean_absolute_deviation(x) == pytest.approx(
+            3.0 * 2.0 / np.pi, rel=1e-3
+        )
+
+    def test_axis_reduction(self):
+        x = np.array([[0.0, 4.0], [1.0, 1.0]]).T  # columns differ
+        out = mean_absolute_deviation(x, axis=0)
+        assert out.shape == (2,)
+        assert out[0] == pytest.approx(2.0)
+        assert out[1] == pytest.approx(0.0)
+
+    def test_translation_invariance(self):
+        x = np.array([1.0, 2.0, 5.0, 9.0])
+        assert mean_absolute_deviation(x + 100.0) == pytest.approx(
+            mean_absolute_deviation(x)
+        )
+
+
+class TestMedianAbsoluteDeviation:
+    def test_constant_series(self):
+        assert median_absolute_deviation(np.ones(10)) == 0.0
+
+    def test_gaussian_consistency_scale(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(scale=2.0, size=200_000)
+        sigma_hat = median_absolute_deviation(x, scale=MAD_TO_SIGMA)
+        assert sigma_hat == pytest.approx(2.0, rel=0.02)
+
+    def test_robust_to_outliers(self):
+        x = np.concatenate([np.zeros(99), [1e9]])
+        assert median_absolute_deviation(x) == 0.0
+
+
+class TestCircularStatistics:
+    def test_point_mass_resultant_is_one(self):
+        angles = np.full(50, 1.2)
+        assert circular_resultant_length(angles) == pytest.approx(1.0)
+        assert circular_variance(angles) == pytest.approx(0.0)
+        assert circular_std(angles) == pytest.approx(0.0, abs=1e-6)
+
+    def test_uniform_angles_resultant_near_zero(self):
+        angles = np.linspace(0, 2 * np.pi, 1000, endpoint=False)
+        assert circular_resultant_length(angles) == pytest.approx(0.0, abs=1e-10)
+        assert circular_variance(angles) == pytest.approx(1.0, abs=1e-10)
+
+    def test_circular_mean_wraps(self):
+        # Angles straddling the ±π seam average to π, not ~0.
+        angles = np.array([np.pi - 0.1, -np.pi + 0.1])
+        mean = circular_mean(angles)
+        assert abs(abs(mean) - np.pi) < 1e-9
+
+    def test_circular_mean_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            circular_mean(np.array([]))
+
+    def test_circular_std_of_uniform_is_inf(self):
+        angles = np.linspace(0, 2 * np.pi, 256, endpoint=False)
+        assert circular_std(angles) == float("inf")
+
+
+class TestAngularSectorWidth:
+    def test_tight_cluster(self):
+        angles = np.array([1.0, 1.05, 1.1])
+        assert angular_sector_width(angles) == pytest.approx(0.1, abs=1e-9)
+
+    def test_cluster_across_seam(self):
+        # 20-degree sector straddling the 0/2π seam.
+        angles = np.deg2rad(np.array([355.0, 0.0, 5.0, 10.0]))
+        width = np.degrees(angular_sector_width(angles))
+        assert width == pytest.approx(15.0, abs=1e-6)
+
+    def test_uniform_covers_circle(self):
+        angles = np.linspace(0, 2 * np.pi, 360, endpoint=False)
+        width = angular_sector_width(angles)
+        assert width > 0.99 * 2 * np.pi * (359 / 360)
+
+    def test_partial_coverage_trims_outlier(self):
+        angles = np.concatenate([np.full(99, 0.5), [3.0]])
+        full = angular_sector_width(angles, coverage=1.0)
+        trimmed = angular_sector_width(angles, coverage=0.95)
+        assert full == pytest.approx(2.5, abs=1e-9)
+        assert trimmed == pytest.approx(0.0, abs=1e-9)
+
+    def test_invalid_coverage_raises(self):
+        with pytest.raises(ValueError):
+            angular_sector_width(np.array([0.0]), coverage=0.0)
+        with pytest.raises(ValueError):
+            angular_sector_width(np.array([0.0]), coverage=1.5)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            angular_sector_width(np.array([]))

@@ -1,0 +1,113 @@
+"""Unit tests for the STFT module."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.stft import stft_bandpass, stft_spectrogram, track_rate
+from repro.errors import ConfigurationError, SignalTooShortError
+
+
+def chirp_like(f_start, f_end, fs, duration):
+    """A tone whose frequency ramps linearly from f_start to f_end."""
+    t = np.arange(int(duration * fs)) / fs
+    freq = np.linspace(f_start, f_end, t.size)
+    phase = 2 * np.pi * np.cumsum(freq) / fs
+    return t, np.sin(phase)
+
+
+class TestSpectrogram:
+    def test_shapes_and_axes(self):
+        fs = 20.0
+        x = np.sin(2 * np.pi * 0.3 * np.arange(1200) / fs)
+        spec = stft_spectrogram(x, fs, window_s=20.0, hop_s=5.0)
+        assert spec.magnitude.shape == (spec.freqs_hz.size, spec.n_frames)
+        assert spec.times_s[0] == pytest.approx(10.0)
+        assert np.all(np.diff(spec.times_s) == pytest.approx(5.0))
+
+    def test_stationary_tone_peaks_at_right_bin(self):
+        fs = 20.0
+        x = np.sin(2 * np.pi * 0.3 * np.arange(2400) / fs)
+        spec = stft_spectrogram(x, fs, window_s=30.0, hop_s=10.0)
+        for frame in range(spec.n_frames):
+            peak = spec.freqs_hz[np.argmax(spec.magnitude[:, frame])]
+            assert peak == pytest.approx(0.3, abs=0.05)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(SignalTooShortError):
+            stft_spectrogram(np.zeros(10), 20.0, window_s=30.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            stft_spectrogram(np.zeros((10, 2)), 20.0)
+        with pytest.raises(ConfigurationError):
+            stft_spectrogram(np.zeros(1000), 20.0, window_s=0.0)
+
+
+class TestBandpass:
+    def test_passes_in_band_tone(self):
+        fs = 20.0
+        t = np.arange(1200) / fs
+        x = np.sin(2 * np.pi * 1.2 * t)
+        out = stft_bandpass(x, fs, (0.8, 2.0))
+        # Interior energy survives (edges taper).
+        interior = slice(200, -200)
+        ratio = np.sum(out[interior] ** 2) / np.sum(x[interior] ** 2)
+        assert ratio > 0.8
+
+    def test_rejects_out_of_band_tone(self):
+        fs = 20.0
+        t = np.arange(1200) / fs
+        x = np.sin(2 * np.pi * 0.25 * t)
+        out = stft_bandpass(x, fs, (0.8, 2.0))
+        assert np.sum(out**2) < 0.05 * np.sum(x**2)
+
+    def test_separates_mixture(self):
+        fs = 20.0
+        t = np.arange(2400) / fs
+        breath = np.sin(2 * np.pi * 0.25 * t)
+        heart = 0.2 * np.sin(2 * np.pi * 1.3 * t)
+        out = stft_bandpass(breath + heart, fs, (0.8, 2.0))
+        interior = slice(200, -200)
+        corr = np.corrcoef(out[interior], heart[interior])[0, 1]
+        assert corr > 0.95
+
+    def test_length_preserved(self):
+        x = np.random.default_rng(0).normal(size=777)
+        out = stft_bandpass(x, 20.0, (0.5, 2.0), window_s=6.4)
+        assert out.size == 777
+
+
+class TestTrackRate:
+    def test_constant_rate(self):
+        fs = 20.0
+        x = np.sin(2 * np.pi * 0.3 * np.arange(2400) / fs)
+        times, rates = track_rate(x, fs, (0.1, 0.7))
+        assert np.allclose(rates, 0.3, atol=0.04)
+
+    def test_follows_rate_change(self):
+        fs = 20.0
+        _, x = chirp_like(0.2, 0.4, fs, 240.0)
+        times, rates = track_rate(x, fs, (0.1, 0.7), window_s=30.0, hop_s=10.0)
+        # The ridge rises from ~0.2 toward ~0.4 Hz.
+        assert rates[0] < 0.27
+        assert rates[-1] > 0.33
+        assert np.all(np.diff(rates) > -0.06)
+
+    def test_continuity_constraint_suppresses_jumps(self):
+        fs = 20.0
+        t = np.arange(2400) / fs
+        x = np.sin(2 * np.pi * 0.25 * t)
+        # A strong interferer appears briefly at 0.55 Hz.
+        burst = (t > 60) & (t < 70)
+        x = x + 3.0 * burst * np.sin(2 * np.pi * 0.55 * t)
+        _, free = track_rate(x, fs, (0.1, 0.7), hop_s=5.0)
+        _, constrained = track_rate(
+            x, fs, (0.1, 0.7), hop_s=5.0, max_step_hz=0.05
+        )
+        assert free.max() > 0.5  # the unconstrained ridge jumps
+        assert constrained.max() < 0.35  # the constrained one does not
+
+    def test_empty_band_rejected(self):
+        x = np.zeros(1200)
+        with pytest.raises(ConfigurationError):
+            track_rate(x, 20.0, (0.7, 0.1))

@@ -1,0 +1,80 @@
+"""Unit tests for cycle-synchronous template subtraction."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.fft_utils import magnitude_spectrum
+from repro.dsp.template import fold_cycle_template, subtract_cycle_template
+from repro.errors import ConfigurationError, SignalTooShortError
+
+
+def comb_signal(f0, fs, n, harmonics=(1.0, 0.5, 0.3, 0.2)):
+    """A fundamental with a strong harmonic comb (the breathing model)."""
+    t = np.arange(n) / fs
+    return sum(
+        a * np.cos(2 * np.pi * (k + 1) * f0 * t + 0.3 * k)
+        for k, a in enumerate(harmonics)
+    )
+
+
+class TestFoldCycleTemplate:
+    def test_recovers_waveform_shape(self):
+        fs, f0 = 20.0, 0.25
+        x = comb_signal(f0, fs, 2400)
+        phases, template = fold_cycle_template(x, fs, f0, n_bins=40)
+        assert phases.shape == template.shape == (40,)
+        # The template evaluated at phase φ matches the generating waveform.
+        expected = sum(
+            a * np.cos(2 * np.pi * (k + 1) * phases + 0.3 * k)
+            for k, a in enumerate((1.0, 0.5, 0.3, 0.2))
+        )
+        assert np.corrcoef(template, expected)[0, 1] > 0.99
+
+    def test_too_few_cycles_raises(self):
+        with pytest.raises(SignalTooShortError):
+            fold_cycle_template(np.zeros(30), 20.0, 0.25)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            fold_cycle_template(np.zeros(100), -1.0, 0.25)
+        with pytest.raises(ConfigurationError):
+            fold_cycle_template(np.zeros(100), 20.0, 0.25, n_bins=2)
+
+
+class TestSubtractCycleTemplate:
+    def test_removes_fundamental_and_harmonics(self):
+        fs, f0 = 20.0, 0.25
+        n = 2400
+        x = comb_signal(f0, fs, n)
+        residual = subtract_cycle_template(x, fs, f0)
+        # > 99% of the comb energy must vanish.
+        assert np.sum(residual**2) < 0.01 * np.sum(x**2)
+
+    def test_preserves_incommensurate_tone(self):
+        fs, f0 = 20.0, 0.25
+        n = 2400
+        t = np.arange(n) / fs
+        heart = 0.1 * np.sin(2 * np.pi * 1.07 * t)
+        x = comb_signal(f0, fs, n) + heart
+        residual = subtract_cycle_template(x, fs, f0)
+        freqs, mag = magnitude_spectrum(residual, fs)
+        heart_bin = np.argmin(np.abs(freqs - 1.07))
+        # The heart tone dominates the residual spectrum near 1.07 Hz.
+        band = (freqs > 0.8) & (freqs < 2.0)
+        assert mag[heart_bin] > 0.8 * mag[band].max()
+        # And retains most of its energy.
+        assert mag[heart_bin] > 0.5 * 0.1 * n / 2 * 0.5
+
+    def test_small_frequency_error_tolerated(self):
+        fs, f0 = 20.0, 0.25
+        x = comb_signal(f0, fs, 1200)
+        residual = subtract_cycle_template(x, fs, f0 * 1.002)
+        assert np.sum(residual**2) < 0.15 * np.sum(x**2)
+
+    def test_white_noise_mostly_preserved(self, rng):
+        fs = 20.0
+        x = rng.normal(size=1200)
+        residual = subtract_cycle_template(x, fs, 0.25)
+        # Folding averages ~30 samples per bin, so only ~1/30 of noise
+        # energy should be removed.
+        assert np.sum(residual**2) > 0.85 * np.sum(x**2)

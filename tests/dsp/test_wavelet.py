@@ -1,0 +1,194 @@
+"""Unit tests for the from-scratch Daubechies DWT."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.wavelet import (
+    Wavelet,
+    coefficient_band,
+    daubechies_filter,
+    dwt,
+    dwt_max_level,
+    idwt,
+    make_wavelet,
+    reconstruct_band,
+    wavedec,
+    waverec,
+)
+from repro.errors import ConfigurationError, SignalTooShortError
+
+
+class TestDaubechiesFilters:
+    def test_db1_is_haar(self):
+        h = daubechies_filter(1)
+        assert np.allclose(h, [1 / np.sqrt(2)] * 2)
+
+    def test_db2_matches_known_coefficients(self):
+        h = daubechies_filter(2)
+        expected = np.array(
+            [1 + np.sqrt(3), 3 + np.sqrt(3), 3 - np.sqrt(3), 1 - np.sqrt(3)]
+        ) / (4 * np.sqrt(2))
+        assert np.allclose(h, expected, atol=1e-10)
+
+    @pytest.mark.parametrize("order", [1, 2, 3, 4, 6, 8, 10])
+    def test_filter_length_is_2n(self, order):
+        assert daubechies_filter(order).size == 2 * order
+
+    @pytest.mark.parametrize("order", [1, 2, 4, 8])
+    def test_taps_sum_to_sqrt2(self, order):
+        assert daubechies_filter(order).sum() == pytest.approx(np.sqrt(2))
+
+    @pytest.mark.parametrize("order", [1, 2, 4, 8])
+    def test_double_shift_orthonormality(self, order):
+        # Σ h[n] h[n+2k] = δ_k — the conjugate-quadrature property.
+        h = daubechies_filter(order)
+        for k in range(order):
+            inner = np.sum(h[: h.size - 2 * k] * h[2 * k :])
+            assert inner == pytest.approx(1.0 if k == 0 else 0.0, abs=1e-10)
+
+    @pytest.mark.parametrize("order", [2, 4, 6])
+    def test_vanishing_moments(self, order):
+        # The high-pass filter annihilates polynomials up to degree N-1.
+        w = make_wavelet(f"db{order}")
+        n = np.arange(w.length, dtype=float)
+        for degree in range(order):
+            assert np.sum(w.dec_hi * n**degree) == pytest.approx(0.0, abs=1e-6)
+
+    def test_out_of_range_order_rejected(self):
+        with pytest.raises(ConfigurationError):
+            daubechies_filter(0)
+        with pytest.raises(ConfigurationError):
+            daubechies_filter(13)
+
+
+class TestMakeWavelet:
+    def test_haar_alias(self):
+        assert make_wavelet("haar").name == "db1"
+
+    def test_case_insensitive(self):
+        assert make_wavelet("DB4").name == "db4"
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_wavelet("sym4")
+
+    def test_malformed_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_wavelet("dbx")
+
+    def test_returns_wavelet_instance(self):
+        w = make_wavelet("db3")
+        assert isinstance(w, Wavelet)
+        assert w.length == 6
+
+
+class TestSingleLevel:
+    def test_perfect_reconstruction(self, rng):
+        x = rng.normal(size=128)
+        for name in ("db1", "db2", "db4", "db8"):
+            a, d = dwt(x, name)
+            assert a.size == d.size == 64
+            assert np.allclose(idwt(a, d, name), x, atol=1e-10)
+
+    def test_energy_preservation(self, rng):
+        # Orthogonal transform: ||x||² = ||a||² + ||d||².
+        x = rng.normal(size=256)
+        a, d = dwt(x, "db4")
+        assert np.sum(a**2) + np.sum(d**2) == pytest.approx(np.sum(x**2))
+
+    def test_constant_signal_goes_to_approximation(self):
+        x = np.full(64, 5.0)
+        a, d = dwt(x, "db4")
+        assert np.allclose(d, 0.0, atol=1e-10)
+        assert np.allclose(a, 5.0 * np.sqrt(2), atol=1e-10)
+
+    def test_odd_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            dwt(np.zeros(65), "db2")
+
+    def test_mismatched_idwt_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            idwt(np.zeros(4), np.zeros(5), "db2")
+
+
+class TestMultilevel:
+    @pytest.mark.parametrize("n", [64, 100, 501, 1200])
+    @pytest.mark.parametrize("name", ["db1", "db2", "db4", "db8"])
+    def test_perfect_reconstruction(self, n, name, rng):
+        x = rng.normal(size=n)
+        dec = wavedec(x, name, level=4)
+        assert np.allclose(waverec(dec), x, atol=1e-8)
+
+    def test_level_and_shapes(self, rng):
+        x = rng.normal(size=160)
+        dec = wavedec(x, "db2", level=3)
+        assert dec.level == 3
+        assert dec.detail(1).size == 80
+        assert dec.detail(2).size == 40
+        assert dec.detail(3).size == 20
+        assert dec.approx.size == 20
+
+    def test_detail_level_out_of_range(self, rng):
+        dec = wavedec(rng.normal(size=64), "db2", level=2)
+        with pytest.raises(ConfigurationError):
+            dec.detail(3)
+        with pytest.raises(ConfigurationError):
+            dec.detail(0)
+
+    def test_too_short_signal_rejected(self):
+        with pytest.raises(SignalTooShortError):
+            wavedec(np.zeros(8), "db4", level=4)
+
+    def test_bad_level_rejected(self):
+        with pytest.raises(ConfigurationError):
+            wavedec(np.zeros(64), "db4", level=0)
+
+
+class TestBandReconstruction:
+    def test_low_tone_lands_in_approximation(self):
+        fs = 20.0
+        t = np.arange(1200) / fs
+        x = np.sin(2 * np.pi * 0.3 * t)
+        dec = wavedec(x, "db4", level=4)
+        approx_only = reconstruct_band(dec, keep_approx=True)
+        detail_34 = reconstruct_band(dec, keep_details=(3, 4))
+        total = np.sum(x**2)
+        assert np.sum(approx_only**2) / total > 0.95
+        assert np.sum(detail_34**2) / total < 0.05
+
+    def test_heart_tone_lands_in_detail_34(self):
+        fs = 20.0
+        t = np.arange(1200) / fs
+        x = np.sin(2 * np.pi * 1.2 * t)
+        dec = wavedec(x, "db4", level=4)
+        detail_34 = reconstruct_band(dec, keep_details=(3, 4))
+        assert np.sum(detail_34**2) / np.sum(x**2) > 0.9
+
+    def test_band_reconstructions_sum_to_signal(self, rng):
+        x = rng.normal(size=256)
+        dec = wavedec(x, "db4", level=4)
+        total = reconstruct_band(dec, keep_approx=True, keep_details=(1, 2, 3, 4))
+        assert np.allclose(total, x, atol=1e-8)
+
+    def test_invalid_detail_level_rejected(self, rng):
+        dec = wavedec(rng.normal(size=64), "db2", level=2)
+        with pytest.raises(ConfigurationError):
+            reconstruct_band(dec, keep_details=(3,))
+
+
+class TestHelpers:
+    def test_dwt_max_level(self):
+        assert dwt_max_level(1000, "db4") == int(np.floor(np.log2(1000 / 7)))
+        assert dwt_max_level(4, "db4") == 0
+
+    def test_coefficient_band_paper_values(self):
+        # 20 Hz, L = 4: α₄ covers 0–0.625 Hz, β₃ 1.25–2.5, β₄ 0.625–1.25.
+        assert coefficient_band(20.0, 4, is_approx=True) == (0.0, 0.625)
+        assert coefficient_band(20.0, 4, is_approx=False) == (0.625, 1.25)
+        assert coefficient_band(20.0, 3, is_approx=False) == (1.25, 2.5)
+
+    def test_coefficient_band_validation(self):
+        with pytest.raises(ConfigurationError):
+            coefficient_band(-1.0, 4, is_approx=True)
+        with pytest.raises(ConfigurationError):
+            coefficient_band(20.0, 0, is_approx=False)

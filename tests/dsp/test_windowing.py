@@ -1,0 +1,60 @@
+"""Unit tests for sliding-window helpers."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.windowing import centered_window_bounds, segment_indices, sliding_view
+
+
+class TestSlidingView:
+    def test_shape_and_content(self):
+        view = sliding_view(np.arange(5.0), 3)
+        assert view.shape == (3, 3)
+        assert np.allclose(view[0], [0, 1, 2])
+        assert np.allclose(view[-1], [2, 3, 4])
+
+    def test_rejects_window_longer_than_signal(self):
+        with pytest.raises(ValueError):
+            sliding_view(np.arange(3.0), 5)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            sliding_view(np.zeros((3, 3)), 2)
+
+
+class TestSegmentIndices:
+    def test_non_overlapping(self):
+        segments = list(segment_indices(10, 4, 4))
+        assert segments == [(0, 4), (4, 8)]
+
+    def test_overlapping(self):
+        segments = list(segment_indices(8, 4, 2))
+        assert segments == [(0, 4), (2, 6), (4, 8)]
+
+    def test_trailing_partial_dropped(self):
+        segments = list(segment_indices(9, 4, 4))
+        assert segments == [(0, 4), (4, 8)]
+
+    def test_empty_when_too_short(self):
+        assert list(segment_indices(3, 4, 1)) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            list(segment_indices(10, 0, 1))
+        with pytest.raises(ValueError):
+            list(segment_indices(10, 4, 0))
+
+
+class TestCenteredWindowBounds:
+    def test_interior(self):
+        assert centered_window_bounds(10, 3, 100) == (7, 14)
+
+    def test_left_edge_clipped(self):
+        assert centered_window_bounds(1, 5, 100) == (0, 7)
+
+    def test_right_edge_clipped(self):
+        assert centered_window_bounds(98, 5, 100) == (93, 100)
+
+    def test_empty_signal_rejected(self):
+        with pytest.raises(ValueError):
+            centered_window_bounds(0, 1, 0)

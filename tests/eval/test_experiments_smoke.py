@@ -1,0 +1,92 @@
+"""Smoke tests for the per-figure experiment functions.
+
+The heavy parameterizations live in benchmarks/; these runs use the
+cheapest meaningful settings and assert structural invariants so the
+experiment code paths stay green under refactoring.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval import experiments as E
+
+
+class TestCheapFigures:
+    def test_fig01_structure(self):
+        result = E.fig01_phase_stability(n_packets=300)
+        assert set(result) >= {
+            "raw_resultant_length",
+            "diff_resultant_length",
+            "raw_sector_deg",
+            "diff_sector_deg",
+        }
+        assert 0 <= result["raw_resultant_length"] <= 1
+        assert 0 <= result["diff_resultant_length"] <= 1
+
+    def test_fig03_structure(self):
+        result = E.fig03_environment_detection(seed=1)
+        assert set(result["segment_mean_v"]) == {
+            "sitting",
+            "no_person",
+            "standing_up",
+            "walking",
+        }
+        assert result["v"].shape == result["window_centers_s"].shape
+
+    def test_fig04_structure(self):
+        result = E.fig04_calibration(seed=1)
+        assert result["n_raw_packets"] == 10_000
+        assert result["n_calibrated_samples"] == 500
+
+    def test_fig06_structure(self):
+        result = E.fig06_dwt_decomposition(seed=1)
+        assert result["breathing_band_hz"] == (0.0, 0.625)
+        assert result["band_separation_ratio"] > 1.0
+
+    def test_fig07_structure(self):
+        result = E.fig07_subcarrier_mad()
+        assert result["mads"].shape == (30,)
+        assert result["selected"] in result["candidates"]
+
+
+class TestTrialFigures:
+    def test_fig11_minimal(self):
+        result = E.fig11_breathing_cdf(n_trials=3, base_seed=100)
+        for method in ("phasebeat", "amplitude"):
+            assert "median" in result[method]
+            assert result[method]["cdf_x"].size >= 1
+
+    def test_fig13_minimal(self):
+        result = E.fig13_sampling_rate(
+            rates_hz=(200.0, 400.0), n_trials=2
+        )
+        assert len(result["breathing"]) == 2
+        assert len(result["heart_tone_snr"]) == 2
+
+    def test_fig15_minimal(self):
+        result = E.fig15_distance_corridor(
+            distances_m=(2.0, 6.0), n_trials=2
+        )
+        assert len(result["mean_error_bpm"]) == 2
+        assert all(np.isfinite(result["mean_error_bpm"]))
+
+    def test_fig16_minimal(self):
+        result = E.fig16_distance_through_wall(
+            distances_m=(3.0,), n_trials=2
+        )
+        assert len(result["mean_error_bpm"]) == 1
+
+
+class TestExportList:
+    def test_all_experiments_exported_and_callable(self):
+        for name in E.__all__:
+            assert callable(getattr(E, name))
+
+    def test_one_export_per_reproduced_figure(self):
+        figures = {name.split("_")[0] for name in E.__all__}
+        expected = {
+            "fig01", "fig03", "fig04", "fig05", "fig06", "fig07",
+            "fig08", "fig09", "fig11", "fig12", "fig13", "fig14",
+            "fig15", "fig16",
+        }
+        assert figures == expected

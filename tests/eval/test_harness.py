@@ -1,0 +1,100 @@
+"""Tests for the trial-runner harness."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.eval.harness import (
+    BreathingTrialResults,
+    TrialOutcome,
+    default_subject,
+    run_breathing_trials,
+)
+from repro.rf.scene import laboratory_scenario
+
+
+def small_factory(k, rng):
+    return laboratory_scenario(
+        [default_subject(rng, with_heartbeat=False)], clutter_seed=k
+    )
+
+
+class TestDefaultSubject:
+    def test_rates_inside_bands(self, rng):
+        person = default_subject(rng)
+        assert 0.18 <= person.breathing.frequency_hz <= 0.42
+        assert 0.9 <= person.heartbeat.frequency_hz <= 1.8
+
+    def test_custom_bands(self, rng):
+        person = default_subject(
+            rng, breathing_band_hz=(0.18, 0.30), heart_band_hz=(1.0, 1.2)
+        )
+        assert 0.18 <= person.breathing.frequency_hz <= 0.30
+        assert 1.0 <= person.heartbeat.frequency_hz <= 1.2
+
+    def test_reproducible(self):
+        a = default_subject(np.random.default_rng(5))
+        b = default_subject(np.random.default_rng(5))
+        assert a.breathing.frequency_hz == b.breathing.frequency_hz
+        assert a.position == b.position
+
+
+class TestResultsContainer:
+    def test_accumulates_by_method(self):
+        results = BreathingTrialResults()
+        results.add(TrialOutcome("m1", 15.0, 15.1, 0.1, 0.99))
+        results.add(TrialOutcome("m1", 15.0, 15.3, 0.3, 0.98))
+        results.add(TrialOutcome("m2", 15.0, 16.0, 1.0, 0.93))
+        assert results.errors("m1").tolist() == [0.1, 0.3]
+        assert results.errors("m2").tolist() == [1.0]
+
+    def test_failures_dropped_or_scored_zero(self):
+        results = BreathingTrialResults()
+        results.add(
+            TrialOutcome("m", 15.0, float("nan"), float("nan"), 0.0, failed=True)
+        )
+        results.add(TrialOutcome("m", 15.0, 15.0, 0.0, 1.0))
+        assert results.errors("m").tolist() == [0.0]
+        assert results.failure_rate("m") == pytest.approx(0.5)
+        assert results.accuracies("m").tolist() == [0.0, 1.0]
+
+    def test_unknown_method_is_empty(self):
+        results = BreathingTrialResults()
+        assert results.errors("nope").size == 0
+        assert results.failure_rate("nope") == 0.0
+
+
+class TestRunBreathingTrials:
+    def test_runs_all_methods(self):
+        results = run_breathing_trials(
+            small_factory,
+            2,
+            duration_s=10.0,
+            sample_rate_hz=200.0,
+            methods=("phasebeat", "amplitude", "rss"),
+            base_seed=42,
+        )
+        for method in ("phasebeat", "amplitude", "rss"):
+            assert len(results.outcomes[method]) == 2
+
+    def test_phasebeat_accurate_on_easy_trials(self):
+        results = run_breathing_trials(
+            small_factory,
+            3,
+            duration_s=20.0,
+            methods=("phasebeat",),
+            base_seed=7,
+        )
+        errors = results.errors("phasebeat")
+        assert errors.size >= 2
+        assert np.median(errors) < 1.0
+
+    def test_zero_trials_rejected(self):
+        with pytest.raises(ReproError):
+            run_breathing_trials(small_factory, 0)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ReproError):
+            run_breathing_trials(
+                small_factory, 1, duration_s=5.0, methods=("bogus",)
+            )

@@ -1,0 +1,97 @@
+"""Unit tests for evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.eval.metrics import (
+    absolute_error_bpm,
+    accuracy,
+    empirical_cdf,
+    match_rates,
+    multi_person_errors,
+    percentile_error,
+)
+
+
+class TestScalarMetrics:
+    def test_absolute_error(self):
+        assert absolute_error_bpm(15.5, 15.0) == pytest.approx(0.5)
+        assert absolute_error_bpm(14.5, 15.0) == pytest.approx(0.5)
+
+    def test_accuracy_perfect(self):
+        assert accuracy(15.0, 15.0) == 1.0
+
+    def test_accuracy_paper_definition(self):
+        # 5% relative error → 95% accuracy.
+        assert accuracy(15.75, 15.0) == pytest.approx(0.95)
+
+    def test_accuracy_clipped_at_zero(self):
+        assert accuracy(45.0, 15.0) == 0.0
+
+    def test_accuracy_needs_positive_truth(self):
+        with pytest.raises(ConfigurationError):
+            accuracy(10.0, 0.0)
+
+
+class TestMatching:
+    def test_identity_match(self):
+        pairs = match_rates(np.array([12.0, 18.0]), np.array([12.0, 18.0]))
+        assert pairs == [(12.0, 12.0), (18.0, 18.0)]
+
+    def test_closest_pair_assignment(self):
+        pairs = match_rates(np.array([12.4, 18.1]), np.array([12.0, 18.0]))
+        assert pairs == [(12.4, 12.0), (18.1, 18.0)]
+
+    def test_missing_estimate_becomes_nan(self):
+        pairs = match_rates(np.array([12.0]), np.array([12.0, 18.0]))
+        assert pairs[0] == (12.0, 12.0)
+        assert np.isnan(pairs[1][0])
+        assert pairs[1][1] == 18.0
+
+    def test_no_double_assignment(self):
+        # One estimate near both truths can only serve one of them.
+        pairs = match_rates(np.array([15.0, 40.0]), np.array([14.9, 15.1]))
+        estimates = [e for e, _ in pairs]
+        assert sorted(estimates) == [15.0, 40.0]
+
+
+class TestMultiPersonErrors:
+    def test_exact_estimates(self):
+        errors = multi_person_errors(
+            np.array([12.0, 18.0]), np.array([12.0, 18.0])
+        )
+        assert np.allclose(errors, 0.0)
+
+    def test_miss_charged_as_truth(self):
+        errors = multi_person_errors(np.array([12.0]), np.array([12.0, 18.0]))
+        assert errors[0] == 0.0
+        assert errors[1] == 18.0  # accuracy 0 under the paper's metric
+
+    def test_custom_miss_penalty(self):
+        errors = multi_person_errors(
+            np.array([12.0]), np.array([12.0, 18.0]), miss_penalty_bpm=5.0
+        )
+        assert errors[1] == 5.0
+
+
+class TestCdfAndPercentiles:
+    def test_empirical_cdf(self):
+        x, p = empirical_cdf(np.array([3.0, 1.0, 2.0]))
+        assert np.allclose(x, [1.0, 2.0, 3.0])
+        assert np.allclose(p, [1 / 3, 2 / 3, 1.0])
+
+    def test_cdf_of_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            empirical_cdf(np.array([]))
+
+    def test_percentiles(self):
+        errors = np.arange(1.0, 101.0)
+        assert percentile_error(errors, 50) == pytest.approx(50.5)
+        assert percentile_error(errors, 90) == pytest.approx(90.1)
+
+    def test_percentile_validation(self):
+        with pytest.raises(ConfigurationError):
+            percentile_error(np.array([1.0]), 150)
+        with pytest.raises(ConfigurationError):
+            percentile_error(np.array([]), 50)

@@ -1,0 +1,53 @@
+"""Tests for ASCII reporting helpers."""
+
+from repro.eval.reporting import format_cdf_summary, format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(
+            ["name", "value"], [["a", 1.0], ["bb", 2.5]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert "value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "bb" in lines[4]
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[0.123456789]])
+        assert "0.1235" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestFormatSeries:
+    def test_xy_columns(self):
+        text = format_series(
+            [1.0, 2.0], [0.1, 0.2], x_label="d", y_label="err"
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("d")
+        assert "0.1" in lines[2]
+
+
+class TestFormatCdfSummary:
+    def test_contains_key_stats(self):
+        summary = {
+            "median": 0.25,
+            "p90": 0.5,
+            "max": 0.85,
+            "frac_under_half_bpm": 0.9,
+        }
+        text = format_cdf_summary("phasebeat", summary)
+        assert "phasebeat" in text
+        assert "median=0.25" in text
+        assert "p90=0.5" in text
+        assert "P(err<=0.5)=0.90" in text
+
+    def test_p80_variant(self):
+        text = format_cdf_summary("heart", {"median": 1.0, "p80": 2.5, "max": 10.0})
+        assert "p80=2.5" in text

@@ -1,0 +1,128 @@
+"""Unit tests for the CP-ALS tensor engine."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.extensions.tensor import cp_als, khatri_rao, unfold
+
+
+class TestKhatriRao:
+    def test_shape(self):
+        a = np.ones((3, 2))
+        b = np.ones((4, 2))
+        assert khatri_rao(a, b).shape == (12, 2)
+
+    def test_columns_are_kroneckers(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(3, 2))
+        b = rng.normal(size=(4, 2))
+        kr = khatri_rao(a, b)
+        for r in range(2):
+            assert np.allclose(kr[:, r], np.kron(a[:, r], b[:, r]))
+
+    def test_mismatched_columns_rejected(self):
+        with pytest.raises(ConfigurationError):
+            khatri_rao(np.ones((3, 2)), np.ones((4, 3)))
+
+
+class TestUnfold:
+    def test_shapes(self):
+        t = np.arange(24.0).reshape(2, 3, 4)
+        assert unfold(t, 0).shape == (2, 12)
+        assert unfold(t, 1).shape == (3, 8)
+        assert unfold(t, 2).shape == (4, 6)
+
+    def test_mode0_consistent_with_cp_model(self):
+        # X(0) must equal A · khatri_rao(B, C)ᵀ for a CP tensor.
+        rng = np.random.default_rng(1)
+        a, b, c = (rng.normal(size=(n, 2)) for n in (3, 4, 5))
+        tensor = np.einsum("ir,jr,kr->ijk", a, b, c)
+        assert np.allclose(unfold(tensor, 0), a @ khatri_rao(b, c).T)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            unfold(np.zeros((2, 2, 2)), 3)
+
+    def test_non_3way_rejected(self):
+        with pytest.raises(ConfigurationError):
+            unfold(np.zeros((2, 2)), 0)
+
+
+class TestCpAls:
+    @pytest.mark.parametrize("rank", [1, 2, 3])
+    def test_exact_recovery_real(self, rank):
+        rng = np.random.default_rng(rank)
+        a, b, c = (rng.normal(size=(n, rank)) for n in (10, 8, 6))
+        tensor = np.einsum("ir,jr,kr->ijk", a, b, c)
+        decomposition = cp_als(tensor, rank, seed=0)
+        assert decomposition.fit > 0.9999
+
+    def test_exact_recovery_complex(self):
+        rng = np.random.default_rng(5)
+        shapes = (9, 7, 5)
+        a, b, c = (
+            rng.normal(size=(n, 2)) + 1j * rng.normal(size=(n, 2))
+            for n in shapes
+        )
+        tensor = np.einsum("ir,jr,kr->ijk", a, b, c)
+        decomposition = cp_als(tensor, 2, seed=0)
+        assert decomposition.fit > 0.9999
+
+    def test_weights_sorted_descending(self):
+        rng = np.random.default_rng(2)
+        a, b, c = (rng.normal(size=(n, 3)) for n in (10, 8, 6))
+        tensor = np.einsum("ir,jr,kr->ijk", a, b, c)
+        decomposition = cp_als(tensor, 3, seed=0)
+        assert np.all(np.diff(decomposition.weights) <= 0)
+
+    def test_factor_columns_unit_norm(self):
+        rng = np.random.default_rng(3)
+        a, b, c = (rng.normal(size=(n, 2)) for n in (6, 5, 4))
+        tensor = np.einsum("ir,jr,kr->ijk", a, b, c)
+        decomposition = cp_als(tensor, 2, seed=0)
+        for factor in decomposition.factors:
+            assert np.allclose(np.linalg.norm(factor, axis=0), 1.0)
+
+    def test_noisy_tensor_good_fit(self):
+        rng = np.random.default_rng(4)
+        a, b, c = (rng.normal(size=(n, 2)) for n in (12, 10, 8))
+        tensor = np.einsum("ir,jr,kr->ijk", a, b, c)
+        noisy = tensor + 0.01 * rng.normal(size=tensor.shape)
+        decomposition = cp_als(noisy, 2, seed=0)
+        assert decomposition.fit > 0.95
+
+    def test_no_divergence_on_hard_tensor(self):
+        # Nearly collinear components — the classic CP swamp; the solver
+        # must stay bounded (fit may be imperfect but never explodes).
+        rng = np.random.default_rng(6)
+        base = rng.normal(size=10)
+        a = np.column_stack([base, base + 0.01 * rng.normal(size=10)])
+        b, c = (rng.normal(size=(n, 2)) for n in (8, 6))
+        tensor = np.einsum("ir,jr,kr->ijk", a, b, c)
+        decomposition = cp_als(tensor, 2, seed=0)
+        assert np.all(np.isfinite(decomposition.weights))
+        assert decomposition.fit > 0.5
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            cp_als(np.zeros((2, 2)), 1)
+        with pytest.raises(ConfigurationError):
+            cp_als(np.ones((2, 2, 2)), 0)
+        with pytest.raises(ConfigurationError):
+            cp_als(np.zeros((2, 2, 2)), 1)  # zero tensor
+
+
+class TestCpReconstruct:
+    def test_roundtrip_on_exact_tensor(self):
+        from repro.extensions.tensor import cp_reconstruct
+
+        rng = np.random.default_rng(9)
+        a, b, c = (rng.normal(size=(n, 2)) for n in (5, 4, 3))
+        tensor = np.einsum("ir,jr,kr->ijk", a, b, c)
+        decomposition = cp_als(tensor, 2, seed=0)
+        rebuilt = cp_reconstruct(decomposition)
+        assert rebuilt.shape == tensor.shape
+        # Accuracy is bounded by ALS convergence (ridge-damped), not
+        # reconstruction arithmetic.
+        assert np.allclose(rebuilt, tensor, atol=1e-3 * np.abs(tensor).max())

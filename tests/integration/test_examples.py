@@ -1,0 +1,50 @@
+"""Smoke tests: the shipped examples must run and print sane output.
+
+Only the quicker examples run here (the full set is exercised manually /
+by CI with a longer budget); each is executed as a subprocess exactly the
+way a user would run it.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, timeout: float = 300.0) -> str:
+    process = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert process.returncode == 0, process.stderr[-2000:]
+    return process.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        output = run_example("quickstart.py")
+        assert "breathing:" in output
+        assert "heart:" in output
+        assert "error" in output
+
+    def test_multi_person(self):
+        output = run_example("multi_person_monitoring.py")
+        assert "root-MUSIC" in output
+        assert "ground truth" in output
+
+    def test_sleep_apnea(self):
+        output = run_example("sleep_apnea_monitoring.py")
+        assert "detected events: 2" in output
+
+    @pytest.mark.parametrize(
+        "name",
+        ["heart_rate_monitoring.py", "dataset_workflow.py"],
+    )
+    def test_other_examples(self, name):
+        output = run_example(name)
+        assert output.strip()

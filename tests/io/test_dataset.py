@@ -1,0 +1,95 @@
+"""Tests for labelled trace datasets."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.io_.dataset import TraceDataset, generate_dataset
+from repro.physio.person import Person
+from repro.rf.receiver import capture_trace
+from repro.rf.scene import laboratory_scenario
+
+
+def tiny_factory(k, rng):
+    return laboratory_scenario(
+        [Person(position=(2.2, 3.0, 1.0), heartbeat=None)], clutter_seed=k
+    )
+
+
+class TestTraceDataset:
+    def test_add_and_reload(self, tmp_path):
+        dataset = TraceDataset(tmp_path / "ds")
+        scenario = laboratory_scenario(clutter_seed=1)
+        trace = capture_trace(scenario, duration_s=1.0, seed=1)
+        entry = dataset.add_trace(trace)
+        assert len(dataset) == 1
+        assert entry.scenario == "laboratory"
+        assert entry.seed == 1
+        loaded = dataset.load_trace(entry)
+        assert np.array_equal(loaded.csi, trace.csi)
+
+    def test_index_persists_across_instances(self, tmp_path):
+        root = tmp_path / "ds"
+        first = TraceDataset(root)
+        scenario = laboratory_scenario(clutter_seed=2)
+        first.add_trace(capture_trace(scenario, duration_s=1.0, seed=2))
+        second = TraceDataset(root)
+        assert len(second) == 1
+        assert second.entries[0].seed == 2
+        assert second.load_trace(0).n_packets == 400
+
+    def test_ground_truth_in_entry(self, tmp_path):
+        dataset = TraceDataset(tmp_path / "ds")
+        scenario = laboratory_scenario(clutter_seed=3)
+        trace = capture_trace(scenario, duration_s=1.0, seed=3)
+        entry = dataset.add_trace(trace)
+        assert entry.breathing_rates_bpm == tuple(
+            trace.meta["breathing_rates_bpm"]
+        )
+        assert entry.heart_rates_bpm == tuple(trace.meta["heart_rates_bpm"])
+
+    def test_filter(self, tmp_path):
+        dataset = TraceDataset(tmp_path / "ds")
+        for seed in (1, 2):
+            scenario = laboratory_scenario(clutter_seed=seed)
+            dataset.add_trace(capture_trace(scenario, duration_s=1.0, seed=seed))
+        hits = dataset.filter(lambda e: e.seed == 2)
+        assert len(hits) == 1
+        assert hits[0].seed == 2
+
+    def test_malformed_index_rejected(self, tmp_path):
+        root = tmp_path / "ds"
+        root.mkdir()
+        (root / "index.json").write_text("{not json")
+        with pytest.raises(TraceFormatError):
+            TraceDataset(root)
+
+    def test_wrong_index_version_rejected(self, tmp_path):
+        root = tmp_path / "ds"
+        root.mkdir()
+        (root / "index.json").write_text(
+            json.dumps({"format_version": 99, "entries": []})
+        )
+        with pytest.raises(TraceFormatError):
+            TraceDataset(root)
+
+
+class TestGenerateDataset:
+    def test_generates_requested_corpus(self, tmp_path):
+        dataset = generate_dataset(
+            tmp_path / "corpus",
+            tiny_factory,
+            3,
+            duration_s=1.0,
+            sample_rate_hz=200.0,
+            base_seed=10,
+        )
+        assert len(dataset) == 3
+        seeds = [e.seed for e in dataset]
+        assert seeds == [10, 11, 12]
+        for entry in dataset:
+            assert entry.sample_rate_hz == 200.0
+            trace = dataset.load_trace(entry)
+            assert trace.n_packets == 200

@@ -1,0 +1,132 @@
+"""Unit tests for the CSITrace container and npz round-trip."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.io_.trace import CSITrace
+
+
+def make_trace(n=100, n_rx=3, n_sub=30, rate=400.0, meta=None):
+    rng = np.random.default_rng(0)
+    csi = rng.normal(size=(n, n_rx, n_sub)) + 1j * rng.normal(size=(n, n_rx, n_sub))
+    # Timestamps are built at a fixed valid cadence so tests probing an
+    # invalid `rate` exercise only the validation under test.
+    return CSITrace(
+        csi=csi,
+        timestamps_s=np.arange(n) / 400.0,
+        sample_rate_hz=rate,
+        subcarrier_indices=np.arange(n_sub),
+        meta=meta or {"scenario": "test"},
+    )
+
+
+class TestConstruction:
+    def test_properties(self):
+        trace = make_trace(n=50)
+        assert trace.n_packets == 50
+        assert trace.n_rx == 3
+        assert trace.n_subcarriers == 30
+        assert trace.duration_s == pytest.approx(49 / 400.0)
+
+    def test_amplitudes_and_phases(self):
+        trace = make_trace()
+        assert np.allclose(trace.amplitudes(), np.abs(trace.csi))
+        assert np.allclose(trace.phases(), np.angle(trace.csi))
+
+    def test_rejects_real_csi(self):
+        with pytest.raises(TraceFormatError):
+            CSITrace(
+                csi=np.zeros((10, 3, 30)),
+                timestamps_s=np.arange(10) / 400.0,
+                sample_rate_hz=400.0,
+                subcarrier_indices=np.arange(30),
+            )
+
+    def test_rejects_wrong_timestamp_count(self):
+        with pytest.raises(TraceFormatError):
+            CSITrace(
+                csi=np.zeros((10, 3, 30), dtype=complex),
+                timestamps_s=np.arange(5) / 400.0,
+                sample_rate_hz=400.0,
+                subcarrier_indices=np.arange(30),
+            )
+
+    def test_rejects_decreasing_timestamps(self):
+        with pytest.raises(TraceFormatError):
+            CSITrace(
+                csi=np.zeros((3, 3, 30), dtype=complex),
+                timestamps_s=np.array([0.0, 2.0, 1.0]),
+                sample_rate_hz=400.0,
+                subcarrier_indices=np.arange(30),
+            )
+
+    def test_rejects_wrong_subcarrier_count(self):
+        with pytest.raises(TraceFormatError):
+            CSITrace(
+                csi=np.zeros((3, 3, 30), dtype=complex),
+                timestamps_s=np.arange(3) / 400.0,
+                sample_rate_hz=400.0,
+                subcarrier_indices=np.arange(10),
+            )
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(TraceFormatError):
+            make_trace(rate=0.0)
+
+
+class TestSlicing:
+    def test_slice_packets(self):
+        trace = make_trace(n=100)
+        sub = trace.slice_packets(10, 60)
+        assert sub.n_packets == 50
+        assert np.array_equal(sub.csi, trace.csi[10:60])
+        assert sub.meta == trace.meta
+
+    def test_slice_metadata_is_copy(self):
+        trace = make_trace()
+        sub = trace.slice_packets(0, 10)
+        sub.meta["extra"] = 1
+        assert "extra" not in trace.meta
+
+    def test_invalid_slice_rejected(self):
+        trace = make_trace(n=10)
+        with pytest.raises(TraceFormatError):
+            trace.slice_packets(5, 5)
+        with pytest.raises(TraceFormatError):
+            trace.slice_packets(0, 11)
+
+
+class TestRoundTrip:
+    def test_save_load_identity(self, tmp_path):
+        trace = make_trace(meta={"scenario": "lab", "rates": [15.0, 64.2]})
+        path = trace.save(tmp_path / "trace.npz")
+        loaded = CSITrace.load(path)
+        assert np.array_equal(loaded.csi, trace.csi)
+        assert np.array_equal(loaded.timestamps_s, trace.timestamps_s)
+        assert loaded.sample_rate_hz == trace.sample_rate_hz
+        assert np.array_equal(
+            loaded.subcarrier_indices, trace.subcarrier_indices
+        )
+        assert loaded.meta == trace.meta
+
+    def test_suffix_added(self, tmp_path):
+        trace = make_trace()
+        path = trace.save(tmp_path / "trace")
+        assert path.suffix == ".npz"
+
+    def test_missing_field_rejected(self, tmp_path):
+        path = tmp_path / "bogus.npz"
+        np.savez(path, format_version=np.int64(1), csi=np.zeros(3))
+        with pytest.raises(TraceFormatError):
+            CSITrace.load(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        trace = make_trace()
+        path = trace.save(tmp_path / "trace.npz")
+        with np.load(path) as data:
+            fields = {k: data[k] for k in data.files}
+        fields["format_version"] = np.int64(99)
+        np.savez(path, **fields)
+        with pytest.raises(TraceFormatError):
+            CSITrace.load(path)

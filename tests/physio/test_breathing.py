@@ -1,0 +1,92 @@
+"""Unit tests for breathing displacement models."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.fft_utils import dominant_frequency
+from repro.errors import ConfigurationError
+from repro.physio.breathing import RealisticBreathing, SinusoidalBreathing
+
+
+class TestSinusoidalBreathing:
+    def test_rate_bpm(self):
+        model = SinusoidalBreathing(frequency_hz=0.25)
+        assert model.rate_bpm == pytest.approx(15.0)
+
+    def test_displacement_amplitude(self):
+        model = SinusoidalBreathing(frequency_hz=0.25, amplitude_m=5e-3)
+        t = np.linspace(0, 8, 2000)
+        d = model.displacement(t)
+        assert np.max(d) == pytest.approx(5e-3, rel=1e-3)
+        assert np.min(d) == pytest.approx(-5e-3, rel=1e-3)
+
+    def test_periodicity(self):
+        model = SinusoidalBreathing(frequency_hz=0.25)
+        t = np.linspace(0, 4, 100, endpoint=False)
+        assert np.allclose(model.displacement(t), model.displacement(t + 4.0))
+
+    def test_phase_shift(self):
+        base = SinusoidalBreathing(frequency_hz=0.25, phase=0.0)
+        shifted = SinusoidalBreathing(frequency_hz=0.25, phase=np.pi)
+        t = np.linspace(0, 4, 50)
+        assert np.allclose(base.displacement(t), -shifted.displacement(t))
+
+    def test_implausible_frequency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SinusoidalBreathing(frequency_hz=0.01)
+        with pytest.raises(ConfigurationError):
+            SinusoidalBreathing(frequency_hz=2.0)
+
+    def test_nonpositive_amplitude_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SinusoidalBreathing(amplitude_m=0.0)
+
+
+class TestRealisticBreathing:
+    def test_dominant_frequency_matches_nominal(self):
+        model = RealisticBreathing(frequency_hz=0.25, rate_jitter=0.01, seed=3)
+        fs = 20.0
+        t = np.arange(2400) / fs
+        f = dominant_frequency(model.displacement(t), fs, band=(0.1, 0.7))
+        assert f == pytest.approx(0.25, abs=0.02)
+
+    def test_harmonics_present(self):
+        model = RealisticBreathing(
+            frequency_hz=0.25, harmonic_levels=(0.3,), rate_jitter=0.0
+        )
+        fs = 20.0
+        t = np.arange(2400) / fs
+        d = model.displacement(t)
+        spectrum = np.abs(np.fft.rfft(d - d.mean()))
+        freqs = np.fft.rfftfreq(t.size, 1 / fs)
+        fundamental = spectrum[np.argmin(np.abs(freqs - 0.25))]
+        harmonic = spectrum[np.argmin(np.abs(freqs - 0.50))]
+        assert harmonic == pytest.approx(0.3 * fundamental, rel=0.1)
+
+    def test_reproducible_for_same_seed(self):
+        t = np.arange(600) / 20.0
+        a = RealisticBreathing(seed=7).displacement(t)
+        b = RealisticBreathing(seed=7).displacement(t)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        t = np.arange(600) / 20.0
+        a = RealisticBreathing(seed=7, rate_jitter=0.05).displacement(t)
+        b = RealisticBreathing(seed=8, rate_jitter=0.05).displacement(t)
+        assert not np.allclose(a, b)
+
+    def test_zero_jitter_is_deterministic_tone(self):
+        model = RealisticBreathing(
+            frequency_hz=0.25, harmonic_levels=(), rate_jitter=0.0
+        )
+        t = np.arange(400) / 20.0
+        expected = model.amplitude_m * np.cos(2 * np.pi * 0.25 * t)
+        assert np.allclose(model.displacement(t), expected, atol=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RealisticBreathing(rate_jitter=0.5)
+        with pytest.raises(ConfigurationError):
+            RealisticBreathing(harmonic_levels=(-0.1,))
+        with pytest.raises(ConfigurationError):
+            RealisticBreathing(amplitude_m=-1.0)

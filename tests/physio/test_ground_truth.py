@@ -1,0 +1,57 @@
+"""Unit tests for reference-sensor models."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.physio.ground_truth import PulseOximeter, ReferenceSensor, RespirationBelt
+from repro.physio.heartbeat import SinusoidalHeartbeat
+from repro.physio.person import Person
+
+
+class TestReferenceSensor:
+    def test_perfect_sensor_reads_truth(self):
+        sensor = ReferenceSensor(noise_bpm=0.0, resolution_bpm=0.0)
+        assert sensor.read(15.3) == 15.3
+
+    def test_quantization(self):
+        sensor = ReferenceSensor(noise_bpm=0.0, resolution_bpm=1.0)
+        assert sensor.read(64.2) == 64.0
+        assert sensor.read(64.6) == 65.0
+
+    def test_noise_reproducible_by_seed(self):
+        a = ReferenceSensor(noise_bpm=0.5, seed=3).read(60.0)
+        b = ReferenceSensor(noise_bpm=0.5, seed=3).read(60.0)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ReferenceSensor(noise_bpm=-1.0)
+        with pytest.raises(ConfigurationError):
+            ReferenceSensor(resolution_bpm=-0.5)
+
+
+class TestRespirationBelt:
+    def test_reads_breathing_rate(self):
+        person = Person(position=(1, 1, 1))
+        belt = RespirationBelt(noise_bpm=0.0)
+        assert belt.read_person(person) == pytest.approx(
+            person.breathing_rate_bpm
+        )
+
+
+class TestPulseOximeter:
+    def test_integer_display(self):
+        person = Person(
+            position=(1, 1, 1),
+            heartbeat=SinusoidalHeartbeat(frequency_hz=1.07),
+        )
+        oximeter = PulseOximeter(noise_bpm=0.0)
+        reading = oximeter.read_person(person)
+        assert reading == round(reading)
+        # 64.2 bpm displays as 64 — the paper's Fig. 9 quantization story.
+        assert reading == 64.0
+
+    def test_person_without_heartbeat_rejected(self):
+        person = Person(position=(1, 1, 1), heartbeat=None)
+        with pytest.raises(ConfigurationError):
+            PulseOximeter().read_person(person)

@@ -1,0 +1,71 @@
+"""Unit tests for heartbeat displacement models."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.fft_utils import dominant_frequency
+from repro.errors import ConfigurationError
+from repro.physio.heartbeat import PulseHeartbeat, SinusoidalHeartbeat
+
+
+class TestSinusoidalHeartbeat:
+    def test_rate_bpm(self):
+        assert SinusoidalHeartbeat(frequency_hz=1.07).rate_bpm == pytest.approx(64.2)
+
+    def test_orders_of_magnitude_weaker_than_breathing(self):
+        # The paper's premise: heart displacement << breathing displacement.
+        from repro.physio.breathing import SinusoidalBreathing
+
+        heart = SinusoidalHeartbeat()
+        breath = SinusoidalBreathing()
+        assert heart.amplitude_m < 0.2 * breath.amplitude_m
+
+    def test_displacement_bounds(self):
+        model = SinusoidalHeartbeat(frequency_hz=1.2, amplitude_m=4e-4)
+        t = np.linspace(0, 5, 4000)
+        d = model.displacement(t)
+        assert np.max(np.abs(d)) <= 4e-4 * (1 + 1e-9)
+
+    def test_frequency_validation(self):
+        with pytest.raises(ConfigurationError):
+            SinusoidalHeartbeat(frequency_hz=0.3)
+        with pytest.raises(ConfigurationError):
+            SinusoidalHeartbeat(frequency_hz=5.0)
+
+
+class TestPulseHeartbeat:
+    def test_fundamental_at_heart_rate(self):
+        model = PulseHeartbeat(frequency_hz=1.1)
+        fs = 40.0
+        t = np.arange(4000) / fs
+        f = dominant_frequency(model.displacement(t), fs, band=(0.8, 2.0))
+        assert f == pytest.approx(1.1, abs=0.02)
+
+    def test_zero_mean(self):
+        model = PulseHeartbeat(frequency_hz=1.0, duty=0.3)
+        t = np.arange(8000) / 40.0  # whole number of beats
+        assert abs(np.mean(model.displacement(t))) < 1e-4 * model.amplitude_m
+
+    def test_pulse_is_sparse(self):
+        model = PulseHeartbeat(frequency_hz=1.0, duty=0.2)
+        t = np.arange(4000) / 40.0
+        d = model.displacement(t)
+        # Most of the cycle sits at the (negative) baseline.
+        baseline = -model.amplitude_m * model.duty * 0.5
+        assert np.mean(np.isclose(d, baseline)) > 0.7
+
+    def test_richer_harmonics_than_sinusoid(self):
+        fs = 40.0
+        t = np.arange(8000) / fs
+        pulse = PulseHeartbeat(frequency_hz=1.0).displacement(t)
+        spectrum = np.abs(np.fft.rfft(pulse - pulse.mean()))
+        freqs = np.fft.rfftfreq(t.size, 1 / fs)
+        fundamental = spectrum[np.argmin(np.abs(freqs - 1.0))]
+        second = spectrum[np.argmin(np.abs(freqs - 2.0))]
+        assert second > 0.3 * fundamental
+
+    def test_duty_validation(self):
+        with pytest.raises(ConfigurationError):
+            PulseHeartbeat(duty=0.0)
+        with pytest.raises(ConfigurationError):
+            PulseHeartbeat(duty=1.0)

@@ -1,0 +1,108 @@
+"""Unit tests for activity scripts and motion events."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.physio.motion import ActivityScript, ActivityState, MotionEvent
+
+
+class TestMotionEvent:
+    def test_end_time(self):
+        event = MotionEvent(ActivityState.WALKING, 5.0, 10.0)
+        assert event.end_s == 15.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MotionEvent(ActivityState.WALKING, 0.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            MotionEvent(ActivityState.WALKING, -1.0, 5.0)
+
+
+class TestActivityScript:
+    def test_state_lookup(self):
+        script = ActivityScript.figure3_script()
+        assert script.state_at(5.0) is ActivityState.SITTING
+        assert script.state_at(20.0) is ActivityState.NO_PERSON
+        assert script.state_at(35.0) is ActivityState.STANDING_UP
+        assert script.state_at(50.0) is ActivityState.WALKING
+
+    def test_states_vectorized_returns_enums(self):
+        script = ActivityScript.figure3_script()
+        states = script.states(np.array([5.0, 20.0, 35.0, 50.0]))
+        assert states[0] is ActivityState.SITTING
+        assert states[1] is ActivityState.NO_PERSON
+        assert states[2] is ActivityState.STANDING_UP
+        assert states[3] is ActivityState.WALKING
+
+    def test_default_state_is_sitting(self):
+        script = ActivityScript(events=())
+        assert script.state_at(100.0) is ActivityState.SITTING
+
+    def test_person_present_mask(self):
+        script = ActivityScript(
+            events=(MotionEvent(ActivityState.NO_PERSON, 10.0, 5.0),)
+        )
+        t = np.array([5.0, 12.0, 20.0])
+        present = script.person_present(t)
+        assert present.tolist() == [True, False, True]
+
+    def test_overlapping_events_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ActivityScript(
+                events=(
+                    MotionEvent(ActivityState.WALKING, 0.0, 10.0),
+                    MotionEvent(ActivityState.SITTING, 5.0, 10.0),
+                )
+            )
+
+    def test_events_sorted_by_start(self):
+        script = ActivityScript(
+            events=(
+                MotionEvent(ActivityState.WALKING, 20.0, 5.0),
+                MotionEvent(ActivityState.SITTING, 0.0, 5.0),
+            )
+        )
+        assert script.events[0].start_s == 0.0
+
+
+class TestBodyDisplacement:
+    def test_sitting_and_empty_have_zero_displacement(self):
+        script = ActivityScript(
+            events=(MotionEvent(ActivityState.NO_PERSON, 10.0, 10.0),)
+        )
+        t = np.linspace(0, 25, 500)
+        assert np.allclose(script.body_displacement(t), 0.0)
+
+    def test_walking_produces_large_displacement(self):
+        script = ActivityScript(
+            events=(MotionEvent(ActivityState.WALKING, 0.0, 20.0),), seed=1
+        )
+        t = np.linspace(0, 20, 2000, endpoint=False)
+        d = script.body_displacement(t)
+        # Decimetre-scale sway, far beyond millimetre breathing.
+        assert np.max(np.abs(d)) > 0.05
+
+    def test_standing_up_ramps_and_persists(self):
+        script = ActivityScript(
+            events=(MotionEvent(ActivityState.STANDING_UP, 5.0, 5.0),)
+        )
+        t = np.array([4.0, 7.5, 11.0, 20.0])
+        d = script.body_displacement(t)
+        assert d[0] == 0.0
+        assert 0.0 < d[1] < script.standing_amplitude_m
+        assert d[2] == pytest.approx(script.standing_amplitude_m)
+        assert d[3] == pytest.approx(script.standing_amplitude_m)
+
+    def test_walking_reproducible_by_seed(self):
+        t = np.linspace(0, 10, 500)
+        make = lambda seed: ActivityScript(  # noqa: E731
+            events=(MotionEvent(ActivityState.WALKING, 0.0, 10.0),), seed=seed
+        ).body_displacement(t)
+        assert np.array_equal(make(3), make(3))
+        assert not np.allclose(make(3), make(4))
+
+    def test_figure3_script_timeline(self):
+        script = ActivityScript.figure3_script()
+        assert len(script.events) == 4
+        assert script.events[-1].end_s == 60.0

@@ -1,0 +1,95 @@
+"""Unit tests for Person and cohort generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.physio.breathing import SinusoidalBreathing
+from repro.physio.heartbeat import SinusoidalHeartbeat
+from repro.physio.person import Person, random_cohort
+
+
+class TestPerson:
+    def test_chest_displacement_sums_models(self):
+        person = Person(
+            position=(1, 2, 1),
+            breathing=SinusoidalBreathing(frequency_hz=0.25, amplitude_m=5e-3),
+            heartbeat=SinusoidalHeartbeat(frequency_hz=1.0, amplitude_m=4e-4),
+        )
+        t = np.linspace(0, 10, 500)
+        total = person.chest_displacement(t)
+        expected = person.breathing.displacement(t) + person.heartbeat.displacement(t)
+        assert np.allclose(total, expected)
+
+    def test_breathing_only_person(self):
+        person = Person(position=(1, 2, 1), heartbeat=None)
+        assert person.heart_rate_bpm is None
+        t = np.linspace(0, 4, 100)
+        assert np.allclose(
+            person.chest_displacement(t), person.breathing.displacement(t)
+        )
+
+    def test_ground_truth_rates(self):
+        person = Person(
+            position=(0, 0, 1),
+            breathing=SinusoidalBreathing(frequency_hz=0.3),
+            heartbeat=SinusoidalHeartbeat(frequency_hz=1.5),
+        )
+        assert person.breathing_rate_bpm == pytest.approx(18.0)
+        assert person.heart_rate_bpm == pytest.approx(90.0)
+
+    def test_position_validation(self):
+        with pytest.raises(ConfigurationError):
+            Person(position=(1, 2))
+
+    def test_reflectivity_validation(self):
+        with pytest.raises(ConfigurationError):
+            Person(position=(1, 2, 1), reflectivity=0.0)
+
+
+class TestRandomCohort:
+    def test_size_and_reproducibility(self):
+        a = random_cohort(3, seed=5)
+        b = random_cohort(3, seed=5)
+        assert len(a) == 3
+        assert [p.breathing.frequency_hz for p in a] == [
+            p.breathing.frequency_hz for p in b
+        ]
+
+    def test_rate_separation_enforced(self):
+        cohort = random_cohort(4, seed=1, min_rate_separation_hz=0.03)
+        rates = sorted(p.breathing.frequency_hz for p in cohort)
+        assert min(np.diff(rates)) >= 0.03
+
+    def test_rates_inside_band(self):
+        cohort = random_cohort(3, seed=2, breathing_band_hz=(0.2, 0.3))
+        for person in cohort:
+            assert 0.2 <= person.breathing.frequency_hz <= 0.3
+
+    def test_without_heartbeat(self):
+        cohort = random_cohort(2, seed=3, with_heartbeat=False)
+        assert all(p.heartbeat is None for p in cohort)
+
+    def test_amplitude_range_respected(self):
+        cohort = random_cohort(
+            4, seed=4, breathing_amplitude_m=(2.5e-3, 3.5e-3), realistic=False
+        )
+        for person in cohort:
+            assert 2.5e-3 <= person.breathing.amplitude_m <= 3.5e-3
+
+    def test_impossible_packing_rejected(self):
+        with pytest.raises(ConfigurationError):
+            random_cohort(
+                10, breathing_band_hz=(0.2, 0.25), min_rate_separation_hz=0.02
+            )
+
+    def test_positions_inside_area(self):
+        cohort = random_cohort(5, seed=6, area=(4.0, 6.0))
+        for person in cohort:
+            x, y, _ = person.position
+            assert 0.0 <= x <= 4.0
+            assert 0.0 <= y <= 6.0
+
+    def test_zero_persons_rejected(self):
+        with pytest.raises(ConfigurationError):
+            random_cohort(0)

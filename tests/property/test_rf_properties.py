@@ -1,0 +1,94 @@
+"""Property-based tests for the RF substrate's physical invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rf.channel import simulate_clean_csi
+from repro.rf.constants import INTEL5300_SUBCARRIER_INDICES, subcarrier_frequencies
+from repro.rf.hardware import HardwareConfig, HardwareErrorModel
+from repro.rf.multipath import StaticRay
+
+FREQS = subcarrier_frequencies()
+
+amplitudes = st.floats(min_value=0.01, max_value=10.0, allow_nan=False)
+delays = st.floats(min_value=1e-9, max_value=200e-9, allow_nan=False)
+
+
+def ray(amplitude, delay):
+    return StaticRay(
+        amplitudes=np.full(3, amplitude), delays_s=np.full(3, delay)
+    )
+
+
+@given(a1=amplitudes, d1=delays, a2=amplitudes, d2=delays)
+@settings(max_examples=50, deadline=None)
+def test_channel_superposition(a1, d1, a2, d2):
+    """CSI of two rays equals the sum of each ray's CSI (Eq. 2 linearity)."""
+    times = np.arange(4) / 400.0
+    both = simulate_clean_csi([ray(a1, d1), ray(a2, d2)], [], times, FREQS, n_rx=3)
+    separate = simulate_clean_csi(
+        [ray(a1, d1)], [], times, FREQS, n_rx=3
+    ) + simulate_clean_csi([ray(a2, d2)], [], times, FREQS, n_rx=3)
+    assert np.allclose(both, separate, rtol=1e-10, atol=1e-12)
+
+
+@given(a=amplitudes, d=delays, scale=st.floats(min_value=0.1, max_value=10.0))
+@settings(max_examples=50, deadline=None)
+def test_channel_amplitude_homogeneity(a, d, scale):
+    """Scaling a ray's amplitude scales the CSI linearly."""
+    times = np.arange(3) / 400.0
+    base = simulate_clean_csi([ray(a, d)], [], times, FREQS, n_rx=3)
+    scaled = simulate_clean_csi([ray(a * scale, d)], [], times, FREQS, n_rx=3)
+    assert np.allclose(scaled, scale * base, rtol=1e-10)
+
+
+@given(a=amplitudes, d=delays)
+@settings(max_examples=50, deadline=None)
+def test_channel_magnitude_equals_ray_amplitude(a, d):
+    """A single ray's CSI has |CSI| equal to its amplitude at every bin."""
+    times = np.arange(2) / 400.0
+    csi = simulate_clean_csi([ray(a, d)], [], times, FREQS, n_rx=3)
+    assert np.allclose(np.abs(csi), a, rtol=1e-12)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    n_packets=st.integers(min_value=2, max_value=200),
+)
+@settings(max_examples=30, deadline=None)
+def test_phase_difference_invariant_to_common_errors(seed, n_packets):
+    """Theorem 1 as a property: with β and noise off, the cross-antenna
+    phase difference of ANY hardware realization is packet-invariant."""
+    config = HardwareConfig(
+        noise_sigma=0.0,
+        agc_jitter_sigma=0.0,
+        pll_offsets_rad=(0.0, 0.0, 0.0),
+        seed=seed,
+    )
+    clean = np.full((n_packets, 3, 30), 0.8 - 0.3j, dtype=complex)
+    measured = HardwareErrorModel(config).apply(
+        clean, 1 / 400.0, INTEL5300_SUBCARRIER_INDICES
+    )
+    diff = np.angle(measured[:, 0, :] * np.conj(measured[:, 1, :]))
+    assert np.max(np.std(diff, axis=0)) < 1e-9
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    sigma=st.floats(min_value=0.0, max_value=0.3, allow_nan=False),
+)
+@settings(max_examples=30, deadline=None)
+def test_agc_never_touches_phase(seed, sigma):
+    """AGC gain is real-positive: it can never rotate the CSI phase."""
+    config = HardwareConfig(
+        noise_sigma=0.0, agc_jitter_sigma=sigma, seed=seed
+    )
+    clean = np.full((50, 3, 30), 1.0 + 1.0j, dtype=complex)
+    measured = HardwareErrorModel(config).apply(
+        clean, 1 / 400.0, INTEL5300_SUBCARRIER_INDICES
+    )
+    no_agc = HardwareErrorModel(
+        HardwareConfig(noise_sigma=0.0, agc_jitter_sigma=0.0, seed=seed)
+    ).apply(clean, 1 / 400.0, INTEL5300_SUBCARRIER_INDICES)
+    assert np.allclose(np.angle(measured), np.angle(no_agc), atol=1e-12)

@@ -1,0 +1,87 @@
+"""Property-based tests for the statistics module."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.dsp.stats import (
+    angular_sector_width,
+    circular_resultant_length,
+    mean_absolute_deviation,
+    median_absolute_deviation,
+)
+
+values = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+samples = arrays(
+    dtype=np.float64, shape=st.integers(min_value=1, max_value=200), elements=values
+)
+angles = arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=1, max_value=200),
+    elements=st.floats(min_value=-10.0, max_value=10.0, allow_nan=False),
+)
+
+
+@given(x=samples)
+@settings(max_examples=100, deadline=None)
+def test_mad_nonnegative(x):
+    assert mean_absolute_deviation(x) >= 0.0
+
+
+@given(x=samples, shift=values)
+@settings(max_examples=100, deadline=None)
+def test_mad_translation_invariant(x, shift):
+    a = mean_absolute_deviation(x)
+    b = mean_absolute_deviation(x + shift)
+    assert np.isclose(a, b, rtol=1e-6, atol=1e-6 * max(1.0, abs(shift)))
+
+
+@given(x=samples, scale=st.floats(min_value=0.0, max_value=1e3, allow_nan=False))
+@settings(max_examples=100, deadline=None)
+def test_mad_positive_homogeneous(x, scale):
+    a = mean_absolute_deviation(x * scale)
+    b = scale * mean_absolute_deviation(x)
+    # atol scales with the data magnitude: scaling a constant array leaves
+    # an O(ε·|x|·scale) round-off MAD that is not exactly zero.
+    tol = 1e-9 * max(1.0, scale * float(np.max(np.abs(x))))
+    assert np.isclose(a, b, rtol=1e-6, atol=tol)
+
+
+@given(x=samples)
+@settings(max_examples=100, deadline=None)
+def test_median_abs_dev_bounded_by_range(x):
+    spread = np.max(x) - np.min(x)
+    assert median_absolute_deviation(x) <= spread + 1e-12
+
+
+@given(theta=angles)
+@settings(max_examples=100, deadline=None)
+def test_resultant_length_in_unit_interval(theta):
+    r = circular_resultant_length(theta)
+    assert -1e-12 <= r <= 1.0 + 1e-12
+
+
+@given(theta=angles, rotation=st.floats(min_value=-10, max_value=10, allow_nan=False))
+@settings(max_examples=100, deadline=None)
+def test_resultant_length_rotation_invariant(theta, rotation):
+    a = circular_resultant_length(theta)
+    b = circular_resultant_length(theta + rotation)
+    assert np.isclose(a, b, atol=1e-9)
+
+
+@given(theta=angles)
+@settings(max_examples=100, deadline=None)
+def test_sector_width_bounds(theta):
+    width = angular_sector_width(theta)
+    assert -1e-9 <= width <= 2 * np.pi + 1e-9
+
+
+@given(theta=angles, rotation=st.floats(min_value=-10, max_value=10, allow_nan=False))
+@settings(max_examples=100, deadline=None)
+def test_sector_width_rotation_invariant(theta, rotation):
+    a = angular_sector_width(theta)
+    b = angular_sector_width(theta + rotation)
+    assert np.isclose(a, b, atol=1e-6)

@@ -1,0 +1,71 @@
+"""Property-based tests for the trace container and metrics."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.metrics import accuracy, empirical_cdf, match_rates
+from repro.io_.trace import CSITrace
+
+
+@given(
+    n=st.integers(min_value=2, max_value=60),
+    rate=st.floats(min_value=1.0, max_value=1000.0, allow_nan=False),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=30, deadline=None)
+def test_trace_roundtrip_through_npz(tmp_path_factory, n, rate, seed):
+    rng = np.random.default_rng(seed)
+    trace = CSITrace(
+        csi=rng.normal(size=(n, 3, 30)) + 1j * rng.normal(size=(n, 3, 30)),
+        timestamps_s=np.sort(rng.uniform(0, 10, size=n)),
+        sample_rate_hz=rate,
+        subcarrier_indices=np.arange(30),
+        meta={"seed": seed},
+    )
+    path = tmp_path_factory.mktemp("traces") / f"t{seed}.npz"
+    loaded = CSITrace.load(trace.save(path))
+    assert np.array_equal(loaded.csi, trace.csi)
+    assert loaded.meta == trace.meta
+
+
+@given(
+    estimate=st.floats(min_value=0.0, max_value=1e3, allow_nan=False),
+    truth=st.floats(min_value=1e-3, max_value=1e3, allow_nan=False),
+)
+@settings(max_examples=200, deadline=None)
+def test_accuracy_in_unit_interval(estimate, truth):
+    a = accuracy(estimate, truth)
+    assert 0.0 <= a <= 1.0
+    # Perfect estimates score exactly 1.
+    assert accuracy(truth, truth) == 1.0
+
+
+@given(
+    rates=st.lists(
+        st.floats(min_value=5.0, max_value=40.0, allow_nan=False),
+        min_size=1,
+        max_size=6,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_match_rates_self_match_is_exact(rates):
+    arr = np.asarray(rates)
+    pairs = match_rates(arr, arr)
+    for estimate, truth in pairs:
+        assert estimate == truth
+
+
+@given(
+    errors=st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        min_size=1,
+        max_size=100,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_cdf_is_monotone_and_ends_at_one(errors):
+    x, p = empirical_cdf(np.asarray(errors))
+    assert np.all(np.diff(x) >= 0)
+    assert np.all(np.diff(p) > 0)
+    assert p[-1] == 1.0

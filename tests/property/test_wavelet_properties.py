@@ -1,0 +1,97 @@
+"""Property-based tests for the DWT (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.dsp.wavelet import dwt, idwt, reconstruct_band, wavedec, waverec
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+def signal_strategy(min_size=16, max_size=300):
+    return arrays(
+        dtype=np.float64,
+        shape=st.integers(min_value=min_size, max_value=max_size),
+        elements=finite_floats,
+    )
+
+
+@given(x=signal_strategy(), order=st.sampled_from([1, 2, 4, 6]))
+@settings(max_examples=60, deadline=None)
+def test_multilevel_perfect_reconstruction(x, order):
+    """waverec(wavedec(x)) == x for any signal, wavelet, and padding."""
+    level = min(3, int(np.log2(max(x.size, 8))) - 1)
+    level = max(level, 1)
+    dec = wavedec(x, f"db{order}", level=level)
+    rec = waverec(dec)
+    scale = max(1.0, np.max(np.abs(x)))
+    assert np.allclose(rec, x, atol=1e-7 * scale)
+
+
+@given(
+    x=arrays(
+        dtype=np.float64,
+        shape=st.integers(min_value=8, max_value=128).map(lambda n: 2 * n),
+        elements=finite_floats,
+    ),
+    order=st.sampled_from([1, 2, 4]),
+)
+@settings(max_examples=60, deadline=None)
+def test_single_level_energy_preservation(x, order):
+    """Orthogonality: ||x||² = ||a||² + ||d||²."""
+    a, d = dwt(x, f"db{order}")
+    lhs = np.sum(x.astype(np.longdouble) ** 2)
+    rhs = np.sum(a.astype(np.longdouble) ** 2) + np.sum(
+        d.astype(np.longdouble) ** 2
+    )
+    assert np.isclose(float(lhs), float(rhs), rtol=1e-6, atol=1e-6)
+
+
+@given(
+    x=arrays(
+        dtype=np.float64,
+        shape=st.integers(min_value=8, max_value=100).map(lambda n: 2 * n),
+        elements=finite_floats,
+    ),
+    scale=st.floats(min_value=-100.0, max_value=100.0, allow_nan=False),
+)
+@settings(max_examples=40, deadline=None)
+def test_linearity(x, scale):
+    """DWT(c·x) == c·DWT(x)."""
+    a1, d1 = dwt(x, "db4")
+    a2, d2 = dwt(scale * x, "db4")
+    tol = 1e-8 * max(1.0, abs(scale)) * max(1.0, np.max(np.abs(x)))
+    assert np.allclose(a2, scale * a1, atol=tol)
+    assert np.allclose(d2, scale * d1, atol=tol)
+
+
+@given(x=signal_strategy(min_size=32, max_size=256))
+@settings(max_examples=40, deadline=None)
+def test_band_reconstructions_partition_signal(x):
+    """Approx-band + all detail bands == original signal."""
+    dec = wavedec(x, "db2", level=2)
+    total = reconstruct_band(dec, keep_approx=True) + sum(
+        reconstruct_band(dec, keep_details=(lv,)) for lv in (1, 2)
+    )
+    scale = max(1.0, np.max(np.abs(x)))
+    assert np.allclose(total, x, atol=1e-7 * scale)
+
+
+@given(
+    x=arrays(
+        dtype=np.float64,
+        shape=st.just(64),
+        elements=finite_floats,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_idwt_dwt_identity(x):
+    """dwt → idwt is the identity, in both orders of composition."""
+    a, d = dwt(x, "db2")
+    assert np.allclose(
+        idwt(a, d, "db2"), x, atol=1e-8 * max(1.0, np.max(np.abs(x)))
+    )

@@ -1,0 +1,62 @@
+"""Unit tests for antenna gain models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rf.antennas import DirectionalAntenna, OmniAntenna
+
+
+class TestOmniAntenna:
+    def test_gain_is_direction_independent(self):
+        antenna = OmniAntenna(amplitude_gain=1.5)
+        for direction in ([1, 0, 0], [0, 1, 0], [0, 0, -1]):
+            assert antenna.gain(np.asarray(direction)) == 1.5
+
+    def test_gain_towards(self):
+        antenna = OmniAntenna()
+        assert antenna.gain_towards((0, 0, 0), (5, 5, 0)) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            OmniAntenna(amplitude_gain=0.0)
+
+
+class TestDirectionalAntenna:
+    def make(self, **kwargs):
+        return DirectionalAntenna(
+            position=(0, 0, 0), boresight=(0, 10, 0), **kwargs
+        )
+
+    def test_peak_on_boresight(self):
+        antenna = self.make(peak_amplitude_gain=2.8)
+        assert antenna.gain(np.array([0, 1, 0])) == pytest.approx(2.8)
+
+    def test_floor_behind(self):
+        antenna = self.make(floor=0.7)
+        assert antenna.gain(np.array([0, -1, 0])) == 0.7
+
+    def test_monotone_falloff(self):
+        antenna = self.make()
+        angles = np.deg2rad([0, 20, 40, 60, 80])
+        gains = [
+            antenna.gain(np.array([np.sin(a), np.cos(a), 0.0])) for a in angles
+        ]
+        assert all(g1 >= g2 for g1, g2 in zip(gains, gains[1:]))
+
+    def test_gain_towards_person(self):
+        antenna = DirectionalAntenna(position=(0, 0, 0), boresight=(2, 3, 1))
+        on_axis = antenna.gain_towards((0, 0, 0), (2, 3, 1))
+        off_axis = antenna.gain_towards((0, 0, 0), (-2, -3, 1))
+        assert on_axis == pytest.approx(antenna.peak_amplitude_gain)
+        assert off_axis < on_axis
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            self.make(floor=0.0)
+        with pytest.raises(ConfigurationError):
+            self.make(peak_amplitude_gain=1.0, floor=2.0)
+        with pytest.raises(ConfigurationError):
+            self.make(exponent=0.0)
+        with pytest.raises(ConfigurationError):
+            DirectionalAntenna(position=(0, 0), boresight=(1, 1, 1))

@@ -1,0 +1,143 @@
+"""Unit tests for the Eq. 2 channel model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.physio.person import Person
+from repro.rf.channel import simulate_clean_csi
+from repro.rf.constants import SPEED_OF_LIGHT, subcarrier_frequencies
+from repro.rf.geometry import rx_antenna_positions
+from repro.rf.multipath import StaticRay, build_person_ray, build_static_rays
+
+TX = (1.0, 1.5, 1.2)
+RX = rx_antenna_positions((3.5, 4.0, 1.2), 0.0268, 3)
+FREQS = subcarrier_frequencies()
+
+
+def single_ray(amplitude=1.0, delay=20e-9):
+    return StaticRay(
+        amplitudes=np.full(3, amplitude), delays_s=np.full(3, delay)
+    )
+
+
+class TestStaticChannel:
+    def test_single_ray_phase_matches_eq2(self):
+        times = np.arange(10) / 400.0
+        csi = simulate_clean_csi(
+            [single_ray(0.7, 25e-9)], [], times, FREQS, n_rx=3
+        )
+        expected = 0.7 * np.exp(-2j * np.pi * FREQS * 25e-9)
+        assert np.allclose(csi[0, 0], expected)
+        # Static scene: constant over time.
+        assert np.allclose(csi, csi[0])
+
+    def test_superposition(self):
+        times = np.arange(5) / 400.0
+        r1, r2 = single_ray(1.0, 20e-9), single_ray(0.5, 45e-9)
+        both = simulate_clean_csi([r1, r2], [], times, FREQS, n_rx=3)
+        separate = simulate_clean_csi(
+            [r1], [], times, FREQS, n_rx=3
+        ) + simulate_clean_csi([r2], [], times, FREQS, n_rx=3)
+        assert np.allclose(both, separate)
+
+    def test_output_shape(self):
+        times = np.arange(7) / 400.0
+        csi = simulate_clean_csi([single_ray()], [], times, FREQS, n_rx=3)
+        assert csi.shape == (7, 3, 30)
+
+
+class TestDynamicChannel:
+    def test_chest_displacement_modulates_phase(self):
+        person = Person(position=(2.2, 3.0, 1.0), heartbeat=None)
+        ray = build_person_ray(person, TX, RX)
+        times = np.arange(800) / 400.0
+        displacement = person.chest_displacement(times)
+        csi = simulate_clean_csi([], [(ray, displacement)], times, FREQS, n_rx=3)
+        phase = np.unwrap(np.angle(csi[:, 0, 0]))
+        # Phase swing = 2π · 2A / λ for the dominant subcarrier.
+        lam = SPEED_OF_LIGHT / FREQS[0]
+        expected_swing = 2 * np.pi * 2 * (2 * 5e-3) / lam
+        assert np.ptp(phase) == pytest.approx(expected_swing, rel=0.05)
+
+    def test_presence_gate_removes_person(self):
+        person = Person(position=(2.2, 3.0, 1.0), heartbeat=None)
+        ray = build_person_ray(person, TX, RX)
+        times = np.arange(100) / 400.0
+        displacement = person.chest_displacement(times)
+        gone = simulate_clean_csi(
+            [],
+            [(ray, displacement)],
+            times,
+            FREQS,
+            n_rx=3,
+            person_present=np.zeros(100, dtype=bool),
+        )
+        assert np.allclose(gone, 0.0)
+
+    def test_static_plus_person_differs_from_static(self):
+        person = Person(position=(2.2, 3.0, 1.0), heartbeat=None)
+        ray = build_person_ray(person, TX, RX)
+        static = build_static_rays(TX, RX, n_clutter=3, seed=0)
+        times = np.arange(400) / 400.0
+        displacement = person.chest_displacement(times)
+        with_person = simulate_clean_csi(
+            static, [(ray, displacement)], times, FREQS, n_rx=3
+        )
+        without = simulate_clean_csi(static, [], times, FREQS, n_rx=3)
+        assert not np.allclose(with_person, without)
+        # The static-only channel is constant; with the person it varies.
+        assert np.allclose(without, without[0])
+        assert np.std(np.abs(with_person[:, 0, 0])) > 0
+
+
+class TestMotionPerturbation:
+    def test_body_motion_perturbs_static_rays(self):
+        ray = StaticRay(
+            amplitudes=np.full(3, 1.0),
+            delays_s=np.full(3, 20e-9),
+            motion_amp_sens=0.8,
+            motion_phase_sens=0.5,
+        )
+        times = np.arange(200) / 400.0
+        body = 0.2 * np.sin(2 * np.pi * 1.0 * times)
+        perturbed = simulate_clean_csi(
+            [ray], [], times, FREQS, n_rx=3, body_displacement_m=body
+        )
+        assert np.std(np.abs(perturbed[:, 0, 0])) > 0.01
+
+    def test_zero_body_motion_is_noop(self):
+        ray = StaticRay(
+            amplitudes=np.full(3, 1.0),
+            delays_s=np.full(3, 20e-9),
+            motion_amp_sens=0.8,
+            motion_phase_sens=0.5,
+        )
+        times = np.arange(50) / 400.0
+        a = simulate_clean_csi([ray], [], times, FREQS, n_rx=3)
+        b = simulate_clean_csi(
+            [ray], [], times, FREQS, n_rx=3, body_displacement_m=np.zeros(50)
+        )
+        assert np.allclose(a, b)
+
+
+class TestValidation:
+    def test_mismatched_displacement_rejected(self):
+        person = Person(position=(2, 3, 1))
+        ray = build_person_ray(person, TX, RX)
+        times = np.arange(10) / 400.0
+        with pytest.raises(ConfigurationError):
+            simulate_clean_csi([], [(ray, np.zeros(5))], times, FREQS, n_rx=3)
+
+    def test_mismatched_body_rejected(self):
+        times = np.arange(10) / 400.0
+        with pytest.raises(ConfigurationError):
+            simulate_clean_csi(
+                [single_ray()], [], times, FREQS, n_rx=3,
+                body_displacement_m=np.zeros(3),
+            )
+
+    def test_wrong_antenna_count_rejected(self):
+        times = np.arange(10) / 400.0
+        with pytest.raises(ConfigurationError):
+            simulate_clean_csi([single_ray()], [], times, FREQS, n_rx=2)

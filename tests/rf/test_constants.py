@@ -1,0 +1,70 @@
+"""Unit tests for the 5 GHz / Intel-5300 constants."""
+
+import numpy as np
+import pytest
+
+from repro.rf.constants import (
+    ANTENNA_SPACING_M,
+    DEFAULT_CARRIER_HZ,
+    INTEL5300_SUBCARRIER_INDICES,
+    N_REPORTED_SUBCARRIERS,
+    N_RX_ANTENNAS,
+    SPEED_OF_LIGHT,
+    SUBCARRIER_SPACING_HZ,
+    subcarrier_frequencies,
+    wavelength,
+)
+
+
+class TestSubcarrierMap:
+    def test_exactly_30_reported(self):
+        assert N_REPORTED_SUBCARRIERS == 30
+        assert INTEL5300_SUBCARRIER_INDICES.size == 30
+
+    def test_grouping_structure(self):
+        # The Ng=2 grouped set walks even indices on the negative side and
+        # odd indices on the positive side, pinning -1/+1 and ±28.
+        negative = INTEL5300_SUBCARRIER_INDICES[INTEL5300_SUBCARRIER_INDICES < 0]
+        positive = INTEL5300_SUBCARRIER_INDICES[INTEL5300_SUBCARRIER_INDICES > 0]
+        assert negative.size == positive.size == 15
+        # Even-index walk up to the -1 edge subcarrier…
+        assert np.all(np.diff(negative)[:-1] == 2)
+        assert negative[-1] == -1
+        # …mirrored as an odd-index walk up to the +28 edge subcarrier.
+        assert np.all(np.diff(positive)[:-1] == 2)
+        assert positive[0] == 1
+
+    def test_indices_strictly_increasing(self):
+        assert np.all(np.diff(INTEL5300_SUBCARRIER_INDICES) > 0)
+
+    def test_extremes(self):
+        assert INTEL5300_SUBCARRIER_INDICES[0] == -28
+        assert INTEL5300_SUBCARRIER_INDICES[-1] == 28
+
+    def test_dc_not_reported(self):
+        assert 0 not in INTEL5300_SUBCARRIER_INDICES
+
+
+class TestFrequencies:
+    def test_antenna_spacing_is_half_wavelength(self):
+        # The defining relation of the paper's setup: d = λ/2.
+        lam = SPEED_OF_LIGHT / DEFAULT_CARRIER_HZ
+        assert ANTENNA_SPACING_M == pytest.approx(lam / 2.0)
+
+    def test_carrier_in_5ghz_band(self):
+        assert 5.0e9 < DEFAULT_CARRIER_HZ < 6.0e9
+
+    def test_subcarrier_frequencies_span(self):
+        freqs = subcarrier_frequencies()
+        assert freqs.size == 30
+        span = freqs[-1] - freqs[0]
+        assert span == pytest.approx(56 * SUBCARRIER_SPACING_HZ)
+
+    def test_wavelength_roundtrip(self):
+        assert wavelength(SPEED_OF_LIGHT) == pytest.approx(1.0)
+        assert wavelength(DEFAULT_CARRIER_HZ) == pytest.approx(
+            2 * ANTENNA_SPACING_M
+        )
+
+    def test_three_rx_antennas(self):
+        assert N_RX_ANTENNAS == 3

@@ -1,0 +1,73 @@
+"""Tests for deployment sensitivity diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rf.diagnostics import phase_difference_sensitivity, sensitivity_map
+from repro.rf.scene import Scenario, laboratory_scenario
+
+
+class TestSensitivity:
+    def test_per_subcarrier_shape(self):
+        scenario = laboratory_scenario(clutter_seed=1)
+        sensitivity = phase_difference_sensitivity(scenario)
+        assert sensitivity.shape == (30,)
+        assert np.all(sensitivity >= 0)
+
+    def test_linear_in_small_displacement(self):
+        # Doubling a small probe displacement doubles the response.
+        scenario = laboratory_scenario(clutter_seed=1)
+        s1 = phase_difference_sensitivity(scenario, displacement_m=0.5e-3)
+        s2 = phase_difference_sensitivity(scenario, displacement_m=1.0e-3)
+        ratio = s2[s1 > 1e-5] / s1[s1 > 1e-5]
+        assert np.allclose(ratio, 2.0, rtol=0.1)
+
+    def test_explicit_position(self):
+        scenario = laboratory_scenario(clutter_seed=1)
+        near = phase_difference_sensitivity(scenario, (2.2, 3.0, 1.0))
+        far = phase_difference_sensitivity(scenario, (4.0, 8.0, 1.0))
+        # Responses differ by position (and typically shrink with range).
+        assert not np.allclose(near, far)
+
+    def test_scenario_without_person_needs_position(self):
+        scenario = Scenario(
+            name="empty",
+            tx_position=(0.0, 0.0, 1.0),
+            rx_center=(3.0, 0.0, 1.0),
+        )
+        with pytest.raises(ConfigurationError):
+            phase_difference_sensitivity(scenario)
+        sensitivity = phase_difference_sensitivity(scenario, (1.5, 1.0, 1.0))
+        assert sensitivity.shape == (30,)
+
+    def test_validation(self):
+        scenario = laboratory_scenario()
+        with pytest.raises(ConfigurationError):
+            phase_difference_sensitivity(scenario, displacement_m=0.0)
+
+
+class TestSensitivityMap:
+    def test_grid_shape_and_values(self):
+        scenario = laboratory_scenario(clutter_seed=2)
+        xs, ys, gain = sensitivity_map(
+            scenario, (1.0, 4.0), (1.0, 6.0), resolution=4
+        )
+        assert xs.shape == (4,)
+        assert ys.shape == (4,)
+        assert gain.shape == (4, 4)
+        assert np.all(gain >= 0)
+
+    def test_map_shows_spatial_contrast(self):
+        # Null points exist: the best position is far more sensitive than
+        # the worst one.
+        scenario = laboratory_scenario(clutter_seed=1)
+        _, _, gain = sensitivity_map(
+            scenario, (1.0, 4.0), (1.0, 7.0), resolution=6
+        )
+        assert gain.max() > 3.0 * max(gain.min(), 1e-6)
+
+    def test_resolution_validation(self):
+        scenario = laboratory_scenario()
+        with pytest.raises(ConfigurationError):
+            sensitivity_map(scenario, (0, 1), (0, 1), resolution=1)

@@ -1,0 +1,65 @@
+"""Unit tests for scene geometry helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rf.geometry import (
+    as_point,
+    distance,
+    reflection_path_length,
+    rx_antenna_positions,
+    unit_vector,
+)
+
+
+class TestPoints:
+    def test_as_point_coerces(self):
+        p = as_point([1, 2, 3])
+        assert p.dtype == float
+        assert p.shape == (3,)
+
+    def test_as_point_rejects_wrong_shape(self):
+        with pytest.raises(ConfigurationError):
+            as_point([1, 2])
+
+    def test_distance(self):
+        assert distance((0, 0, 0), (3, 4, 0)) == pytest.approx(5.0)
+
+    def test_reflection_path(self):
+        assert reflection_path_length((0, 0, 0), (3, 4, 0), (6, 8, 0)) == (
+            pytest.approx(10.0)
+        )
+
+    def test_unit_vector(self):
+        v = unit_vector((0, 0, 0), (0, 5, 0))
+        assert np.allclose(v, [0, 1, 0])
+
+    def test_unit_vector_coincident_rejected(self):
+        with pytest.raises(ConfigurationError):
+            unit_vector((1, 1, 1), (1, 1, 1))
+
+
+class TestAntennaArray:
+    def test_positions_centered(self):
+        positions = rx_antenna_positions((0, 0, 0), 0.0268, 3)
+        assert positions.shape == (3, 3)
+        assert np.allclose(positions.mean(axis=0), [0, 0, 0])
+
+    def test_spacing(self):
+        positions = rx_antenna_positions((1, 2, 3), 0.0268, 3)
+        gaps = np.linalg.norm(np.diff(positions, axis=0), axis=1)
+        assert np.allclose(gaps, 0.0268)
+
+    def test_axis_normalized(self):
+        a = rx_antenna_positions((0, 0, 0), 1.0, 2, axis=(2, 0, 0))
+        b = rx_antenna_positions((0, 0, 0), 1.0, 2, axis=(1, 0, 0))
+        assert np.allclose(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            rx_antenna_positions((0, 0, 0), 0.0, 3)
+        with pytest.raises(ConfigurationError):
+            rx_antenna_positions((0, 0, 0), 1.0, 0)
+        with pytest.raises(ConfigurationError):
+            rx_antenna_positions((0, 0, 0), 1.0, 2, axis=(0, 0, 0))

@@ -1,0 +1,124 @@
+"""Unit tests for the Eq. 3–4 hardware error model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rf.constants import INTEL5300_SUBCARRIER_INDICES
+from repro.rf.hardware import HardwareConfig, HardwareErrorModel
+
+
+def clean_csi(n_packets=200, n_rx=3, n_sub=30, value=1.0 + 0.5j):
+    return np.full((n_packets, n_rx, n_sub), value, dtype=complex)
+
+
+class TestPhaseErrors:
+    def test_shape(self):
+        model = HardwareErrorModel(HardwareConfig(seed=0))
+        errors = model.phase_errors(100, 1 / 400.0, INTEL5300_SUBCARRIER_INDICES)
+        assert errors.shape == (100, 30)
+
+    def test_linear_in_subcarrier_index(self):
+        # For each packet, e[k, i] = slope_k * m_i + offset_k exactly.
+        model = HardwareErrorModel(HardwareConfig(seed=1))
+        m = INTEL5300_SUBCARRIER_INDICES.astype(float)
+        errors = model.phase_errors(50, 1 / 400.0, m)
+        for k in range(50):
+            fit = np.polyfit(m, errors[k], 1)
+            predicted = np.polyval(fit, m)
+            assert np.allclose(predicted, errors[k], atol=1e-9)
+
+    def test_errors_vary_per_packet(self):
+        model = HardwareErrorModel(HardwareConfig(seed=2))
+        errors = model.phase_errors(100, 1 / 400.0, INTEL5300_SUBCARRIER_INDICES)
+        assert np.std(errors[:, 0]) > 0.01
+
+    def test_validation(self):
+        model = HardwareErrorModel()
+        with pytest.raises(ConfigurationError):
+            model.phase_errors(0, 1 / 400.0, INTEL5300_SUBCARRIER_INDICES)
+        with pytest.raises(ConfigurationError):
+            model.phase_errors(10, 0.0, INTEL5300_SUBCARRIER_INDICES)
+
+
+class TestApply:
+    def test_raw_phase_scrambled_but_difference_stable(self):
+        # The theorem-1 structure: per-antenna phase varies wildly across
+        # packets while the cross-antenna difference is constant (up to
+        # noise, disabled here).
+        config = HardwareConfig(noise_sigma=0.0, agc_jitter_sigma=0.0, seed=3)
+        measured = HardwareErrorModel(config).apply(
+            clean_csi(), 1 / 400.0, INTEL5300_SUBCARRIER_INDICES
+        )
+        raw = np.angle(measured[:, 0, 0])
+        assert np.std(np.diff(np.mod(raw, 2 * np.pi))) > 0.5
+        diff = np.angle(measured[:, 0, :] * np.conj(measured[:, 1, :]))
+        assert np.std(diff, axis=0).max() < 1e-10
+
+    def test_constant_pll_offset_in_difference(self):
+        config = HardwareConfig(
+            noise_sigma=0.0,
+            agc_jitter_sigma=0.0,
+            pll_offsets_rad=(0.5, 1.7, 2.0),
+            seed=4,
+        )
+        measured = HardwareErrorModel(config).apply(
+            clean_csi(), 1 / 400.0, INTEL5300_SUBCARRIER_INDICES
+        )
+        diff = np.angle(measured[:, 0, :] * np.conj(measured[:, 1, :]))
+        # Δβ = 0.5 − 1.7 = −1.2 appears as the constant offset.
+        assert np.allclose(diff, -1.2, atol=1e-10)
+
+    def test_noise_adds_variance_to_difference(self):
+        noisy = HardwareConfig(noise_sigma=0.05, agc_jitter_sigma=0.0, seed=5)
+        measured = HardwareErrorModel(noisy).apply(
+            clean_csi(1000), 1 / 400.0, INTEL5300_SUBCARRIER_INDICES
+        )
+        diff = np.angle(measured[:, 0, 0] * np.conj(measured[:, 1, 0]))
+        assert np.std(diff) > 0.01
+
+    def test_agc_jitter_hits_amplitude_not_phase_difference(self):
+        config = HardwareConfig(noise_sigma=0.0, agc_jitter_sigma=0.1, seed=6)
+        measured = HardwareErrorModel(config).apply(
+            clean_csi(500), 1 / 400.0, INTEL5300_SUBCARRIER_INDICES
+        )
+        amplitude = np.abs(measured[:, 0, 0])
+        assert np.std(amplitude) / np.mean(amplitude) > 0.05
+        diff = np.angle(measured[:, 0, :] * np.conj(measured[:, 1, :]))
+        assert np.std(diff, axis=0).max() < 1e-10
+
+    def test_agc_jitter_common_across_chains_and_subcarriers(self):
+        config = HardwareConfig(noise_sigma=0.0, agc_jitter_sigma=0.1, seed=7)
+        measured = HardwareErrorModel(config).apply(
+            clean_csi(200), 1 / 400.0, INTEL5300_SUBCARRIER_INDICES
+        )
+        gains = np.abs(measured) / np.abs(clean_csi(200))
+        # One gain per packet: no variation across chains or subcarriers.
+        assert np.allclose(gains, gains[:, :1, :1])
+
+    def test_too_few_pll_offsets_rejected(self):
+        config = HardwareConfig(pll_offsets_rad=(0.1,))
+        with pytest.raises(ConfigurationError):
+            HardwareErrorModel(config).apply(
+                clean_csi(10), 1 / 400.0, INTEL5300_SUBCARRIER_INDICES
+            )
+
+    def test_non_3d_csi_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HardwareErrorModel().apply(
+                np.zeros((10, 30), dtype=complex),
+                1 / 400.0,
+                INTEL5300_SUBCARRIER_INDICES,
+            )
+
+
+class TestConfigValidation:
+    def test_negative_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HardwareConfig(pbd_jitter_samples=-1.0)
+        with pytest.raises(ConfigurationError):
+            HardwareConfig(noise_sigma=-0.1)
+        with pytest.raises(ConfigurationError):
+            HardwareConfig(agc_jitter_sigma=-0.1)
+        with pytest.raises(ConfigurationError):
+            HardwareConfig(pll_offsets_rad=())

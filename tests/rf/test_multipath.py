@@ -1,0 +1,109 @@
+"""Unit tests for ray construction and walls."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.physio.person import Person
+from repro.rf.constants import SPEED_OF_LIGHT
+from repro.rf.geometry import rx_antenna_positions
+from repro.rf.multipath import (
+    Wall,
+    build_person_ray,
+    build_static_rays,
+)
+
+RX = rx_antenna_positions((3.5, 4.0, 1.2), 0.0268, 3)
+TX = (1.0, 1.5, 1.2)
+
+
+class TestWall:
+    def test_crossing_detection(self):
+        wall = Wall(point=(0, 2, 0), normal=(0, 1, 0))
+        assert wall.crossings((0, 0, 0), (0, 5, 0)) == 1
+        assert wall.crossings((0, 0, 0), (0, 1, 0)) == 0
+        assert wall.crossings((0, 3, 0), (0, 5, 0)) == 0
+
+    def test_amplitude_factor(self):
+        wall = Wall(point=(0, 2, 0), normal=(0, 1, 0), loss_db=6.0)
+        crossing = wall.amplitude_factor((0, 0, 0), (0, 5, 0))
+        no_crossing = wall.amplitude_factor((0, 0, 0), (0, 1, 0))
+        assert crossing == pytest.approx(10 ** (-6.0 / 20.0))
+        assert no_crossing == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Wall(point=(0, 0, 0), normal=(0, 0, 0))
+        with pytest.raises(ConfigurationError):
+            Wall(point=(0, 0, 0), normal=(0, 1, 0), loss_db=-1.0)
+
+
+class TestStaticRays:
+    def test_count_includes_los_and_clutter(self):
+        rays = build_static_rays(TX, RX, n_clutter=5, seed=0)
+        assert len(rays) == 6
+
+    def test_no_los_option(self):
+        rays = build_static_rays(TX, RX, n_clutter=5, include_los=False, seed=0)
+        assert len(rays) == 5
+
+    def test_per_antenna_shapes(self):
+        rays = build_static_rays(TX, RX, n_clutter=3, seed=0)
+        for ray in rays:
+            assert ray.amplitudes.shape == (3,)
+            assert ray.delays_s.shape == (3,)
+
+    def test_los_delay_matches_distance(self):
+        rays = build_static_rays(TX, RX, n_clutter=0, seed=0)
+        los = rays[0]
+        expected = np.linalg.norm(RX[0] - np.asarray(TX)) / SPEED_OF_LIGHT
+        assert los.delays_s[0] == pytest.approx(expected)
+
+    def test_los_is_strongest(self):
+        rays = build_static_rays(TX, RX, n_clutter=8, seed=1)
+        los_amp = rays[0].amplitudes.mean()
+        clutter_amps = [r.amplitudes.mean() for r in rays[1:]]
+        assert los_amp > max(clutter_amps)
+
+    def test_clutter_reproducible_by_seed(self):
+        a = build_static_rays(TX, RX, n_clutter=4, seed=7)
+        b = build_static_rays(TX, RX, n_clutter=4, seed=7)
+        for ra, rb in zip(a, b):
+            assert np.allclose(ra.amplitudes, rb.amplitudes)
+            assert np.allclose(ra.delays_s, rb.delays_s)
+
+    def test_wall_attenuates_los(self):
+        wall = Wall(point=(2.0, 2.75, 0), normal=(1, 0, 0), loss_db=10.0)
+        with_wall = build_static_rays(TX, RX, n_clutter=0, walls=(wall,), seed=0)
+        without = build_static_rays(TX, RX, n_clutter=0, seed=0)
+        assert with_wall[0].amplitudes[0] == pytest.approx(
+            without[0].amplitudes[0] * 10 ** (-0.5)
+        )
+
+
+class TestPersonRay:
+    def test_delay_matches_reflection_path(self):
+        person = Person(position=(2.2, 3.0, 1.0))
+        ray = build_person_ray(person, TX, RX)
+        d1 = np.linalg.norm(np.asarray(person.position) - np.asarray(TX))
+        d2 = np.linalg.norm(RX[0] - np.asarray(person.position))
+        assert ray.delays_s[0] == pytest.approx((d1 + d2) / SPEED_OF_LIGHT)
+
+    def test_reflectivity_scales_amplitude(self):
+        weak = Person(position=(2.2, 3.0, 1.0), reflectivity=0.5)
+        strong = Person(position=(2.2, 3.0, 1.0), reflectivity=1.0)
+        ray_weak = build_person_ray(weak, TX, RX)
+        ray_strong = build_person_ray(strong, TX, RX)
+        assert np.allclose(ray_weak.amplitudes, 0.5 * ray_strong.amplitudes)
+
+    def test_antenna_delays_differ(self):
+        # The 2.68 cm element spacing gives each antenna a slightly
+        # different reflection path — the basis of the phase difference.
+        person = Person(position=(2.2, 3.0, 1.0))
+        ray = build_person_ray(person, TX, RX)
+        assert ray.delays_s[0] != ray.delays_s[1]
+
+    def test_farther_person_weaker(self):
+        near = build_person_ray(Person(position=(2.0, 2.5, 1.0)), TX, RX)
+        far = build_person_ray(Person(position=(4.0, 8.0, 1.0)), TX, RX)
+        assert far.amplitudes.mean() < near.amplitudes.mean()

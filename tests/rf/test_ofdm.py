@@ -1,0 +1,119 @@
+"""Tests for the symbol-level OFDM PHY and the emergent error structure."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rf.constants import INTEL5300_SUBCARRIER_INDICES, SPEED_OF_LIGHT
+from repro.rf.multipath import StaticRay
+from repro.rf.ofdm import OfdmPhy, OfdmPhyConfig
+
+
+def flat_ray(amplitude=0.7, delay=30e-9, n_rx=3):
+    return StaticRay(
+        amplitudes=np.full(n_rx, amplitude), delays_s=np.full(n_rx, delay)
+    )
+
+
+def clean_phy(**kwargs):
+    defaults = dict(snr_db=np.inf, timing_jitter_samples=0.0, cfo_hz=0.0)
+    defaults.update(kwargs)
+    return OfdmPhy(OfdmPhyConfig(**defaults))
+
+
+class TestIdealChain:
+    def test_flat_channel_estimated_exactly(self):
+        estimate = clean_phy().measure_packet([flat_ray(0.7)])
+        assert estimate.csi.shape == (3, 30)
+        assert np.allclose(np.abs(estimate.csi), 0.7, atol=1e-9)
+        assert estimate.timing_error_samples == 0.0
+
+    def test_two_ray_frequency_selectivity(self):
+        # Two rays separated by 100 ns produce the textbook ripple
+        # |H(f)| = |a1 + a2 e^{-j2πfΔτ}| across the band.
+        rays = [flat_ray(1.0, 50e-9), flat_ray(0.5, 150e-9)]
+        estimate = clean_phy().measure_packet(rays)
+        freqs = INTEL5300_SUBCARRIER_INDICES * 312.5e3
+        expected = np.abs(1.0 + 0.5 * np.exp(-2j * np.pi * freqs * 100e-9))
+        assert np.allclose(np.abs(estimate.csi[0]), expected, rtol=1e-6)
+
+    def test_detection_finds_packet(self):
+        phy = clean_phy()
+        waveforms, _ = phy.transmit([flat_ray()], guard=64)
+        assert phy.detect_packet(waveforms[0]) == 64
+
+
+class TestEmergentErrorStructure:
+    def test_timing_error_becomes_phase_slope(self):
+        """The paper's λ_p emerges: slope = −2π·Δt/N per subcarrier index."""
+        phy = OfdmPhy(
+            OfdmPhyConfig(snr_db=45.0, timing_jitter_samples=1.5, seed=3)
+        )
+        for packet in range(6):
+            estimate = phy.measure_packet([flat_ray()], packet_index=packet)
+            phase = np.unwrap(np.angle(estimate.csi[0]))
+            slope = np.polyfit(INTEL5300_SUBCARRIER_INDICES, phase, 1)[0]
+            expected = -2 * np.pi * estimate.timing_error_samples / 64
+            assert slope == pytest.approx(expected, abs=0.003)
+
+    def test_slope_varies_per_packet_but_difference_is_stable(self):
+        """Theorem 1, derived: the per-packet slope scrambles raw phase,
+        the cross-antenna difference cancels it."""
+        phy = OfdmPhy(
+            OfdmPhyConfig(snr_db=35.0, timing_jitter_samples=2.0, seed=5)
+        )
+        slopes = []
+        differences = []
+        for packet in range(8):
+            estimate = phy.measure_packet([flat_ray()], packet_index=packet)
+            phase = np.unwrap(np.angle(estimate.csi[0]))
+            slopes.append(
+                np.polyfit(INTEL5300_SUBCARRIER_INDICES, phase, 1)[0]
+            )
+            differences.append(
+                np.angle(estimate.csi[0] * np.conj(estimate.csi[1]))
+            )
+        assert np.std(slopes) > 0.005  # raw slope scrambles per packet
+        spread = np.std(np.asarray(differences), axis=0)
+        assert spread.max() < 0.1  # the difference stays put
+
+    def test_cfo_rotates_all_chains_equally(self):
+        phy_cfo = OfdmPhy(
+            OfdmPhyConfig(snr_db=np.inf, timing_jitter_samples=0.0,
+                          cfo_hz=10e3, seed=1)
+        )
+        estimate = phy_cfo.measure_packet([flat_ray()])
+        reference = clean_phy().measure_packet([flat_ray()])
+        rotation = np.angle(estimate.csi / reference.csi)
+        # One common rotation across subcarriers and antennas (λ_c).
+        assert np.std(rotation) < 0.06
+        assert np.abs(np.mean(rotation)) > 0.01
+
+    def test_matches_injected_error_model_structure(self):
+        """The PHY-derived errors have the HardwareErrorModel's signature:
+        measured phase = true phase + slope·m_i + offset, shared across
+        chains."""
+        phy = OfdmPhy(
+            OfdmPhyConfig(snr_db=45.0, timing_jitter_samples=1.5,
+                          cfo_hz=2e3, seed=9)
+        )
+        ray = flat_ray(0.7, 40e-9)
+        estimate = phy.measure_packet([ray], packet_index=3)
+        m = INTEL5300_SUBCARRIER_INDICES.astype(float)
+        for antenna in range(3):
+            phase = np.unwrap(np.angle(estimate.csi[antenna]))
+            fit = np.polyval(np.polyfit(m, phase, 1), m)
+            residual = phase - fit
+            # After removing slope+offset, the residual is the (flat-ish)
+            # true channel phase — small for a single ray.
+            assert np.std(residual) < 0.05
+
+
+class TestValidation:
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OfdmPhyConfig(timing_jitter_samples=-1.0)
+
+    def test_csi_on_intel_map(self):
+        estimate = clean_phy().measure_packet([flat_ray()])
+        assert estimate.csi.shape[1] == INTEL5300_SUBCARRIER_INDICES.size

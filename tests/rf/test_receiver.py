@@ -1,0 +1,93 @@
+"""Unit tests for the CSI capture front end."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.physio.motion import ActivityScript, ActivityState, MotionEvent
+from repro.rf.constants import INTEL5300_SUBCARRIER_INDICES
+from repro.rf.hardware import HardwareConfig
+from repro.rf.receiver import capture_trace
+from repro.rf.scene import laboratory_scenario
+
+
+class TestCaptureTrace:
+    def test_shape_and_metadata(self, lab_trace, lab_person):
+        assert lab_trace.csi.shape == (12_000, 3, 30)
+        assert lab_trace.sample_rate_hz == 400.0
+        assert lab_trace.meta["scenario"] == "laboratory"
+        assert lab_trace.meta["breathing_rates_bpm"] == [
+            lab_person.breathing_rate_bpm
+        ]
+        assert lab_trace.meta["heart_rates_bpm"] == [lab_person.heart_rate_bpm]
+
+    def test_subcarrier_indices_are_intel_map(self, lab_trace):
+        assert np.array_equal(
+            lab_trace.subcarrier_indices, INTEL5300_SUBCARRIER_INDICES
+        )
+
+    def test_timestamps_regular(self, lab_trace):
+        gaps = np.diff(lab_trace.timestamps_s)
+        assert np.allclose(gaps, 1 / 400.0)
+
+    def test_timing_jitter(self):
+        scenario = laboratory_scenario()
+        trace = capture_trace(
+            scenario, duration_s=2.0, seed=0, timing_jitter=0.05
+        )
+        gaps = np.diff(trace.timestamps_s)
+        assert np.std(gaps) > 0.0
+        assert np.all(gaps >= 0.0)
+
+    def test_reproducible_for_same_seed(self):
+        scenario = laboratory_scenario(clutter_seed=9)
+        a = capture_trace(scenario, duration_s=1.0, seed=4)
+        b = capture_trace(scenario, duration_s=1.0, seed=4)
+        assert np.array_equal(a.csi, b.csi)
+
+    def test_different_hardware_seeds_differ(self):
+        scenario = laboratory_scenario(clutter_seed=9)
+        a = capture_trace(scenario, duration_s=1.0, seed=4)
+        b = capture_trace(scenario, duration_s=1.0, seed=5)
+        assert not np.allclose(a.csi, b.csi)
+
+    def test_custom_hardware_config(self):
+        scenario = laboratory_scenario()
+        clean = capture_trace(
+            scenario,
+            duration_s=1.0,
+            hardware=HardwareConfig(noise_sigma=0.0, agc_jitter_sigma=0.0),
+        )
+        noisy = capture_trace(
+            scenario,
+            duration_s=1.0,
+            hardware=HardwareConfig(noise_sigma=0.1, agc_jitter_sigma=0.0),
+        )
+        assert not np.allclose(clean.csi, noisy.csi)
+
+    def test_activity_script_gates_person(self):
+        scenario = dataclasses.replace(
+            laboratory_scenario(),
+            activity=ActivityScript(
+                events=(MotionEvent(ActivityState.NO_PERSON, 0.0, 10.0),)
+            ),
+        )
+        empty = capture_trace(
+            scenario,
+            duration_s=2.0,
+            hardware=HardwareConfig(noise_sigma=0.0, agc_jitter_sigma=0.0),
+        )
+        # No person, no noise → phase difference is constant over packets.
+        diff = np.angle(empty.csi[:, 0, :] * np.conj(empty.csi[:, 1, :]))
+        assert np.std(diff, axis=0).max() < 1e-9
+
+    def test_validation(self):
+        scenario = laboratory_scenario()
+        with pytest.raises(ConfigurationError):
+            capture_trace(scenario, duration_s=0.0)
+        with pytest.raises(ConfigurationError):
+            capture_trace(scenario, duration_s=10.0, sample_rate_hz=0.0)
+        with pytest.raises(ConfigurationError):
+            capture_trace(scenario, duration_s=0.001, sample_rate_hz=400.0)

@@ -1,0 +1,108 @@
+"""Unit tests for deployment scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.physio.person import Person
+from repro.rf.antennas import DirectionalAntenna, OmniAntenna
+from repro.rf.scene import (
+    Scenario,
+    corridor_scenario,
+    laboratory_scenario,
+    through_wall_scenario,
+)
+
+
+class TestLaboratory:
+    def test_default_has_one_person(self):
+        scenario = laboratory_scenario()
+        assert len(scenario.persons) == 1
+        assert scenario.name == "laboratory"
+
+    def test_omni_by_default(self):
+        assert isinstance(laboratory_scenario().tx_antenna(), OmniAntenna)
+
+    def test_directional_aims_at_person(self):
+        scenario = laboratory_scenario(directional_tx=True)
+        antenna = scenario.tx_antenna()
+        assert isinstance(antenna, DirectionalAntenna)
+        assert antenna.boresight == scenario.persons[0].position
+
+    def test_build_rays_counts(self):
+        scenario = laboratory_scenario()
+        static, dynamic = scenario.build_rays()
+        assert len(static) == scenario.n_clutter + 1
+        assert len(dynamic) == 1
+
+    def test_rx_positions_spacing(self):
+        positions = laboratory_scenario().rx_positions()
+        assert positions.shape == (3, 3)
+        gaps = np.linalg.norm(np.diff(positions, axis=0), axis=1)
+        assert np.allclose(gaps, 0.0268)
+
+
+class TestThroughWall:
+    def test_wall_between_tx_and_rx(self):
+        scenario = through_wall_scenario(4.0)
+        assert len(scenario.walls) == 1
+        wall = scenario.walls[0]
+        assert wall.crossings(scenario.tx_position, scenario.rx_center) == 1
+
+    def test_person_on_tx_side(self):
+        scenario = through_wall_scenario(4.0)
+        wall = scenario.walls[0]
+        # TX and the person sit on the same side of the wall.
+        assert (
+            wall.crossings(scenario.tx_position, scenario.persons[0].position)
+            == 0
+        )
+
+    def test_distance_parameter(self):
+        scenario = through_wall_scenario(6.0)
+        assert scenario.tx_rx_distance_m == pytest.approx(6.0)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ConfigurationError):
+            through_wall_scenario(0.2)
+
+
+class TestCorridor:
+    def test_distance_parameter(self):
+        scenario = corridor_scenario(11.0)
+        assert scenario.tx_rx_distance_m == pytest.approx(11.0)
+
+    def test_sparser_clutter_than_lab(self):
+        assert corridor_scenario().n_clutter < laboratory_scenario().n_clutter
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ConfigurationError):
+            corridor_scenario(0.1)
+
+
+class TestScenario:
+    def test_with_persons_copy(self):
+        scenario = laboratory_scenario()
+        new_person = Person(position=(1.0, 5.0, 1.0))
+        updated = scenario.with_persons([new_person])
+        assert updated.persons == [new_person]
+        assert len(scenario.persons) == 1  # original untouched
+
+    def test_directional_without_person_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Scenario(
+                name="bad",
+                tx_position=(0, 0, 1),
+                rx_center=(3, 0, 1),
+                persons=[],
+                directional_tx=True,
+            )
+
+    def test_negative_clutter_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Scenario(
+                name="bad",
+                tx_position=(0, 0, 1),
+                rx_center=(3, 0, 1),
+                n_clutter=-1,
+            )

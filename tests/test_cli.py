@@ -1,0 +1,137 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.io_.trace import CSITrace
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate", "--out", "x.npz"])
+        assert args.scenario == "lab"
+        assert args.duration == 30.0
+        assert args.rate == 400.0
+
+    def test_experiment_choices(self):
+        args = build_parser().parse_args(["experiment", "fig11"])
+        assert args.figure == "fig11"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestSimulateCommand:
+    def test_writes_trace(self, tmp_path):
+        out = tmp_path / "capture.npz"
+        code = main(
+            [
+                "simulate",
+                "--scenario", "lab",
+                "--duration", "5",
+                "--rate", "200",
+                "--seed", "7",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        trace = CSITrace.load(out)
+        assert trace.n_packets == 1000
+        assert trace.sample_rate_hz == 200.0
+        assert trace.meta["scenario"] == "laboratory"
+
+    @pytest.mark.parametrize("scenario", ["through-wall", "corridor"])
+    def test_other_scenarios(self, tmp_path, scenario):
+        out = tmp_path / "capture.npz"
+        code = main(
+            [
+                "simulate",
+                "--scenario", scenario,
+                "--duration", "3",
+                "--distance", "4.0",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        assert CSITrace.load(out).n_packets == 1200
+
+
+class TestEstimateCommand:
+    @pytest.fixture()
+    def trace_path(self, tmp_path):
+        out = tmp_path / "capture.npz"
+        main(
+            [
+                "simulate",
+                "--duration", "20",
+                "--seed", "3",
+                "--out", str(out),
+            ]
+        )
+        return out
+
+    def test_estimate_runs(self, trace_path, capsys):
+        code = main(["estimate", str(trace_path), "--no-gate"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "breathing:" in output
+        assert "ground truth:" in output
+
+    def test_estimate_accuracy(self, trace_path, capsys):
+        main(["estimate", str(trace_path), "--no-gate"])
+        output = capsys.readouterr().out
+        trace = CSITrace.load(trace_path)
+        truth = trace.meta["breathing_rates_bpm"][0]
+        estimated = float(
+            output.split("breathing:")[1].split("]")[0].strip(" [")
+        )
+        assert abs(estimated - truth) < 1.0
+
+    def test_tensorbeat_method(self, trace_path, capsys):
+        code = main(
+            ["estimate", str(trace_path), "--no-gate", "--method", "tensorbeat"]
+        )
+        assert code == 0
+        assert "breathing:" in capsys.readouterr().out
+
+
+class TestDatasetCommand:
+    def test_generates_corpus(self, tmp_path, capsys):
+        out = tmp_path / "corpus"
+        code = main(
+            [
+                "dataset",
+                "--out", str(out),
+                "--count", "2",
+                "--duration", "2",
+                "--rate", "200",
+            ]
+        )
+        assert code == 0
+        assert (out / "index.json").exists()
+        assert len(list(out.glob("*.npz"))) == 2
+
+
+class TestExperimentCommand:
+    def test_fig01(self, capsys):
+        code = main(["experiment", "fig01"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "fig01" in output
+        assert "diff_resultant_length" in output
+
+
+class TestExperimentJsonExport:
+    def test_json_written(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "fig01.json"
+        code = main(["experiment", "fig01", "--json", str(out)])
+        assert code == 0
+        data = json.loads(out.read_text())
+        assert "diff_resultant_length" in data
+        assert isinstance(data["diff_resultant_length"], float)

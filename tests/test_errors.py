@@ -1,0 +1,54 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    EstimationError,
+    NotStationaryError,
+    ReproError,
+    SignalTooShortError,
+    TraceFormatError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc_type",
+        [
+            ConfigurationError,
+            EstimationError,
+            NotStationaryError,
+            SignalTooShortError,
+            TraceFormatError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc_type):
+        assert issubclass(exc_type, ReproError)
+
+    def test_configuration_error_is_value_error(self):
+        # Callers using plain `except ValueError` still catch config errors.
+        assert issubclass(ConfigurationError, ValueError)
+
+    def test_trace_format_error_is_value_error(self):
+        assert issubclass(TraceFormatError, ValueError)
+
+    def test_estimation_error_is_runtime_error(self):
+        assert issubclass(EstimationError, RuntimeError)
+
+
+class TestSignalTooShort:
+    def test_carries_lengths(self):
+        error = SignalTooShortError(100, 10, "DWT input")
+        assert error.required == 100
+        assert error.actual == 10
+        assert "DWT input" in str(error)
+        assert "100" in str(error)
+
+
+class TestNotStationary:
+    def test_carries_v_and_state(self):
+        error = NotStationaryError(3.7, "walking")
+        assert error.v_statistic == pytest.approx(3.7)
+        assert error.state == "walking"
+        assert "walking" in str(error)
