@@ -48,16 +48,24 @@ def main() -> None:
     print(f"\ntruth: {person.breathing_rate_bpm:.2f} bpm\n")
     print(f"{'t (s)':>6}  {'estimate':>9}  note")
     for estimate in monitor.push_trace(trace):
-        if estimate.ok:
+        if estimate.fresh:
             rate = estimate.result.breathing_rates_bpm[0]
             print(f"{estimate.time_s:>6.0f}  {rate:>7.2f} bpm")
+        elif estimate.ok:
+            rate = estimate.result.breathing_rates_bpm[0]
+            print(
+                f"{estimate.time_s:>6.0f}  {rate:>7.2f} bpm  "
+                f"(held over, {estimate.staleness_s:.0f}s stale: "
+                f"{estimate.rejected_reason})"
+            )
         else:
             print(f"{estimate.time_s:>6.0f}  {'--':>9}  ({estimate.rejected_reason})")
 
     print(
         "\nwindows overlapping the walking segment are rejected by "
-        "environment detection (Eq. 8) and produce no estimate — exactly "
-        "the paper's gating behaviour."
+        "environment detection (Eq. 8): no fresh estimate is produced, and "
+        "the last good one is re-emitted — flagged with its staleness — "
+        "until the holdover budget runs out (see docs/robustness.md)."
     )
 
 

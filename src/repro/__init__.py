@@ -27,13 +27,15 @@ from .core import (
 )
 from .errors import (
     ConfigurationError,
+    DataGapError,
+    DegradedInputError,
     EstimationError,
     NotStationaryError,
     ReproError,
     SignalTooShortError,
     TraceFormatError,
 )
-from .io_ import CSITrace
+from .io_ import CSITrace, TraceQualityReport
 from .physio import (
     ActivityScript,
     ActivityState,
@@ -60,6 +62,8 @@ __all__ = [
     "ActivityState",
     "CSITrace",
     "ConfigurationError",
+    "DataGapError",
+    "DegradedInputError",
     "EstimationError",
     "HardwareConfig",
     "NotStationaryError",
@@ -77,6 +81,7 @@ __all__ = [
     "StreamingConfig",
     "StreamingMonitor",
     "TraceFormatError",
+    "TraceQualityReport",
     "VitalSignEstimate",
     "capture_trace",
     "corridor_scenario",

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..dsp.fft_utils import dominant_frequency, three_bin_phase_frequency
+from ..dsp.fft_utils import three_bin_phase_frequency
 from ..errors import ConfigurationError, EstimationError
 
 __all__ = ["HEART_SEARCH_BAND_HZ", "FFTHeartEstimator"]

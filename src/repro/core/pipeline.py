@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..dsp.resample import reclock
 from ..dsp.template import subtract_cycle_template
 from ..errors import NotStationaryError, SignalTooShortError
 from ..io_.trace import CSITrace
@@ -52,6 +53,24 @@ from .subcarrier_selection import (
 )
 
 __all__ = ["PhaseBeatConfig", "PhaseBeat", "prepare_calibrated_matrix"]
+
+
+def _pair_series(
+    trace: CSITrace, pair: tuple[int, int], needs_reclock: bool
+) -> np.ndarray:
+    """Phase-difference series for one pair, on a guaranteed-uniform grid.
+
+    Every downstream stage (Hampel windows in seconds, decimation, DWT,
+    FFT) assumes uniform sampling at ``trace.sample_rate_hz``.  A clean
+    capture satisfies that by construction; a lossy/jittered/glitched one
+    does not, so its series is interpolated onto the nominal-rate grid
+    first (dropping clock-glitch victims) instead of silently treating
+    packet index as time.
+    """
+    diff = phase_difference(trace, pair)
+    if not needs_reclock:
+        return diff
+    return reclock(diff, trace.timestamps_s, trace.sample_rate_hz).series
 
 
 def prepare_calibrated_matrix(
@@ -84,8 +103,9 @@ def prepare_calibrated_matrix(
     columns = []
     masks = []
     sample_rate = trace.sample_rate_hz
+    needs_reclock = not trace.quality_report().is_uniform
     for pair in antenna_pairs:
-        diff = phase_difference(trace, pair)
+        diff = _pair_series(trace, pair, needs_reclock)
         calibrated = calibrate(diff, trace.sample_rate_hz, calibration)
         columns.append(calibrated.series)
         masks.append(amplitude_quality_mask(trace, pair))
@@ -182,7 +202,9 @@ class PhaseBeat:
         """
         cfg = self.config
         pairs = self._antenna_pairs(trace)
-        diff = phase_difference(trace, pairs[0])
+        quality_report = trace.quality_report()
+        needs_reclock = not quality_report.is_uniform
+        diff = _pair_series(trace, pairs[0], needs_reclock)
 
         v = v_statistic(diff)
         lo, hi = cfg.environment.stationary_band
@@ -213,7 +235,9 @@ class PhaseBeat:
         masks = []
         sample_rate = None
         for pair in pairs:
-            pair_diff = diff if pair == pairs[0] else phase_difference(trace, pair)
+            pair_diff = (
+                diff if pair == pairs[0] else _pair_series(trace, pair, needs_reclock)
+            )
             calibrated = calibrate(pair_diff, trace.sample_rate_hz, cfg.calibration)
             columns.append(calibrated.series)
             masks.append(self._subcarrier_quality_mask(trace, pair))
@@ -261,6 +285,8 @@ class PhaseBeat:
             n_calibrated_samples=stacked.shape[0],
             breathing_band_hz=bands.breathing_band_hz,
             heart_band_hz=bands.heart_band_hz,
+            reclocked=needs_reclock,
+            input_loss_fraction=quality_report.loss_fraction,
         )
         return PhaseBeatResult(
             breathing=breathing,

@@ -41,6 +41,11 @@ class PipelineDiagnostics:
         n_calibrated_samples: Length of the calibrated series.
         breathing_band_hz: DWT breathing band.
         heart_band_hz: DWT heart band.
+        reclocked: Whether the input timestamps were non-uniform (packet
+            loss, gaps, jitter) and the series was interpolated onto a
+            uniform grid before calibration.
+        input_loss_fraction: Packet-loss fraction of the input stream
+            (0.0 for a clean uniform capture).
     """
 
     v_statistic: float
@@ -53,6 +58,8 @@ class PipelineDiagnostics:
     n_calibrated_samples: int
     breathing_band_hz: tuple[float, float]
     heart_band_hz: tuple[float, float]
+    reclocked: bool = False
+    input_loss_fraction: float = 0.0
 
 
 @dataclass(frozen=True)

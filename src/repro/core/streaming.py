@@ -1,4 +1,4 @@
-"""Realtime (sliding-window) vital-sign monitoring.
+"""Realtime (sliding-window) vital-sign monitoring, fault-tolerant.
 
 The paper emphasizes that PhaseBeat runs in realtime: downsampling to 20 Hz
 exists precisely to keep the per-window processing cheap.  This module
@@ -6,6 +6,23 @@ provides the streaming counterpart of :class:`~repro.core.pipeline.PhaseBeat`:
 packets are pushed as they arrive, and once a full analysis window has
 accumulated the estimator re-runs over the most recent window, hopping
 forward by a configurable stride.
+
+Unlike the paper's evaluation, a deployed monitor cannot assume the clean
+400 pkt/s stream: frames drop, NICs reset, and timestamp counters glitch.
+The monitor therefore
+
+* **validates every packet** — non-finite CSI, non-finite timestamps, and
+  backward timestamps are dropped (and counted), never buffered; a backward
+  jump larger than the window is treated as a stream reset;
+* **sizes windows by time, not packet count** — the buffer covers a true
+  ``window_s`` seconds of capture even when half the packets are missing;
+* **quality-gates every window** — windows containing a long gap or too few
+  packets are rejected with a structured reason (``"data-gap"``,
+  ``"degraded-input"``) instead of being fed to the estimator;
+* **degrades gracefully** — a rejected window re-emits the last good
+  estimate, flagged ``held_over`` with its staleness, until the
+  ``holdover_s`` budget expires; once the fault slides out of the window,
+  fresh estimates resume automatically.
 """
 
 from __future__ import annotations
@@ -15,12 +32,23 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import ConfigurationError, EstimationError, NotStationaryError
+from ..errors import (
+    ConfigurationError,
+    EstimationError,
+    NotStationaryError,
+    SignalTooShortError,
+    TraceFormatError,
+)
+from ..io_.quality import TraceQualityReport, assess_timestamps
 from ..io_.trace import CSITrace
 from .pipeline import PhaseBeat, PhaseBeatConfig
 from .results import PhaseBeatResult
 
 __all__ = ["StreamingConfig", "StreamingEstimate", "StreamingMonitor"]
+
+# A window with fewer packets than this cannot support calibration + DWT
+# regardless of its nominal span; it is rejected as degraded input.
+_MIN_WINDOW_PACKETS = 16
 
 
 @dataclass(frozen=True)
@@ -32,12 +60,23 @@ class StreamingConfig:
         hop_s: How often a new estimate is emitted.
         n_persons: Subjects to resolve per window.
         estimate_heart: Also estimate heart rate per window.
+        max_gap_s: Largest inter-packet gap tolerated inside a window;
+            windows containing a longer dropout are rejected ``"data-gap"``.
+        max_loss_fraction: Maximum tolerable packet loss (effective vs
+            nominal rate) per window; above it the window is rejected
+            ``"degraded-input"``.
+        holdover_s: Staleness budget — how long a rejected window may
+            re-emit the last good estimate (flagged ``held_over``) before
+            the monitor reports no estimate at all.  Zero disables holdover.
     """
 
     window_s: float = 30.0
     hop_s: float = 5.0
     n_persons: int = 1
     estimate_heart: bool = False
+    max_gap_s: float = 0.5
+    max_loss_fraction: float = 0.25
+    holdover_s: float = 30.0
 
     def __post_init__(self) -> None:
         if self.window_s <= 0 or self.hop_s <= 0:
@@ -46,6 +85,12 @@ class StreamingConfig:
             raise ConfigurationError("hop must not exceed the window")
         if self.n_persons < 1:
             raise ConfigurationError("n_persons must be >= 1")
+        if self.max_gap_s <= 0:
+            raise ConfigurationError("max_gap_s must be positive")
+        if not 0.0 <= self.max_loss_fraction < 1.0:
+            raise ConfigurationError("max_loss_fraction must be in [0, 1)")
+        if self.holdover_s < 0:
+            raise ConfigurationError("holdover_s must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -54,29 +99,49 @@ class StreamingEstimate:
 
     Attributes:
         time_s: Timestamp of the window's last packet.
-        result: Full pipeline result for the window, or ``None`` when the
-            window was rejected (non-stationary) or estimation failed.
-        rejected_reason: Why the window produced no result (``None`` on
-            success; ``"not-stationary"`` or ``"estimation-failed"``).
+        result: Full pipeline result for the window; on a rejected window
+            this is the *held-over* last good result (``held_over`` True)
+            while the staleness budget lasts, else ``None``.
+        rejected_reason: Why the window produced no fresh result (``None``
+            on success; ``"data-gap"``, ``"degraded-input"``,
+            ``"not-stationary"`` or ``"estimation-failed"``).
+        held_over: ``result`` is a re-emission of an earlier estimate, not
+            an analysis of this window.
+        staleness_s: Age of the held-over result (0 for fresh estimates).
+        quality: Timing-quality report of the emitted window.
     """
 
     time_s: float
     result: PhaseBeatResult | None
     rejected_reason: str | None = None
+    held_over: bool = False
+    staleness_s: float = 0.0
+    quality: TraceQualityReport | None = None
 
     @property
     def ok(self) -> bool:
-        """Whether this window produced a usable estimate."""
+        """Whether this window carries a usable (possibly stale) estimate."""
         return self.result is not None
+
+    @property
+    def fresh(self) -> bool:
+        """Whether this window was itself successfully analyzed."""
+        return self.result is not None and not self.held_over
 
 
 class StreamingMonitor:
     """Push-based sliding-window monitor.
 
     Args:
-        sample_rate_hz: Packet rate of the incoming stream.
+        sample_rate_hz: Nominal packet rate of the incoming stream.
         config: Streaming parameters.
         pipeline_config: Parameters for the underlying pipeline.
+
+    Attributes:
+        counters: Running tallies of the faults absorbed so far — keys
+            ``packets_in``, ``dropped_nonfinite_csi``,
+            ``dropped_nonfinite_timestamp``, ``dropped_backward_timestamp``,
+            ``stream_resets``.
     """
 
     def __init__(
@@ -90,17 +155,36 @@ class StreamingMonitor:
         self.sample_rate_hz = float(sample_rate_hz)
         self.config = config if config is not None else StreamingConfig()
         self._pipeline = PhaseBeat(pipeline_config)
-        self._window_packets = int(round(self.config.window_s * sample_rate_hz))
-        self._hop_packets = int(round(self.config.hop_s * sample_rate_hz))
-        self._buffer: deque = deque(maxlen=self._window_packets)
-        self._times: deque = deque(maxlen=self._window_packets)
-        self._since_last_emit = 0
+        # One nominal packet interval: the slack that makes "span >= window"
+        # and "hop elapsed" robust to the last packet landing one tick short
+        # of the exact boundary (a stream sampled at t = k/rate reaches
+        # 30 s worth of packets at t = 29.9975, not 30.0).
+        self._eps = 1.0 / self.sample_rate_hz
+        self._buffer: deque = deque()
+        self._times: deque = deque()
         self._subcarrier_indices: np.ndarray | None = None
+        self._packet_shape: tuple[int, int] | None = None
+        self._last_time: float | None = None
+        self._last_emit_time: float | None = None
+        self._last_good_time: float | None = None
+        self._last_good_result: PhaseBeatResult | None = None
+        self.counters: dict[str, int] = {
+            "packets_in": 0,
+            "dropped_nonfinite_csi": 0,
+            "dropped_nonfinite_timestamp": 0,
+            "dropped_backward_timestamp": 0,
+            "stream_resets": 0,
+        }
 
     def push_packet(
         self, csi_packet: np.ndarray, timestamp_s: float
     ) -> StreamingEstimate | None:
         """Feed one packet; returns an estimate when a hop completes.
+
+        Malformed packets (non-finite CSI or timestamp, backward timestamp)
+        are dropped and counted rather than buffered; a backward jump larger
+        than the window is treated as a stream reset (NIC rebooted, counter
+        restarted) and the monitor starts over.
 
         Args:
             csi_packet: Complex CSI of one packet, shape
@@ -108,29 +192,75 @@ class StreamingMonitor:
             timestamp_s: Capture time of the packet.
 
         Returns:
-            A :class:`StreamingEstimate` when enough new packets have
-            arrived, otherwise ``None``.
+            A :class:`StreamingEstimate` when enough new capture time has
+            elapsed, otherwise ``None``.
+
+        Raises:
+            ConfigurationError: The packet is not a 2-D array.
+            TraceFormatError: The packet shape changed mid-stream.
         """
         csi_packet = np.asarray(csi_packet)
         if csi_packet.ndim != 2:
             raise ConfigurationError(
                 f"packet must be (n_rx, n_subcarriers), got {csi_packet.shape}"
             )
-        if self._subcarrier_indices is None:
-            self._subcarrier_indices = np.arange(csi_packet.shape[1])
+        shape = (int(csi_packet.shape[0]), int(csi_packet.shape[1]))
+        if self._packet_shape is None:
+            self._packet_shape = shape
+            self._subcarrier_indices = np.arange(shape[1])
+        elif shape != self._packet_shape:
+            raise TraceFormatError(
+                f"packet shape changed mid-stream: expected "
+                f"{self._packet_shape}, got {shape}"
+            )
+        self.counters["packets_in"] += 1
+
+        timestamp_s = float(timestamp_s)
+        if not np.isfinite(timestamp_s):
+            self.counters["dropped_nonfinite_timestamp"] += 1
+            return None
+        if not np.all(np.isfinite(csi_packet)):
+            self.counters["dropped_nonfinite_csi"] += 1
+            return None
+        if self._last_time is not None and timestamp_s < self._last_time:
+            if self._last_time - timestamp_s > self.config.window_s:
+                # The clock went back further than the whole window: this is
+                # a counter restart, not a glitch.  Start a fresh stream.
+                self._reset_stream()
+                self.counters["stream_resets"] += 1
+            else:
+                self.counters["dropped_backward_timestamp"] += 1
+                return None
+
         self._buffer.append(csi_packet)
-        self._times.append(float(timestamp_s))
-        self._since_last_emit += 1
+        self._times.append(timestamp_s)
+        self._last_time = timestamp_s
+        # Time-based window: evict until the buffer spans at most window_s,
+        # so a lossy stream still analyzes a true window_s seconds.
+        while (
+            len(self._times) > 1
+            and self._times[-1] - self._times[0] > self.config.window_s + self._eps
+        ):
+            self._buffer.popleft()
+            self._times.popleft()
+
+        span = self._times[-1] - self._times[0]
+        if span < self.config.window_s - self._eps:
+            return None
         if (
-            len(self._buffer) < self._window_packets
-            or self._since_last_emit < self._hop_packets
+            self._last_emit_time is not None
+            and timestamp_s - self._last_emit_time < self.config.hop_s - self._eps
         ):
             return None
-        self._since_last_emit = 0
+        self._last_emit_time = timestamp_s
         return self._emit()
 
     def push_trace(self, trace: CSITrace) -> list[StreamingEstimate]:
-        """Feed a whole trace packet-by-packet; collect all estimates."""
+        """Feed a whole trace packet-by-packet; collect all estimates.
+
+        Accepts impaired traces (lossy, glitched) — per-packet validation
+        drops what cannot be used, exactly as it would live.
+        """
         estimates = []
         for k in range(trace.n_packets):
             out = self.push_packet(trace.csi[k], float(trace.timestamps_s[k]))
@@ -138,15 +268,54 @@ class StreamingMonitor:
                 estimates.append(out)
         return estimates
 
+    def _reset_stream(self) -> None:
+        """Forget everything tied to the old clock base."""
+        self._buffer.clear()
+        self._times.clear()
+        self._last_time = None
+        self._last_emit_time = None
+        self._last_good_time = None
+        self._last_good_result = None
+
+    def _reject(
+        self, t_end: float, reason: str, quality: TraceQualityReport | None
+    ) -> StreamingEstimate:
+        """A structured rejection, holding over the last good estimate
+        while the staleness budget allows."""
+        if self._last_good_result is not None and self._last_good_time is not None:
+            staleness = t_end - self._last_good_time
+            if 0.0 <= staleness <= self.config.holdover_s:
+                return StreamingEstimate(
+                    t_end,
+                    self._last_good_result,
+                    rejected_reason=reason,
+                    held_over=True,
+                    staleness_s=staleness,
+                    quality=quality,
+                )
+        return StreamingEstimate(
+            t_end, None, rejected_reason=reason, quality=quality
+        )
+
     def _emit(self) -> StreamingEstimate:
+        times = np.asarray(self._times)
+        t_end = float(times[-1])
+        quality = assess_timestamps(times, self.sample_rate_hz)
+        if quality.max_gap_s > self.config.max_gap_s:
+            return self._reject(t_end, "data-gap", quality)
+        if (
+            len(self._buffer) < _MIN_WINDOW_PACKETS
+            or quality.loss_fraction > self.config.max_loss_fraction
+        ):
+            return self._reject(t_end, "degraded-input", quality)
+
         window = CSITrace(
             csi=np.stack(self._buffer),
-            timestamps_s=np.asarray(self._times),
+            timestamps_s=times,
             sample_rate_hz=self.sample_rate_hz,
             subcarrier_indices=self._subcarrier_indices,
             meta={"streaming_window": True},
         )
-        t_end = float(self._times[-1])
         try:
             result = self._pipeline.process(
                 window,
@@ -154,7 +323,9 @@ class StreamingMonitor:
                 estimate_heart=self.config.estimate_heart,
             )
         except NotStationaryError:
-            return StreamingEstimate(t_end, None, rejected_reason="not-stationary")
-        except EstimationError:
-            return StreamingEstimate(t_end, None, rejected_reason="estimation-failed")
-        return StreamingEstimate(t_end, result)
+            return self._reject(t_end, "not-stationary", quality)
+        except (EstimationError, SignalTooShortError):
+            return self._reject(t_end, "estimation-failed", quality)
+        self._last_good_time = t_end
+        self._last_good_result = result
+        return StreamingEstimate(t_end, result, quality=quality)

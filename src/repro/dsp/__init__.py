@@ -18,7 +18,7 @@ from .fft_utils import (
 from .hampel import hampel_filter, hampel_trend, rolling_mad, rolling_median
 from .music import estimate_frequencies as root_music_estimate
 from .peaks import find_peaks, mean_peak_interval, peak_rate_bpm
-from .resample import decimate, downsampled_rate
+from .resample import ReclockedSeries, decimate, downsampled_rate, reclock
 from .stft import Spectrogram, stft_bandpass, stft_spectrogram, track_rate
 from .stats import (
     angular_sector_width,
@@ -71,6 +71,8 @@ __all__ = [
     "median_absolute_deviation",
     "peak_rate_bpm",
     "quadratic_peak_interpolation",
+    "reclock",
+    "ReclockedSeries",
     "reconstruct_band",
     "remove_dc",
     "rolling_mad",

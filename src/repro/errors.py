@@ -65,3 +65,40 @@ class NotStationaryError(ReproError, RuntimeError):
 
 class TraceFormatError(ReproError, ValueError):
     """A CSI trace container or file violates the expected layout."""
+
+
+class DataGapError(ReproError, RuntimeError):
+    """Packet timestamps contain a gap too large to bridge.
+
+    Raised by :meth:`CSITrace.validate` and :func:`repro.dsp.resample.reclock`
+    when a dropout (NIC reset, long burst loss) exceeds the caller's gap
+    budget: interpolating vital-sign phase across such a hole would fabricate
+    a signal rather than recover one.
+    """
+
+    def __init__(self, gap_s: float, limit_s: float, at_s: float | None = None):
+        self.gap_s = float(gap_s)
+        self.limit_s = float(limit_s)
+        self.at_s = None if at_s is None else float(at_s)
+        where = "" if at_s is None else f" at t={self.at_s:.3f}s"
+        super().__init__(
+            f"data gap of {self.gap_s:.3f}s{where} exceeds the "
+            f"{self.limit_s:.3f}s budget"
+        )
+
+
+class DegradedInputError(ReproError, RuntimeError):
+    """Input quality is below the floor the pipeline can estimate from.
+
+    Carries the offending :class:`~repro.io_.quality.TraceQualityReport` plus
+    the machine-readable list of violated checks (e.g. ``"loss-fraction"``,
+    ``"non-monotonic-timestamps"``), so callers can gate, log, or degrade
+    gracefully instead of parsing a message string.
+    """
+
+    def __init__(self, reasons: list[str], report=None):
+        self.reasons = list(reasons)
+        self.report = report
+        super().__init__(
+            "input quality below estimation floor: " + ", ".join(self.reasons)
+        )

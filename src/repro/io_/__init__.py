@@ -1,6 +1,15 @@
-"""Trace containers and dataset generation utilities."""
+"""Trace containers, quality assessment, and dataset generation utilities."""
 
 from .dataset import DatasetEntry, TraceDataset, generate_dataset
+from .quality import TraceQualityReport, assess_timestamps, assess_trace
 from .trace import CSITrace
 
-__all__ = ["CSITrace", "DatasetEntry", "TraceDataset", "generate_dataset"]
+__all__ = [
+    "CSITrace",
+    "DatasetEntry",
+    "TraceDataset",
+    "TraceQualityReport",
+    "assess_timestamps",
+    "assess_trace",
+    "generate_dataset",
+]

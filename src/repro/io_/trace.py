@@ -10,14 +10,15 @@ timestamps.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import InitVar, dataclass, field
 from pathlib import Path
 from typing import Any
 import json
 
 import numpy as np
 
-from ..errors import TraceFormatError
+from ..errors import DataGapError, DegradedInputError, TraceFormatError
+from .quality import TraceQualityReport, assess_trace
 
 __all__ = ["CSITrace"]
 
@@ -37,6 +38,12 @@ class CSITrace:
         meta: Free-form JSON-serializable metadata — scenario name, ground
             truth rates, seeds.  Ground-truth keys used by the evaluation
             harness: ``breathing_rates_bpm`` (list) and ``heart_rates_bpm``.
+        strict: Construction-time flag (not a stored field).  When True
+            (default) timestamps must be finite and non-decreasing, matching
+            what a healthy capture delivers.  The impairment injector passes
+            False so traces carrying clock glitches (backward jumps, NaN
+            stamps) can exist as test vectors; such traces are exactly what
+            :meth:`validate` and the streaming quality gates are for.
     """
 
     csi: np.ndarray
@@ -44,8 +51,9 @@ class CSITrace:
     sample_rate_hz: float
     subcarrier_indices: np.ndarray
     meta: dict[str, Any] = field(default_factory=dict)
+    strict: InitVar[bool] = True
 
-    def __post_init__(self) -> None:
+    def __post_init__(self, strict: bool = True) -> None:
         self.csi = np.asarray(self.csi)
         self.timestamps_s = np.asarray(self.timestamps_s, dtype=float)
         self.subcarrier_indices = np.asarray(self.subcarrier_indices, dtype=int)
@@ -65,8 +73,11 @@ class CSITrace:
                 f"timestamps shape {self.timestamps_s.shape} does not match "
                 f"{self.csi.shape[0]} packets"
             )
-        if self.csi.shape[0] > 1 and np.any(np.diff(self.timestamps_s) < 0):
-            raise TraceFormatError("timestamps must be non-decreasing")
+        if strict:
+            if not np.all(np.isfinite(self.timestamps_s)):
+                raise TraceFormatError("timestamps contain non-finite values")
+            if self.csi.shape[0] > 1 and np.any(np.diff(self.timestamps_s) < 0):
+                raise TraceFormatError("timestamps must be non-decreasing")
         if self.subcarrier_indices.shape != (self.csi.shape[2],):
             raise TraceFormatError(
                 f"{self.subcarrier_indices.size} subcarrier indices for "
@@ -99,6 +110,58 @@ class CSITrace:
             return 0.0
         return float(self.timestamps_s[-1] - self.timestamps_s[0])
 
+    def quality_report(self, *, uniform_tol: float = 0.25) -> TraceQualityReport:
+        """Timing-health summary (loss, gaps, rate, monotonicity).
+
+        See :func:`repro.io_.quality.assess_trace`; ``uniform_tol`` is the
+        interval deviation (fraction of the nominal packet interval) above
+        which the stream no longer counts as uniformly sampled.
+        """
+        return assess_trace(self, uniform_tol=uniform_tol)
+
+    def validate(
+        self,
+        *,
+        max_loss_fraction: float = 0.5,
+        max_gap_s: float | None = None,
+        require_monotonic: bool = True,
+    ) -> TraceQualityReport:
+        """Gate the trace on timing quality; return the report when it passes.
+
+        Args:
+            max_loss_fraction: Maximum tolerable packet-loss fraction
+                (effective vs nominal rate) before the trace is rejected.
+            max_gap_s: Largest tolerable inter-packet gap; ``None`` accepts
+                any gap length.
+            require_monotonic: Reject traces with backward or non-finite
+                timestamps (clock glitches / corrupted capture logs).
+
+        Returns:
+            The :class:`~repro.io_.quality.TraceQualityReport`.
+
+        Raises:
+            DataGapError: A gap exceeds ``max_gap_s`` (and the trace is
+                otherwise healthy enough for the gap to be the headline).
+            DegradedInputError: Loss or timestamp-integrity checks failed.
+        """
+        report = self.quality_report()
+        reasons = report.issues(
+            max_loss_fraction=max_loss_fraction, max_gap_s=max_gap_s
+        )
+        if not require_monotonic:
+            reasons = [
+                r
+                for r in reasons
+                if r not in ("non-monotonic-timestamps", "non-finite-timestamps")
+            ]
+        if reasons == ["data-gap"]:
+            raise DataGapError(
+                report.max_gap_s, max_gap_s, at_s=report.max_gap_at_s
+            )
+        if reasons:
+            raise DegradedInputError(reasons, report=report)
+        return report
+
     def amplitudes(self) -> np.ndarray:
         """|CSI| per packet/antenna/subcarrier (the baseline method's input)."""
         return np.abs(self.csi)
@@ -113,12 +176,16 @@ class CSITrace:
             raise TraceFormatError(
                 f"invalid packet slice [{start}, {stop}) of {self.n_packets}"
             )
+        # strict=False: the parent trace already passed (or deliberately
+        # bypassed) construction checks; slicing must not re-reject an
+        # impaired trace that exists as a test vector.
         return CSITrace(
             csi=self.csi[start:stop],
             timestamps_s=self.timestamps_s[start:stop],
             sample_rate_hz=self.sample_rate_hz,
             subcarrier_indices=self.subcarrier_indices,
             meta=dict(self.meta),
+            strict=False,
         )
 
     def save(self, path: str | Path) -> Path:
@@ -138,8 +205,14 @@ class CSITrace:
         return path
 
     @classmethod
-    def load(cls, path: str | Path) -> "CSITrace":
-        """Load a trace previously written by :meth:`save`."""
+    def load(cls, path: str | Path, *, strict: bool = True) -> "CSITrace":
+        """Load a trace previously written by :meth:`save`.
+
+        Args:
+            path: The ``.npz`` file.
+            strict: Enforce construction-time timestamp checks; pass False
+                to load saved impaired test vectors (see the class docs).
+        """
         path = Path(path)
         try:
             with np.load(path) as data:
@@ -156,6 +229,7 @@ class CSITrace:
                     sample_rate_hz=float(data["sample_rate_hz"]),
                     subcarrier_indices=data["subcarrier_indices"],
                     meta=meta,
+                    strict=strict,
                 )
         except KeyError as exc:
             raise TraceFormatError(f"{path} is missing trace field {exc}") from exc

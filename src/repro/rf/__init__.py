@@ -29,6 +29,20 @@ from .multipath import (
     build_static_rays,
 )
 from .diagnostics import phase_difference_sensitivity, sensitivity_map
+from .impairments import (
+    BernoulliLoss,
+    ClippedPackets,
+    ClockDrift,
+    ClockGlitch,
+    CorruptedTimestamps,
+    DropoutGap,
+    GilbertElliottLoss,
+    Impairment,
+    ImpulsiveCorruption,
+    SubcarrierNulls,
+    TimestampJitter,
+    apply_impairments,
+)
 from .ofdm import OfdmPhy, OfdmPhyConfig, PhyCsiEstimate
 from .receiver import capture_trace
 from .scene import (
@@ -58,6 +72,18 @@ __all__ = [
     "Scenario",
     "StaticRay",
     "Wall",
+    "BernoulliLoss",
+    "ClippedPackets",
+    "ClockDrift",
+    "ClockGlitch",
+    "CorruptedTimestamps",
+    "DropoutGap",
+    "GilbertElliottLoss",
+    "Impairment",
+    "ImpulsiveCorruption",
+    "SubcarrierNulls",
+    "TimestampJitter",
+    "apply_impairments",
     "build_person_ray",
     "build_static_rays",
     "capture_trace",

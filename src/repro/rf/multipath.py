@@ -17,7 +17,7 @@ scattered paths and a per-traversal wall loss for through-wall scenarios.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

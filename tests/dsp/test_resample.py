@@ -1,10 +1,10 @@
-"""Unit tests for decimation."""
+"""Unit tests for decimation and gap-aware reclocking."""
 
 import numpy as np
 import pytest
 
-from repro.dsp.resample import decimate, downsampled_rate
-from repro.errors import ConfigurationError
+from repro.dsp.resample import decimate, downsampled_rate, reclock
+from repro.errors import ConfigurationError, DataGapError, SignalTooShortError
 
 
 class TestDecimate:
@@ -44,6 +44,75 @@ class TestDecimate:
     def test_signal_shorter_than_factor_rejected(self):
         with pytest.raises(ConfigurationError):
             decimate(np.zeros(5), 10)
+
+
+class TestReclock:
+    def test_uniform_input_is_preserved(self):
+        fs = 100.0
+        t = np.arange(500) / fs
+        x = np.sin(2 * np.pi * 0.3 * t)
+        out = reclock(x, t, fs)
+        assert out.sample_rate_hz == fs
+        assert out.n_dropped == 0
+        assert not out.gap_mask.any()
+        assert np.allclose(out.series, x, atol=1e-12)
+
+    def test_recovers_tone_from_lossy_sampling(self):
+        # A 0.25 Hz tone sampled at 100 Hz with 30% of samples missing:
+        # reclocking onto the uniform grid must reproduce the tone, while
+        # pretending the survivors were uniform (index-as-time) warps it.
+        rng = np.random.default_rng(7)
+        fs = 100.0
+        t_full = np.arange(3000) / fs
+        keep = rng.random(3000) > 0.3
+        keep[[0, -1]] = True
+        t = t_full[keep]
+        x = np.sin(2 * np.pi * 0.25 * t)
+        out = reclock(x, t, fs)
+        truth = np.sin(2 * np.pi * 0.25 * out.times_s)
+        assert np.abs(out.series - truth).max() < 0.01
+
+    def test_2d_columns_reclocked_together(self):
+        fs = 50.0
+        t = np.sort(np.random.default_rng(1).uniform(0, 10, 300))
+        x = np.stack([t, 2 * t], axis=1)
+        out = reclock(x, t, fs)
+        assert out.series.shape == (out.times_s.size, 2)
+        assert np.allclose(out.series[:, 1], 2 * out.series[:, 0])
+
+    def test_gap_flagging(self):
+        fs = 100.0
+        t = np.concatenate([np.arange(100), np.arange(200, 300)]) / fs
+        out = reclock(np.ones_like(t), t, fs)
+        # The 1 s hole is interpolated but flagged.
+        assert out.gap_mask.sum() == pytest.approx(100, abs=3)
+
+    def test_gap_budget_enforced(self):
+        fs = 100.0
+        t = np.concatenate([np.arange(100), np.arange(200, 300)]) / fs
+        with pytest.raises(DataGapError) as excinfo:
+            reclock(np.ones_like(t), t, fs, max_gap_s=0.5)
+        assert excinfo.value.gap_s == pytest.approx(1.01, abs=0.02)
+
+    def test_drops_backward_and_nan_stamps(self):
+        fs = 100.0
+        t = np.arange(200) / fs
+        t[50] = np.nan
+        t[120] = t[119] - 0.5  # backward glitch
+        x = np.ones_like(t)
+        out = reclock(x, t, fs)
+        assert out.n_dropped == 2
+        assert np.all(np.isfinite(out.series))
+
+    def test_too_short_rejected(self):
+        with pytest.raises(SignalTooShortError):
+            reclock(np.ones(1), np.zeros(1), 100.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            reclock(np.ones(10), np.arange(10.0), 0.0)
+        with pytest.raises(ConfigurationError):
+            reclock(np.ones(10), np.arange(5.0), 100.0)
 
 
 class TestDownsampledRate:

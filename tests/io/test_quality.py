@@ -1,0 +1,124 @@
+"""Tests for trace quality assessment and validation gating."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataGapError, DegradedInputError, TraceFormatError
+from repro.io_.quality import assess_timestamps
+from repro.io_.trace import CSITrace
+
+
+def make_trace(timestamps, rate=100.0, strict=True):
+    n = len(timestamps)
+    rng = np.random.default_rng(0)
+    csi = rng.normal(size=(n, 3, 30)) + 1j * rng.normal(size=(n, 3, 30))
+    return CSITrace(
+        csi=csi,
+        timestamps_s=np.asarray(timestamps, dtype=float),
+        sample_rate_hz=rate,
+        subcarrier_indices=np.arange(30),
+        strict=strict,
+    )
+
+
+class TestAssessTimestamps:
+    def test_clean_stream(self):
+        t = np.arange(1000) / 100.0
+        report = assess_timestamps(t, 100.0)
+        assert report.is_uniform and report.is_monotonic
+        assert report.loss_fraction == pytest.approx(0.0, abs=1e-9)
+        assert report.effective_rate_hz == pytest.approx(100.0, rel=1e-6)
+        assert report.max_gap_s == pytest.approx(0.01)
+
+    def test_loss_and_gap_metrics(self):
+        t = np.arange(1000) / 100.0
+        keep = np.ones(1000, dtype=bool)
+        keep[200:300] = False  # a 1 s hole
+        keep[::10] = keep[::10] & True
+        report = assess_timestamps(t[keep], 100.0)
+        assert report.loss_fraction == pytest.approx(0.1, abs=0.01)
+        assert report.max_gap_s == pytest.approx(1.0, abs=0.02)
+        assert report.max_gap_at_s == pytest.approx(1.99, abs=0.02)
+        assert not report.is_uniform
+
+    def test_backward_and_nan_detection(self):
+        t = np.array([0.0, 0.01, 0.005, np.nan, 0.03])
+        report = assess_timestamps(t, 100.0)
+        assert report.n_backward_steps >= 1
+        assert report.n_nonfinite_timestamps == 1
+        assert not report.is_monotonic
+        issues = report.issues()
+        assert "non-monotonic-timestamps" in issues
+        assert "non-finite-timestamps" in issues
+
+    def test_issue_thresholds(self):
+        t = np.arange(0, 100, 2) / 100.0  # half the packets missing
+        report = assess_timestamps(t, 100.0)
+        assert report.issues(max_loss_fraction=0.4) == ["loss-fraction"]
+        assert report.issues(max_loss_fraction=0.6) == []
+        assert report.issues(max_loss_fraction=0.6, max_gap_s=0.01) == ["data-gap"]
+
+
+class TestTraceValidate:
+    def test_clean_trace_passes(self):
+        trace = make_trace(np.arange(500) / 100.0)
+        report = trace.validate(max_gap_s=0.5)
+        assert report.is_uniform
+
+    def test_gap_raises_data_gap_error(self):
+        t = np.concatenate([np.arange(200), np.arange(300, 500)]) / 100.0
+        trace = make_trace(t)
+        with pytest.raises(DataGapError) as excinfo:
+            trace.validate(max_gap_s=0.5, max_loss_fraction=0.9)
+        assert excinfo.value.gap_s == pytest.approx(1.0, abs=0.02)
+        assert excinfo.value.limit_s == 0.5
+
+    def test_loss_raises_degraded_input(self):
+        trace = make_trace(np.arange(0, 1000, 3) / 100.0)
+        with pytest.raises(DegradedInputError) as excinfo:
+            trace.validate(max_loss_fraction=0.5)
+        assert "loss-fraction" in excinfo.value.reasons
+        assert excinfo.value.report.loss_fraction > 0.5
+
+    def test_glitched_trace_rejected_unless_allowed(self):
+        t = np.arange(500) / 100.0
+        t[250:] -= 0.5
+        trace = make_trace(t, strict=False)
+        with pytest.raises(DegradedInputError):
+            trace.validate()
+        # The same trace passes once monotonicity is waived and no other
+        # budget is violated.
+        trace.validate(require_monotonic=False, max_loss_fraction=0.9)
+
+
+class TestStrictConstruction:
+    def test_strict_rejects_glitch_nonstrict_accepts(self):
+        t = np.arange(10) / 100.0
+        t[5] = 0.0
+        with pytest.raises(TraceFormatError):
+            make_trace(t)
+        trace = make_trace(t, strict=False)
+        assert trace.n_packets == 10
+
+    def test_strict_rejects_nan_timestamps(self):
+        t = np.arange(10) / 100.0
+        t[3] = np.nan
+        with pytest.raises(TraceFormatError):
+            make_trace(t)
+        make_trace(t, strict=False)
+
+    def test_slicing_an_impaired_trace_works(self):
+        t = np.arange(10) / 100.0
+        t[5] = 0.0
+        trace = make_trace(t, strict=False)
+        assert trace.slice_packets(4, 8).n_packets == 4
+
+    def test_impaired_round_trip_needs_nonstrict_load(self, tmp_path):
+        t = np.arange(10) / 100.0
+        t[5] = 0.0
+        trace = make_trace(t, strict=False)
+        path = trace.save(tmp_path / "glitched.npz")
+        with pytest.raises(TraceFormatError):
+            CSITrace.load(path)
+        loaded = CSITrace.load(path, strict=False)
+        assert np.array_equal(loaded.timestamps_s, trace.timestamps_s)

@@ -1,0 +1,162 @@
+"""Tests for the seeded impairment injector."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rf.impairments import (
+    BernoulliLoss,
+    ClippedPackets,
+    ClockDrift,
+    ClockGlitch,
+    CorruptedTimestamps,
+    DropoutGap,
+    GilbertElliottLoss,
+    ImpulsiveCorruption,
+    SubcarrierNulls,
+    TimestampJitter,
+    apply_impairments,
+)
+
+
+class TestBernoulliLoss:
+    def test_drops_expected_fraction(self, lab_trace):
+        out = BernoulliLoss(0.2)(lab_trace, seed=1)
+        kept = out.n_packets / lab_trace.n_packets
+        assert kept == pytest.approx(0.8, abs=0.02)
+        assert out.meta["impairments"][0]["n_dropped"] == (
+            lab_trace.n_packets - out.n_packets
+        )
+
+    def test_deterministic_under_seed(self, lab_trace):
+        a = BernoulliLoss(0.1)(lab_trace, seed=3)
+        b = BernoulliLoss(0.1)(lab_trace, seed=3)
+        assert np.array_equal(a.timestamps_s, b.timestamps_s)
+        assert np.array_equal(a.csi, b.csi)
+
+    def test_input_untouched(self, lab_trace):
+        before = lab_trace.csi.copy()
+        BernoulliLoss(0.5)(lab_trace, seed=0)
+        assert np.array_equal(lab_trace.csi, before)
+        assert "impairments" not in lab_trace.meta
+
+    def test_validates_rate(self):
+        with pytest.raises(ConfigurationError):
+            BernoulliLoss(1.0)
+        with pytest.raises(ConfigurationError):
+            BernoulliLoss(-0.1)
+
+
+class TestGilbertElliottLoss:
+    def test_loss_is_bursty(self, lab_trace):
+        out = GilbertElliottLoss(
+            p_enter_bad=0.002, p_exit_bad=0.05, loss_bad=1.0
+        )(lab_trace, seed=2)
+        record = out.meta["impairments"][0]
+        assert record["n_dropped"] > 0
+        # Mean burst length 1/p_exit = 20 packets: far fewer distinct loss
+        # runs than dropped packets, unlike Bernoulli loss.
+        gaps = np.diff(out.timestamps_s)
+        interval = 1.0 / lab_trace.sample_rate_hz
+        n_runs = int((gaps > 1.5 * interval).sum())
+        assert 0 < n_runs < record["n_dropped"] / 3
+
+    def test_validates_probabilities(self):
+        with pytest.raises(ConfigurationError):
+            GilbertElliottLoss(p_enter_bad=0.0)
+        with pytest.raises(ConfigurationError):
+            GilbertElliottLoss(loss_bad=1.5)
+
+
+class TestDropoutGap:
+    def test_carves_requested_hole(self, lab_trace):
+        out = DropoutGap(1.0, start_s=10.0)(lab_trace, seed=0)
+        gaps = np.diff(out.timestamps_s)
+        assert gaps.max() == pytest.approx(1.0, abs=0.01)
+        assert out.timestamps_s[np.argmax(gaps)] == pytest.approx(10.0, abs=0.01)
+
+    def test_random_placement_recorded(self, lab_trace):
+        out = DropoutGap(0.5)(lab_trace, seed=9)
+        start = out.meta["impairments"][0]["realized_start_s"]
+        assert 0.0 < start < lab_trace.duration_s
+
+    def test_validates_duration(self):
+        with pytest.raises(ConfigurationError):
+            DropoutGap(0.0)
+
+
+class TestTimestampFaults:
+    def test_jitter_perturbs_timestamps(self, lab_trace):
+        out = TimestampJitter(1e-3)(lab_trace, seed=4)
+        delta = out.timestamps_s - lab_trace.timestamps_s
+        assert np.std(delta) == pytest.approx(1e-3, rel=0.2)
+        assert not out.quality_report().is_uniform
+
+    def test_drift_stretches_time(self, lab_trace):
+        out = ClockDrift(1000.0)(lab_trace, seed=0)
+        stretch = out.duration_s / lab_trace.duration_s
+        assert stretch == pytest.approx(1.001, rel=1e-6)
+
+    def test_glitch_jumps_backwards(self, lab_trace):
+        out = ClockGlitch(0.5, at_s=15.0)(lab_trace, seed=0)
+        report = out.quality_report()
+        assert report.n_backward_steps == 1
+        assert not report.is_monotonic
+
+    def test_corrupted_timestamps_are_nan(self, lab_trace):
+        out = CorruptedTimestamps(0.05)(lab_trace, seed=1)
+        report = out.quality_report()
+        assert report.n_nonfinite_timestamps > 0
+        assert report.n_nonfinite_timestamps == (
+            out.meta["impairments"][0]["n_corrupted"]
+        )
+
+
+class TestCsiFaults:
+    def test_impulsive_spikes_are_large_but_finite(self, lab_trace):
+        out = ImpulsiveCorruption(0.05, magnitude=20.0)(lab_trace, seed=1)
+        assert np.all(np.isfinite(out.csi))
+        assert np.abs(out.csi).max() > 5 * np.abs(lab_trace.csi).max()
+
+    def test_clipping_caps_amplitude_preserves_phase(self, lab_trace):
+        out = ClippedPackets(1.0, clip_quantile=0.5)(lab_trace, seed=1)
+        level = np.quantile(np.abs(lab_trace.csi), 0.5)
+        assert np.abs(out.csi).max() <= level * (1 + 1e-9)
+        clipped = np.abs(lab_trace.csi) > level
+        assert np.allclose(
+            np.angle(out.csi[clipped]), np.angle(lab_trace.csi[clipped])
+        )
+
+    def test_subcarrier_nulls(self, lab_trace):
+        out = SubcarrierNulls(indices=(0, 7))(lab_trace, seed=0)
+        assert np.all(out.csi[:, :, [0, 7]] == 0)
+        assert np.any(out.csi[:, :, 1] != 0)
+
+    def test_null_indices_validated(self, lab_trace):
+        with pytest.raises(ConfigurationError):
+            SubcarrierNulls(indices=(99,))(lab_trace, seed=0)
+
+
+class TestComposition:
+    def test_chain_records_every_link(self, lab_trace):
+        out = apply_impairments(
+            lab_trace,
+            [BernoulliLoss(0.1), DropoutGap(1.0, start_s=12.0), SubcarrierNulls(2)],
+            seed=5,
+        )
+        kinds = [r["type"] for r in out.meta["impairments"]]
+        assert kinds == ["bernoulli-loss", "dropout-gap", "subcarrier-nulls"]
+
+    def test_master_seed_reproducible(self, lab_trace):
+        chain = [BernoulliLoss(0.1), DropoutGap(0.5)]
+        a = apply_impairments(lab_trace, chain, seed=11)
+        b = apply_impairments(lab_trace, chain, seed=11)
+        c = apply_impairments(lab_trace, chain, seed=12)
+        assert np.array_equal(a.timestamps_s, b.timestamps_s)
+        assert not np.array_equal(a.timestamps_s, c.timestamps_s)
+
+    def test_ground_truth_meta_survives(self, lab_trace):
+        out = apply_impairments(lab_trace, [BernoulliLoss(0.3)], seed=0)
+        assert out.meta["breathing_rates_bpm"] == (
+            lab_trace.meta["breathing_rates_bpm"]
+        )
