@@ -1,0 +1,20 @@
+# Convenience entry points; CI runs the same commands (see
+# .github/workflows/ci.yml), so a green `make check` locally means a green
+# pipeline.
+PYTHON ?= python
+
+.PHONY: test lint phaselint typecheck check
+
+test:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+phaselint:
+	PYTHONPATH=tools $(PYTHON) -m phaselint src tests benchmarks
+
+lint: phaselint
+	ruff check src/ tests/ benchmarks/ examples/
+
+typecheck:
+	mypy
+
+check: lint typecheck test

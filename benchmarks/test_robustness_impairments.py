@@ -29,7 +29,7 @@ def test_robustness_impairments(benchmark):
             ["loss rate", "median err (bpm)", "p90 err (bpm)"],
             list(
                 zip(
-                    result["loss_rates"],
+                    result["loss_fractions"],
                     result["loss_median_err"],
                     result["loss_p90_err"],
                 )
@@ -58,7 +58,7 @@ def test_robustness_impairments(benchmark):
     clean = result["clean_median_err"]
     loss_med = np.asarray(result["loss_median_err"])
     gap_med = np.asarray(result["gap_median_err"])
-    loss_rates = result["loss_rates"]
+    loss_fractions = result["loss_fractions"]
     gaps = result["gap_lengths_s"]
 
     # The pipeline estimates at all (no NaN sweep cells silently hidden).
@@ -67,10 +67,10 @@ def test_robustness_impairments(benchmark):
     assert clean < 1.0
     # Headline criteria: 10% Bernoulli loss, and a 1 s dropout on top of
     # 10% loss, each stay within 0.5 bpm of the clean result.
-    assert loss_med[loss_rates.index(0.1)] <= clean + 0.5
+    assert loss_med[loss_fractions.index(0.1)] <= clean + 0.5
     assert gap_med[gaps.index(1.0)] <= clean + 0.5
     # Zero injected loss must reproduce the clean path exactly.
-    assert loss_med[loss_rates.index(0.0)] == clean
+    assert loss_med[loss_fractions.index(0.0)] == clean
     # Even the harshest sweep points degrade, not explode: a 30% loss or a
     # 2 s hole still lands within a breath of the truth.
     assert loss_med.max() < 2.0

@@ -21,13 +21,14 @@ from ..core.breathing import BREATHING_SEARCH_BAND_HZ
 from ..dsp.fft_utils import fundamental_frequency
 from ..dsp.hampel import hampel_filter
 from ..dsp.resample import decimate, downsampled_rate
+from ..contracts import FloatArray
 from ..errors import ConfigurationError
 from ..io_.trace import CSITrace
 
 __all__ = ["RSSMethodConfig", "RSSMethod", "rss_series_db"]
 
 
-def rss_series_db(trace: CSITrace, quantization_db: float = 1.0) -> np.ndarray:
+def rss_series_db(trace: CSITrace, quantization_db: float = 1.0) -> FloatArray:
     """Received signal strength per packet, quantized like a real RSSI.
 
     Args:

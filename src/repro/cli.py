@@ -29,6 +29,7 @@ from .io_.dataset import generate_dataset
 from .io_.trace import CSITrace
 from .rf.receiver import capture_trace
 from .rf.scene import (
+    Scenario,
     corridor_scenario,
     laboratory_scenario,
     through_wall_scenario,
@@ -187,7 +188,7 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
 def _cmd_dataset(args: argparse.Namespace) -> int:
     from .eval.harness import default_subject
 
-    def factory(k: int, rng: np.random.Generator):
+    def factory(k: int, rng: np.random.Generator) -> Scenario:
         return laboratory_scenario(
             [default_subject(rng)], clutter_seed=args.seed + k
         )

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..contracts import FloatArray
 from ..dsp.hampel import rolling_median
 from ..errors import ConfigurationError, SignalTooShortError
 
@@ -82,8 +83,8 @@ class ApneaEvent:
 
 
 def breathing_envelope(
-    signal: np.ndarray, sample_rate_hz: float, window_s: float = 4.0
-) -> np.ndarray:
+    signal: FloatArray, sample_rate_hz: float, window_s: float = 4.0
+) -> FloatArray:
     """Slowly varying amplitude envelope of the breathing-band signal.
 
     Rolling median of |signal| over about one breathing cycle: robust to
@@ -100,7 +101,7 @@ def breathing_envelope(
 
 
 def detect_apnea(
-    signal: np.ndarray,
+    signal: FloatArray,
     sample_rate_hz: float,
     config: ApneaConfig | None = None,
 ) -> list[ApneaEvent]:

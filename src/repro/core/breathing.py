@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..contracts import FloatArray
 from ..dsp.fft_utils import fundamental_frequency, spectral_peaks
 from ..dsp.music import estimate_frequencies
 from ..dsp.peaks import find_peaks, robust_peak_interval
@@ -69,7 +70,7 @@ class PeakBreathingEstimator:
         if self.min_prominence_factor < 0:
             raise ConfigurationError("prominence factor must be >= 0")
 
-    def estimate_bpm(self, breathing_signal: np.ndarray, sample_rate_hz: float) -> float:
+    def estimate_bpm(self, breathing_signal: FloatArray, sample_rate_hz: float) -> float:
         """Breathing rate in breaths/min from the DWT breathing band.
 
         Raises:
@@ -111,8 +112,8 @@ class FFTBreathingEstimator:
     min_separation_hz: float = 0.0
 
     def estimate_bpm(
-        self, signal: np.ndarray, sample_rate_hz: float, n_persons: int = 1
-    ) -> np.ndarray:
+        self, signal: FloatArray, sample_rate_hz: float, n_persons: int = 1
+    ) -> FloatArray:
         """Breathing rates (bpm, ascending) for up to ``n_persons``.
 
         May return fewer rates than requested when the spectrum shows fewer
@@ -155,10 +156,10 @@ class MusicBreathingEstimator:
 
     def estimate_bpm(
         self,
-        series: np.ndarray,
+        series: FloatArray,
         sample_rate_hz: float,
         n_persons: int,
-    ) -> np.ndarray:
+    ) -> FloatArray:
         """Breathing rates (bpm, ascending) for ``n_persons`` subjects.
 
         Args:

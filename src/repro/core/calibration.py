@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..contracts import FloatArray, check_arrays
 from ..dsp.hampel import hampel_filter
 from ..dsp.resample import decimate, downsampled_rate
 from ..errors import ConfigurationError
@@ -81,7 +82,7 @@ class CalibratedData:
         input_rate_hz: Rate of the raw data that was calibrated.
     """
 
-    series: np.ndarray
+    series: FloatArray
     sample_rate_hz: float
     input_rate_hz: float
 
@@ -96,8 +97,9 @@ class CalibratedData:
         return int(self.series.shape[1])
 
 
+@check_arrays(phase_diff="n_packets|n_packets,n_subcarriers")
 def calibrate(
-    phase_diff: np.ndarray,
+    phase_diff: FloatArray,
     sample_rate_hz: float,
     config: CalibrationConfig | None = None,
 ) -> CalibratedData:

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..contracts import FloatArray
 from ..dsp.wavelet import (
     WaveletDecomposition,
     coefficient_band,
@@ -63,8 +64,8 @@ class DWTBands:
         heart_band_hz: Nominal (lo, hi) of the heart reconstruction.
     """
 
-    breathing: np.ndarray
-    heart: np.ndarray
+    breathing: FloatArray
+    heart: FloatArray
     decomposition: WaveletDecomposition
     sample_rate_hz: float
     breathing_band_hz: tuple[float, float]
@@ -72,7 +73,7 @@ class DWTBands:
 
 
 def decompose(
-    series: np.ndarray,
+    series: FloatArray,
     sample_rate_hz: float,
     config: DWTConfig | None = None,
 ) -> DWTBands:

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..contracts import FloatArray, check_arrays
 from ..dsp.stats import mean_absolute_deviation
 from ..errors import ConfigurationError
 from ..physio.motion import ActivityState
@@ -54,7 +55,8 @@ class EnvironmentConfig:
             )
 
 
-def v_statistic(phase_diff: np.ndarray) -> float:
+@check_arrays(phase_diff="n_packets|n_packets,n_subcarriers")
+def v_statistic(phase_diff: FloatArray) -> float:
     """The Eq. 8 deviation statistic of one window.
 
     Second documented deviation from the literal Eq. 8: the per-subcarrier
@@ -75,19 +77,20 @@ def v_statistic(phase_diff: np.ndarray) -> float:
     return float(np.median(mean_absolute_deviation(phase_diff, axis=0)))
 
 
+@check_arrays(phase_diff="n_packets|n_packets,n_subcarriers")
 def windowed_v(
-    phase_diff: np.ndarray, sample_rate: float, config: EnvironmentConfig
-) -> tuple[np.ndarray, np.ndarray]:
+    phase_diff: FloatArray, sample_rate_hz: float, config: EnvironmentConfig
+) -> tuple[FloatArray, FloatArray]:
     """V statistic over hopping windows.
 
     Returns:
         ``(centers_s, v)`` — window center times and their V values.
     """
     phase_diff = np.atleast_2d(np.asarray(phase_diff, dtype=float))
-    if sample_rate <= 0:
-        raise ConfigurationError(f"sample rate must be positive, got {sample_rate}")
-    window = max(2, int(round(config.window_s * sample_rate)))
-    hop = max(1, int(round(config.hop_s * sample_rate)))
+    if sample_rate_hz <= 0:
+        raise ConfigurationError(f"sample rate must be positive, got {sample_rate_hz}")
+    window = max(2, int(round(config.window_s * sample_rate_hz)))
+    hop = max(1, int(round(config.hop_s * sample_rate_hz)))
     n = phase_diff.shape[0]
     if n < window:
         raise ConfigurationError(
@@ -97,12 +100,12 @@ def windowed_v(
     values = []
     for start in range(0, n - window + 1, hop):
         stop = start + window
-        centers.append((start + stop) / 2.0 / sample_rate)
+        centers.append((start + stop) / 2.0 / sample_rate_hz)
         values.append(v_statistic(phase_diff[start:stop]))
     return np.asarray(centers), np.asarray(values)
 
 
-def classify_windows(v: np.ndarray, config: EnvironmentConfig) -> np.ndarray:
+def classify_windows(v: FloatArray, config: EnvironmentConfig) -> np.ndarray:  # phaselint: disable=PL002 -- object array of ActivityState
     """Map V values to activity states.
 
     Below the band → :attr:`ActivityState.NO_PERSON` (no modulation at
@@ -131,22 +134,24 @@ class EnvironmentDetector:
     def __init__(self, config: EnvironmentConfig | None = None):
         self.config = config if config is not None else EnvironmentConfig()
 
-    def is_stationary(self, phase_diff: np.ndarray) -> bool:
+    def is_stationary(self, phase_diff: FloatArray) -> bool:
         """Whole-segment decision: V of the full segment inside the band."""
         v = v_statistic(phase_diff)
         lo, hi = self.config.stationary_band
         return lo <= v <= hi
 
     def segment_report(
-        self, phase_diff: np.ndarray, sample_rate: float
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        self, phase_diff: FloatArray, sample_rate_hz: float
+    ) -> tuple[FloatArray, FloatArray, np.ndarray]:  # phaselint: disable=PL002 -- states are an object array
         """Windowed analysis: ``(centers_s, v, states)``."""
-        centers, v = windowed_v(phase_diff, sample_rate, self.config)
+        centers, v = windowed_v(phase_diff, sample_rate_hz, self.config)
         return centers, v, classify_windows(v, self.config)
 
-    def stationary_fraction(self, phase_diff: np.ndarray, sample_rate: float) -> float:
+    def stationary_fraction(
+        self, phase_diff: FloatArray, sample_rate_hz: float
+    ) -> float:
         """Fraction of windows classified stationary."""
-        _, _, states = self.segment_report(phase_diff, sample_rate)
+        _, _, states = self.segment_report(phase_diff, sample_rate_hz)
         return float(
             np.mean([state is ActivityState.SITTING for state in states])
         )

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..contracts import FloatArray
 from ..dsp.fft_utils import three_bin_phase_frequency
 from ..errors import ConfigurationError, EstimationError
 
@@ -57,7 +58,7 @@ class FFTHeartEstimator:
 
     def estimate_bpm(
         self,
-        heart_signal: np.ndarray,
+        heart_signal: FloatArray,
         sample_rate_hz: float,
         *,
         breathing_rate_hz: float | None = None,

@@ -15,18 +15,20 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..contracts import FloatArray, check_trace
 from ..errors import ConfigurationError
 from ..io_.trace import CSITrace
 
 __all__ = ["phase_difference", "raw_phase"]
 
 
+@check_trace()
 def phase_difference(
     trace: CSITrace,
     antenna_pair: tuple[int, int] = (0, 1),
     *,
     unwrap: bool = True,
-) -> np.ndarray:
+) -> FloatArray:
     """Measured phase difference Δ∠CSI_i per packet and subcarrier.
 
     Args:
@@ -54,7 +56,8 @@ def phase_difference(
     return diff
 
 
-def raw_phase(trace: CSITrace, antenna: int = 0) -> np.ndarray:
+@check_trace()
+def raw_phase(trace: CSITrace, antenna: int = 0) -> FloatArray:
     """Raw measured phase ∠CSI of a single chain (the Fig. 1 foil).
 
     Unusable for vital signs — the per-packet PBD/SFO/CFO terms scatter it

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..contracts import BoolArray, FloatArray, check_trace
 from ..dsp.resample import reclock
 from ..dsp.template import subtract_cycle_template
 from ..errors import NotStationaryError, SignalTooShortError
@@ -57,7 +58,7 @@ __all__ = ["PhaseBeatConfig", "PhaseBeat", "prepare_calibrated_matrix"]
 
 def _pair_series(
     trace: CSITrace, pair: tuple[int, int], needs_reclock: bool
-) -> np.ndarray:
+) -> FloatArray:
     """Phase-difference series for one pair, on a guaranteed-uniform grid.
 
     Every downstream stage (Hampel windows in seconds, decimation, DWT,
@@ -73,12 +74,13 @@ def _pair_series(
     return reclock(diff, trace.timestamps_s, trace.sample_rate_hz).series
 
 
+@check_trace()
 def prepare_calibrated_matrix(
     trace: CSITrace,
     *,
     antenna_pairs: list[tuple[int, int]] | None = None,
     calibration: CalibrationConfig | None = None,
-) -> tuple[np.ndarray, np.ndarray, float]:
+) -> tuple[FloatArray, BoolArray, float]:
     """Phase-difference extraction + calibration for one or more pairs.
 
     The shared front half of the pipeline, exposed for experiments and
@@ -171,6 +173,7 @@ class PhaseBeat:
         self.config = config if config is not None else PhaseBeatConfig()
         self._detector = EnvironmentDetector(self.config.environment)
 
+    @check_trace()
     def process(
         self,
         trace: CSITrace,
@@ -314,13 +317,13 @@ class PhaseBeat:
 
     def _best_heart_signal(
         self,
-        stacked: np.ndarray,
-        quality: np.ndarray,
-        sensitivities: np.ndarray,
-        sample_rate: float,
+        stacked: FloatArray,
+        quality: BoolArray,
+        sensitivities: FloatArray,
+        sample_rate_hz: float,
         f_breath: float,
         n_candidates: int = 8,
-    ) -> np.ndarray | None:
+    ) -> FloatArray | None:
         """Heart-band series from the candidate column with the best peak.
 
         Heart-stage subcarrier selection: the breathing-MAD selection can
@@ -343,12 +346,12 @@ class PhaseBeat:
         for column in order[:n_candidates]:
             try:
                 cleansed = subtract_cycle_template(
-                    stacked[:, column], sample_rate, f_breath
+                    stacked[:, column], sample_rate_hz, f_breath
                 )
-                candidate = decompose(cleansed, sample_rate, cfg.dwt).heart
+                candidate = decompose(cleansed, sample_rate_hz, cfg.dwt).heart
             except SignalTooShortError:
                 continue
-            freqs, mag = magnitude_spectrum(candidate, sample_rate)
+            freqs, mag = magnitude_spectrum(candidate, sample_rate_hz)
             mask = band_mask(freqs, cfg.heart_estimator.band_hz)
             if not mask.any():
                 continue
@@ -362,7 +365,7 @@ class PhaseBeat:
 
     def _subcarrier_quality_mask(
         self, trace: CSITrace, pair: tuple[int, int] | None = None
-    ) -> np.ndarray:
+    ) -> BoolArray:
         """Per-pair eligibility mask (see :func:`amplitude_quality_mask`)."""
         return amplitude_quality_mask(
             trace, pair if pair is not None else self.config.antenna_pair
@@ -371,9 +374,9 @@ class PhaseBeat:
     def _estimate_breathing(
         self,
         method: str,
-        breathing_band: np.ndarray,
-        calibrated_matrix: np.ndarray,
-        selected_series: np.ndarray,
+        breathing_band: FloatArray,
+        calibrated_matrix: FloatArray,
+        selected_series: FloatArray,
         sample_rate_hz: float,
         n_persons: int,
     ) -> tuple[VitalSignEstimate, ...]:

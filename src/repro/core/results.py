@@ -4,8 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
+from ..contracts import FloatArray
 from ..physio.motion import ActivityState
 
 __all__ = ["VitalSignEstimate", "PipelineDiagnostics", "PhaseBeatResult"]
@@ -53,7 +52,7 @@ class PipelineDiagnostics:
     selected_subcarrier: int
     selected_antenna_pair: tuple[int, int]
     candidate_subcarriers: tuple[int, ...]
-    sensitivities: np.ndarray
+    sensitivities: FloatArray
     calibrated_rate_hz: float
     n_calibrated_samples: int
     breathing_band_hz: tuple[float, float]
@@ -78,8 +77,8 @@ class PhaseBeatResult:
     breathing: tuple[VitalSignEstimate, ...]
     heart: VitalSignEstimate | None
     diagnostics: PipelineDiagnostics
-    breathing_signal: np.ndarray = field(repr=False, default=None)
-    heart_signal: np.ndarray = field(repr=False, default=None)
+    breathing_signal: FloatArray | None = field(repr=False, default=None)
+    heart_signal: FloatArray | None = field(repr=False, default=None)
 
     @property
     def breathing_rates_bpm(self) -> tuple[float, ...]:

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..contracts import FloatArray
 from ..errors import ConfigurationError, EstimationError, NotStationaryError
 from ..io_.trace import CSITrace
 from .apnea import ApneaConfig, ApneaEvent, detect_apnea
@@ -37,7 +38,7 @@ class SessionReport:
             detection classified as stationary/usable.
         breathing_rate_bpm: Whole-session breathing estimate (``nan`` when
             the session produced no usable estimate).
-        rate_over_time: ``(times_s, rates_bpm)`` from the sliding-window
+        rate_over_time_bpm: ``(times_s, rates_bpm)`` from the sliding-window
             monitor — the rate trend across the session.
         waveform: Per-breath statistics (``None`` if too few breaths).
         apnea_events: Detected breathing cessations.
@@ -48,7 +49,7 @@ class SessionReport:
     duration_s: float
     stationary_fraction: float
     breathing_rate_bpm: float
-    rate_over_time: tuple[np.ndarray, np.ndarray]
+    rate_over_time_bpm: tuple[FloatArray, FloatArray]
     waveform: BreathingWaveformStats | None
     apnea_events: tuple[ApneaEvent, ...]
     heart_rate_bpm: float
@@ -148,7 +149,7 @@ def analyze_session(
         duration_s=trace.duration_s,
         stationary_fraction=stationary_fraction,
         breathing_rate_bpm=breathing_bpm,
-        rate_over_time=(np.asarray(times), np.asarray(rates)),
+        rate_over_time_bpm=(np.asarray(times), np.asarray(rates)),
         waveform=waveform,
         apnea_events=apnea_events,
         heart_rate_bpm=heart_bpm,

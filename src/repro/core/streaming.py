@@ -39,6 +39,7 @@ from ..errors import (
     SignalTooShortError,
     TraceFormatError,
 )
+from ..contracts import ComplexArray
 from ..io_.quality import TraceQualityReport, assess_timestamps
 from ..io_.trace import CSITrace
 from .pipeline import PhaseBeat, PhaseBeatConfig
@@ -177,7 +178,7 @@ class StreamingMonitor:
         }
 
     def push_packet(
-        self, csi_packet: np.ndarray, timestamp_s: float
+        self, csi_packet: ComplexArray, timestamp_s: float
     ) -> StreamingEstimate | None:
         """Feed one packet; returns an estimate when a hop completes.
 

@@ -15,8 +15,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..contracts import BoolArray, FloatArray, check_trace
 from ..dsp.stats import mean_absolute_deviation
 from ..errors import ConfigurationError
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from ..io_.trace import CSITrace
 
 __all__ = [
     "SelectionConfig",
@@ -27,9 +33,13 @@ __all__ = [
 ]
 
 
+@check_trace()
 def amplitude_quality_mask(
-    trace, antenna_pair: tuple[int, int] = (0, 1), *, floor_ratio: float = 0.25
-) -> np.ndarray:
+    trace: "CSITrace",
+    antenna_pair: tuple[int, int] = (0, 1),
+    *,
+    floor_ratio: float = 0.25,
+) -> BoolArray:
     """Eligibility mask excluding deep-faded subcarriers.
 
     A subcarrier whose |CSI| sits in a multipath fading null has phase noise
@@ -82,10 +92,10 @@ class SelectionResult:
 
     selected: int
     candidates: tuple[int, ...]
-    sensitivities: np.ndarray
+    sensitivities: FloatArray
 
 
-def subcarrier_sensitivities(series: np.ndarray) -> np.ndarray:
+def subcarrier_sensitivities(series: FloatArray) -> FloatArray:
     """Per-subcarrier MAD of calibrated series (Fig. 7's y-axis)."""
     series = np.asarray(series, dtype=float)
     if series.ndim != 2:
@@ -100,10 +110,10 @@ def subcarrier_sensitivities(series: np.ndarray) -> np.ndarray:
 
 
 def select_subcarrier(
-    series: np.ndarray,
+    series: FloatArray,
     config: SelectionConfig | None = None,
     *,
-    mask: np.ndarray | None = None,
+    mask: BoolArray | None = None,
 ) -> SelectionResult:
     """Pick the working subcarrier by the top-k / median-MAD rule.
 

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..contracts import FloatArray
 from ..dsp.peaks import find_peaks
 from ..errors import ConfigurationError, EstimationError
 
@@ -36,7 +37,7 @@ class BreathingWaveformStats:
         mean_rate_bpm: 60 / mean breath interval.
         interval_std_s: Standard deviation of breath-to-breath intervals
             (the respiratory analogue of HRV's SDNN).
-        interval_cv: Coefficient of variation of the intervals
+        interval_cv_fraction: Coefficient of variation of the intervals
             (std / mean) — dimensionless variability.
         ie_ratio: Median inspiration:expiration time ratio.  Computed from
             trough→crest (inspiration) vs crest→trough (expiration) times;
@@ -47,18 +48,18 @@ class BreathingWaveformStats:
     n_breaths: int
     mean_rate_bpm: float
     interval_std_s: float
-    interval_cv: float
+    interval_cv_fraction: float
     ie_ratio: float
-    intervals_s: np.ndarray
+    intervals_s: FloatArray
 
 
 def breath_intervals(
-    signal: np.ndarray,
+    signal: FloatArray,
     sample_rate_hz: float,
     *,
     window_samples: int = 51,
     min_prominence_factor: float = 0.2,
-) -> np.ndarray:
+) -> FloatArray:
     """Breath-to-breath intervals (seconds) from crest timing.
 
     Args:
@@ -87,7 +88,7 @@ def breath_intervals(
 
 
 def analyze_waveform(
-    signal: np.ndarray,
+    signal: FloatArray,
     sample_rate_hz: float,
     *,
     window_samples: int = 51,
@@ -143,7 +144,7 @@ def analyze_waveform(
         n_breaths=int(intervals.size),
         mean_rate_bpm=60.0 / mean_interval,
         interval_std_s=interval_std,
-        interval_cv=interval_std / mean_interval,
+        interval_cv_fraction=interval_std / mean_interval,
         ie_ratio=ie_ratio,
         intervals_s=intervals,
     )

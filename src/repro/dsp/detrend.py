@@ -4,20 +4,21 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..contracts import FloatArray
 from .hampel import hampel_filter, hampel_trend
 
 __all__ = ["remove_dc", "hampel_detrend", "hampel_denoise"]
 
 
-def remove_dc(x: np.ndarray, axis: int = 0) -> np.ndarray:
+def remove_dc(x: FloatArray, axis: int = 0) -> FloatArray:
     """Subtract the mean along ``axis`` (the crude DC-removal baseline)."""
     x = np.asarray(x, dtype=float)
     return x - x.mean(axis=axis, keepdims=True)
 
 
 def hampel_detrend(
-    x: np.ndarray, window: int = 2000, threshold: float = 0.01
-) -> np.ndarray:
+    x: FloatArray, window: int = 2000, threshold: float = 0.01
+) -> FloatArray:
     """Remove the slow trend: ``x - hampel_trend(x, window)``.
 
     The paper's DC-removal step (Section III-B2): the large-window Hampel
@@ -28,7 +29,7 @@ def hampel_detrend(
 
 
 def hampel_denoise(
-    x: np.ndarray, window: int = 50, threshold: float = 0.01
-) -> np.ndarray:
+    x: FloatArray, window: int = 50, threshold: float = 0.01
+) -> FloatArray:
     """Suppress high-frequency noise with the small-window Hampel filter."""
     return hampel_filter(x, window, threshold)

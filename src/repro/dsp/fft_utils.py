@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..contracts import BoolArray, FloatArray
 from ..errors import ConfigurationError, EstimationError, SignalTooShortError
 
 __all__ = [
@@ -29,13 +30,13 @@ __all__ = [
 
 
 def magnitude_spectrum(
-    x: np.ndarray, sample_rate: float, *, nfft: int | None = None, detrend: bool = True
-) -> tuple[np.ndarray, np.ndarray]:
+    x: FloatArray, sample_rate_hz: float, *, nfft: int | None = None, detrend: bool = True
+) -> tuple[FloatArray, FloatArray]:
     """One-sided FFT magnitude spectrum of a real series.
 
     Args:
         x: 1-D real series.
-        sample_rate: Sample rate in Hz.
+        sample_rate_hz: Sample rate in Hz.
         nfft: FFT length; defaults to ``len(x)`` (no zero padding).
         detrend: Subtract the mean first, so the DC bin does not mask
             low-frequency breathing peaks.
@@ -48,34 +49,34 @@ def magnitude_spectrum(
         raise ConfigurationError(f"expected a 1-D series, got shape {x.shape}")
     if x.size < 2:
         raise SignalTooShortError(2, x.size, "FFT input")
-    if sample_rate <= 0:
-        raise ConfigurationError(f"sample rate must be positive, got {sample_rate}")
+    if sample_rate_hz <= 0:
+        raise ConfigurationError(f"sample rate must be positive, got {sample_rate_hz}")
     if detrend:
         x = x - x.mean()
     n = int(nfft) if nfft is not None else x.size
     if n < x.size:
         raise ConfigurationError(f"nfft ({n}) shorter than the signal ({x.size})")
     spectrum = np.fft.rfft(x, n=n)
-    freqs = np.fft.rfftfreq(n, d=1.0 / sample_rate)
+    freqs = np.fft.rfftfreq(n, d=1.0 / sample_rate_hz)
     return freqs, np.abs(spectrum)
 
 
 def band_mask(
-    freqs: np.ndarray, band: tuple[float, float] | None
-) -> np.ndarray:
+    freqs_hz: FloatArray, band: tuple[float, float] | None
+) -> BoolArray:
     """Boolean mask selecting frequencies inside ``band`` (inclusive)."""
-    freqs = np.asarray(freqs, dtype=float)
+    freqs_hz = np.asarray(freqs_hz, dtype=float)
     if band is None:
-        return np.ones(freqs.shape, dtype=bool)
+        return np.ones(freqs_hz.shape, dtype=bool)
     lo, hi = band
     if lo < 0 or hi <= lo:
         raise ConfigurationError(f"band must satisfy 0 <= lo < hi, got {band}")
-    return (freqs >= lo) & (freqs <= hi)
+    return (freqs_hz >= lo) & (freqs_hz <= hi)
 
 
 def dominant_frequency(
-    x: np.ndarray,
-    sample_rate: float,
+    x: FloatArray,
+    sample_rate_hz: float,
     *,
     band: tuple[float, float] | None = None,
     nfft: int | None = None,
@@ -86,7 +87,7 @@ def dominant_frequency(
     With ``interpolate=True`` the raw bin frequency is refined by quadratic
     interpolation over the peak bin and its neighbours.
     """
-    freqs, mag = magnitude_spectrum(x, sample_rate, nfft=nfft)
+    freqs, mag = magnitude_spectrum(x, sample_rate_hz, nfft=nfft)
     mask = band_mask(freqs, band)
     if not mask.any():
         raise EstimationError(f"no FFT bins inside the band {band}")
@@ -100,8 +101,8 @@ def dominant_frequency(
 
 
 def fundamental_frequency(
-    x: np.ndarray,
-    sample_rate: float,
+    x: FloatArray,
+    sample_rate_hz: float,
     *,
     band: tuple[float, float],
     nfft: int | None = None,
@@ -119,7 +120,7 @@ def fundamental_frequency(
 
     Args:
         x: 1-D real series.
-        sample_rate: Sample rate in Hz.
+        sample_rate_hz: Sample rate in Hz.
         band: Admissible fundamental band.
         nfft: FFT length.
         subharmonic_ratio: Relative magnitude at f/2 that triggers the
@@ -128,7 +129,7 @@ def fundamental_frequency(
     Returns:
         The corrected fundamental frequency in Hz.
     """
-    freqs, mag = magnitude_spectrum(x, sample_rate, nfft=nfft)
+    freqs, mag = magnitude_spectrum(x, sample_rate_hz, nfft=nfft)
     mask = band_mask(freqs, band)
     if not mask.any():
         raise EstimationError(f"no FFT bins inside the band {band}")
@@ -195,15 +196,15 @@ def quadratic_peak_interpolation(left: float, center: float, right: float) -> fl
     triple.
     """
     denom = left - 2.0 * center + right
-    if denom == 0.0:
+    if denom == 0.0:  # phaselint: disable=PL004 -- exact degenerate-parabola sentinel
         return 0.0
     delta = 0.5 * (left - right) / denom
     return float(np.clip(delta, -0.5, 0.5))
 
 
 def three_bin_phase_frequency(
-    x: np.ndarray,
-    sample_rate: float,
+    x: FloatArray,
+    sample_rate_hz: float,
     *,
     band: tuple[float, float],
     nfft: int | None = None,
@@ -218,7 +219,7 @@ def three_bin_phase_frequency(
 
     Args:
         x: 1-D real series (e.g. the β₃+β₄ heart-band reconstruction).
-        sample_rate: Sample rate in Hz.
+        sample_rate_hz: Sample rate in Hz.
         band: Search band in Hz; mandatory because the method is only
             meaningful around an isolated peak.
         nfft: FFT length, defaulting to ``len(x)``.
@@ -233,7 +234,7 @@ def three_bin_phase_frequency(
         raise SignalTooShortError(8, x.size, "3-bin refinement input")
     n = int(nfft) if nfft is not None else x.size
     spectrum = np.fft.fft(x - x.mean(), n=n)
-    freqs = np.fft.fftfreq(n, d=1.0 / sample_rate)
+    freqs = np.fft.fftfreq(n, d=1.0 / sample_rate_hz)
     positive = freqs > 0
     mask = positive & band_mask(np.abs(freqs), band)
     if not mask.any():
@@ -248,18 +249,18 @@ def three_bin_phase_frequency(
     s = np.fft.ifft(narrow)
     phase = np.unwrap(np.angle(s))
     slope = np.polyfit(np.arange(n), phase, 1)[0]
-    return float(slope * sample_rate / (2.0 * np.pi))
+    return float(slope * sample_rate_hz / (2.0 * np.pi))
 
 
 def spectral_peaks(
-    x: np.ndarray,
-    sample_rate: float,
+    x: FloatArray,
+    sample_rate_hz: float,
     count: int,
     *,
     band: tuple[float, float] | None = None,
     nfft: int | None = None,
     min_separation_hz: float = 0.0,
-) -> np.ndarray:
+) -> FloatArray:
     """Frequencies of the ``count`` largest local spectral maxima.
 
     The multi-person FFT baseline of Fig. 8 reads one breathing rate per
@@ -272,7 +273,7 @@ def spectral_peaks(
     """
     if count < 1:
         raise ConfigurationError(f"count must be >= 1, got {count}")
-    freqs, mag = magnitude_spectrum(x, sample_rate, nfft=nfft)
+    freqs, mag = magnitude_spectrum(x, sample_rate_hz, nfft=nfft)
     mask = band_mask(freqs, band)
     # A local maximum that also lies in the band.
     local = np.zeros(mag.size, dtype=bool)

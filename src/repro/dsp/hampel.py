@@ -23,13 +23,14 @@ from __future__ import annotations
 import numpy as np
 from scipy.ndimage import median_filter
 
+from ..contracts import FloatArray
 from ..errors import ConfigurationError
 from .stats import MAD_TO_SIGMA
 
 __all__ = ["rolling_median", "rolling_mad", "hampel_filter", "hampel_trend"]
 
 
-def _validate_window(x: np.ndarray, window: int) -> np.ndarray:
+def _validate_window(x: FloatArray, window: int) -> FloatArray:
     x = np.asarray(x, dtype=float)
     if x.ndim != 1:
         raise ConfigurationError(
@@ -40,7 +41,7 @@ def _validate_window(x: np.ndarray, window: int) -> np.ndarray:
     return x
 
 
-def rolling_median(x: np.ndarray, window: int) -> np.ndarray:
+def rolling_median(x: FloatArray, window: int) -> FloatArray:
     """Centered rolling median with edge replication.
 
     The window is clipped at the signal edges (``mode='nearest'``), so the
@@ -53,19 +54,19 @@ def rolling_median(x: np.ndarray, window: int) -> np.ndarray:
     return median_filter(x, size=window, mode="nearest")
 
 
-def rolling_mad(x: np.ndarray, window: int) -> np.ndarray:
+def rolling_mad(x: FloatArray, window: int) -> FloatArray:
     """Centered rolling median absolute deviation (about the rolling median)."""
     med = rolling_median(x, window)
     return rolling_median(np.abs(np.asarray(x, dtype=float) - med), window)
 
 
 def hampel_filter(
-    x: np.ndarray,
+    x: FloatArray,
     window: int,
     threshold: float,
     *,
     scale: float = MAD_TO_SIGMA,
-) -> np.ndarray:
+) -> FloatArray:
     """Apply a Hampel filter and return the filtered series.
 
     A sample ``x[i]`` is replaced by the local median ``m[i]`` when
@@ -95,7 +96,7 @@ def hampel_filter(
     return out
 
 
-def hampel_trend(x: np.ndarray, window: int, threshold: float = 0.01) -> np.ndarray:
+def hampel_trend(x: FloatArray, window: int, threshold: float = 0.01) -> FloatArray:
     """Trend of the series as PhaseBeat computes it (large-window Hampel).
 
     Equivalent to :func:`hampel_filter` with the paper's large window and

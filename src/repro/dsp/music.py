@@ -22,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 from scipy.signal import hilbert
 
+from ..contracts import ComplexArray, FloatArray
 from ..errors import ConfigurationError, EstimationError, SignalTooShortError
 
 __all__ = [
@@ -34,7 +35,7 @@ __all__ = [
 ]
 
 
-def hankel_snapshots(x: np.ndarray, order: int) -> np.ndarray:
+def hankel_snapshots(x: FloatArray | ComplexArray, order: int) -> FloatArray | ComplexArray:
     """Stack sliding windows of ``x`` into an ``order × K`` snapshot matrix.
 
     Temporal smoothing: each length-``order`` window of the series is one
@@ -50,7 +51,7 @@ def hankel_snapshots(x: np.ndarray, order: int) -> np.ndarray:
     return np.lib.stride_tricks.sliding_window_view(x, order).T.copy()
 
 
-def sample_covariance(channels: np.ndarray, order: int) -> np.ndarray:
+def sample_covariance(channels: FloatArray | ComplexArray, order: int) -> ComplexArray:
     """Averaged smoothed covariance across one or more channels.
 
     Args:
@@ -79,7 +80,7 @@ def sample_covariance(channels: np.ndarray, order: int) -> np.ndarray:
     return cov / total
 
 
-def forward_backward_average(cov: np.ndarray) -> np.ndarray:
+def forward_backward_average(cov: ComplexArray) -> ComplexArray:
     """Forward–backward averaging ``(R + J R* J) / 2``.
 
     Doubles the effective snapshot count and enforces the persymmetric
@@ -93,7 +94,7 @@ def forward_backward_average(cov: np.ndarray) -> np.ndarray:
     return 0.5 * (cov + exchange @ cov.conj() @ exchange)
 
 
-def noise_subspace(cov: np.ndarray, n_sources: int) -> np.ndarray:
+def noise_subspace(cov: ComplexArray, n_sources: int) -> ComplexArray:
     """Eigenvectors spanning the noise subspace of ``cov``.
 
     Returns the ``m × (m - n_sources)`` matrix of eigenvectors associated
@@ -112,13 +113,13 @@ def noise_subspace(cov: np.ndarray, n_sources: int) -> np.ndarray:
 
 
 def root_music_frequencies(
-    cov: np.ndarray,
+    cov: ComplexArray,
     n_sources: int,
-    sample_rate: float,
+    sample_rate_hz: float,
     *,
     band: tuple[float, float] | None = None,
     n_candidates: int | None = None,
-) -> np.ndarray:
+) -> FloatArray:
     """Frequencies (Hz) from the roots of the noise-subspace polynomial.
 
     The polynomial ``p(z) = Σ_l q_l z^{m-1+l}`` with ``q_l`` the sum of the
@@ -136,8 +137,8 @@ def root_music_frequencies(
     Raises:
         EstimationError: If no admissible roots fall inside the band.
     """
-    if sample_rate <= 0:
-        raise ConfigurationError(f"sample rate must be positive, got {sample_rate}")
+    if sample_rate_hz <= 0:
+        raise ConfigurationError(f"sample rate must be positive, got {sample_rate_hz}")
     en = noise_subspace(cov, n_sources)
     projector = en @ en.conj().T
     m = projector.shape[0]
@@ -150,7 +151,7 @@ def root_music_frequencies(
     if inside.size == 0:
         raise EstimationError("root-MUSIC polynomial has no roots inside the circle")
 
-    freqs = np.angle(inside) * sample_rate / (2.0 * np.pi)
+    freqs = np.angle(inside) * sample_rate_hz / (2.0 * np.pi)
     closeness = np.abs(1.0 - np.abs(inside))
     admissible = freqs > 0
     if band is not None:
@@ -168,9 +169,9 @@ def root_music_frequencies(
 
 
 def estimate_frequencies(
-    channels: np.ndarray,
+    channels: FloatArray,
     n_sources: int,
-    sample_rate: float,
+    sample_rate_hz: float,
     *,
     order: int | None = None,
     band: tuple[float, float] | None = None,
@@ -179,14 +180,14 @@ def estimate_frequencies(
     extra_signal_dims: int = 2,
     suppress_harmonics: bool = True,
     harmonic_tolerance_hz: float = 0.02,
-) -> np.ndarray:
+) -> FloatArray:
     """End-to-end root-MUSIC estimate from one or many real-valued series.
 
     Args:
         channels: 1-D series or ``(n_samples, n_channels)`` matrix (the
             paper's H of Eq. 12, one column per subcarrier).
         n_sources: Number of frequencies to recover (= number of persons).
-        sample_rate: Sample rate of the series in Hz.
+        sample_rate_hz: Sample rate of the series in Hz.
         order: Subspace order m; defaults to ``min(n_samples // 3, 48)``
             but never less than ``2 · n_sources + 2``.
         band: Optional admissible frequency band in Hz.
@@ -228,7 +229,7 @@ def estimate_frequencies(
             "set analytic=True"
         )
     data = data[::decimation]
-    effective_rate = sample_rate / decimation
+    effective_rate = sample_rate_hz / decimation
     n_samples = data.shape[0]
     n_model = n_sources + max(0, extra_signal_dims)
     if order is None:
@@ -259,14 +260,14 @@ def estimate_frequencies(
 
 
 def _select_candidates(
-    data: np.ndarray,
-    candidates: np.ndarray,
-    sample_rate: float,
+    data: ComplexArray,
+    candidates: FloatArray,
+    sample_rate_hz: float,
     n_sources: int,
     *,
     suppress_harmonics: bool,
     tolerance_hz: float,
-) -> np.ndarray:
+) -> FloatArray:
     """Rank candidate frequencies by energy and drop mixing products.
 
     A spurious root can sit as close to the unit circle as a real one while
@@ -278,7 +279,7 @@ def _select_candidates(
     """
     if candidates.size == 0:
         return candidates
-    t = np.arange(data.shape[0]) / sample_rate
+    t = np.arange(data.shape[0]) / sample_rate_hz
     basis = np.exp(2j * np.pi * np.outer(t, candidates))
     amplitudes, *_ = np.linalg.lstsq(basis, data, rcond=None)
     power = np.mean(np.abs(amplitudes), axis=1)
@@ -305,12 +306,12 @@ def _select_candidates(
 
 
 def _is_mixing_product(
-    frequency: float, accepted: list[float], tolerance_hz: float
+    frequency_hz: float, accepted: list[float], tolerance_hz: float
 ) -> bool:
     for f1 in accepted:
-        if abs(frequency - 2.0 * f1) <= tolerance_hz:
+        if abs(frequency_hz - 2.0 * f1) <= tolerance_hz:
             return True
         for f2 in accepted:
-            if abs(frequency - (f1 + f2)) <= tolerance_hz:
+            if abs(frequency_hz - (f1 + f2)) <= tolerance_hz:
                 return True
     return False

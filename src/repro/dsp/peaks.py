@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..contracts import FloatArray, IntArray
 from ..errors import ConfigurationError, EstimationError
 
 __all__ = [
@@ -26,11 +27,11 @@ __all__ = [
 
 
 def find_peaks(
-    x: np.ndarray,
+    x: FloatArray,
     window: int = 51,
     *,
     min_prominence: float = 0.0,
-) -> np.ndarray:
+) -> IntArray:
     """Indices of true peaks under the sliding-window dominance rule.
 
     A sample ``x[i]`` is a peak when it is strictly greater than its
@@ -85,8 +86,8 @@ def find_peaks(
 
 
 def robust_peak_interval(
-    peaks: np.ndarray,
-    sample_rate: float,
+    peaks: IntArray,
+    sample_rate_hz: float,
     *,
     trim_band: tuple[float, float] = (0.6, 1.4),
 ) -> float:
@@ -99,7 +100,7 @@ def robust_peak_interval(
 
     Args:
         peaks: Sorted peak indices from :func:`find_peaks`.
-        sample_rate: Sample rate of the series the peaks index into (Hz).
+        sample_rate_hz: Sample rate of the series the peaks index into (Hz).
         trim_band: Multiplicative (low, high) band around the median
             interval that survives trimming.
 
@@ -110,8 +111,8 @@ def robust_peak_interval(
         EstimationError: If fewer than two peaks were supplied.
     """
     peaks = np.asarray(peaks)
-    if sample_rate <= 0:
-        raise ConfigurationError(f"sample rate must be positive, got {sample_rate}")
+    if sample_rate_hz <= 0:
+        raise ConfigurationError(f"sample rate must be positive, got {sample_rate_hz}")
     if peaks.size < 2:
         raise EstimationError(
             f"need at least two peaks to measure a period, got {peaks.size}"
@@ -122,15 +123,15 @@ def robust_peak_interval(
     kept = intervals[(intervals >= lo * median) & (intervals <= hi * median)]
     if kept.size == 0:
         kept = intervals
-    return float(np.mean(kept) / sample_rate)
+    return float(np.mean(kept) / sample_rate_hz)
 
 
-def mean_peak_interval(peaks: np.ndarray, sample_rate: float) -> float:
+def mean_peak_interval(peaks: IntArray, sample_rate_hz: float) -> float:
     """Average peak-to-peak interval in seconds.
 
     Args:
         peaks: Sorted peak indices from :func:`find_peaks`.
-        sample_rate: Sample rate of the series the peaks index into (Hz).
+        sample_rate_hz: Sample rate of the series the peaks index into (Hz).
 
     Returns:
         The mean interval between consecutive peaks, in seconds.
@@ -139,15 +140,15 @@ def mean_peak_interval(peaks: np.ndarray, sample_rate: float) -> float:
         EstimationError: If fewer than two peaks were supplied.
     """
     peaks = np.asarray(peaks)
-    if sample_rate <= 0:
-        raise ConfigurationError(f"sample rate must be positive, got {sample_rate}")
+    if sample_rate_hz <= 0:
+        raise ConfigurationError(f"sample rate must be positive, got {sample_rate_hz}")
     if peaks.size < 2:
         raise EstimationError(
             f"need at least two peaks to measure a period, got {peaks.size}"
         )
-    return float(np.mean(np.diff(peaks)) / sample_rate)
+    return float(np.mean(np.diff(peaks)) / sample_rate_hz)
 
 
-def peak_rate_bpm(peaks: np.ndarray, sample_rate: float) -> float:
+def peak_rate_bpm(peaks: IntArray, sample_rate_hz: float) -> float:
     """Rate in beats (breaths) per minute: ``60 / mean interval``."""
-    return 60.0 / mean_peak_interval(peaks, sample_rate)
+    return 60.0 / mean_peak_interval(peaks, sample_rate_hz)

@@ -22,14 +22,15 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.signal import decimate as _scipy_decimate
 
+from ..contracts import BoolArray, FloatArray
 from ..errors import ConfigurationError, DataGapError, SignalTooShortError
 
 __all__ = ["ReclockedSeries", "decimate", "downsampled_rate", "reclock"]
 
 
 def decimate(
-    x: np.ndarray, factor: int, *, anti_alias: bool = False, axis: int = 0
-) -> np.ndarray:
+    x: FloatArray, factor: int, *, anti_alias: bool = False, axis: int = 0
+) -> FloatArray:
     """Keep every ``factor``-th sample of ``x`` along ``axis``.
 
     Args:
@@ -75,10 +76,10 @@ class ReclockedSeries:
             timestamps before interpolation.
     """
 
-    series: np.ndarray
-    times_s: np.ndarray
+    series: FloatArray
+    times_s: FloatArray
     sample_rate_hz: float
-    gap_mask: np.ndarray
+    gap_mask: BoolArray
     n_dropped: int
 
     @property
@@ -88,8 +89,8 @@ class ReclockedSeries:
 
 
 def reclock(
-    x: np.ndarray,
-    timestamps_s: np.ndarray,
+    x: FloatArray,
+    timestamps_s: FloatArray,
     target_rate_hz: float,
     *,
     max_gap_s: float | None = None,
@@ -181,10 +182,10 @@ def reclock(
     )
 
 
-def downsampled_rate(sample_rate: float, factor: int) -> float:
+def downsampled_rate(sample_rate_hz: float, factor: int) -> float:
     """Sample rate after decimating by ``factor`` (400 Hz / 20 → 20 Hz)."""
     if factor < 1:
         raise ConfigurationError(f"decimation factor must be >= 1, got {factor}")
-    if sample_rate <= 0:
-        raise ConfigurationError(f"sample rate must be positive, got {sample_rate}")
-    return sample_rate / factor
+    if sample_rate_hz <= 0:
+        raise ConfigurationError(f"sample rate must be positive, got {sample_rate_hz}")
+    return sample_rate_hz / factor

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..contracts import FloatArray
+
 __all__ = [
     "mean_absolute_deviation",
     "median_absolute_deviation",
@@ -28,7 +30,7 @@ __all__ = [
 MAD_TO_SIGMA = 1.4826
 
 
-def mean_absolute_deviation(x: np.ndarray, axis: int | None = None) -> np.ndarray:
+def mean_absolute_deviation(x: FloatArray, axis: int | None = None) -> FloatArray:
     """Mean absolute deviation about the mean.
 
     This is the sensitivity statistic of paper Eq. 8 and Fig. 7:
@@ -47,8 +49,8 @@ def mean_absolute_deviation(x: np.ndarray, axis: int | None = None) -> np.ndarra
 
 
 def median_absolute_deviation(
-    x: np.ndarray, axis: int | None = None, scale: float = 1.0
-) -> np.ndarray:
+    x: FloatArray, axis: int | None = None, scale: float = 1.0
+) -> FloatArray:
     """Median absolute deviation about the median.
 
     Used inside the Hampel filter as a robust spread estimate.  Pass
@@ -59,7 +61,7 @@ def median_absolute_deviation(
     return scale * np.median(np.abs(x - med), axis=axis)
 
 
-def circular_mean(angles: np.ndarray) -> float:
+def circular_mean(angles: FloatArray) -> float:
     """Mean direction of a sample of angles (radians).
 
     Computed through the resultant vector, so it is invariant to 2π wrapping.
@@ -70,7 +72,7 @@ def circular_mean(angles: np.ndarray) -> float:
     return float(np.angle(np.mean(np.exp(1j * angles))))
 
 
-def circular_resultant_length(angles: np.ndarray) -> float:
+def circular_resultant_length(angles: FloatArray) -> float:
     """Mean resultant length R ∈ [0, 1] of a sample of angles.
 
     R → 1 for tightly concentrated angles (the phase-difference cloud of
@@ -83,12 +85,12 @@ def circular_resultant_length(angles: np.ndarray) -> float:
     return float(np.abs(np.mean(np.exp(1j * angles))))
 
 
-def circular_variance(angles: np.ndarray) -> float:
+def circular_variance(angles: FloatArray) -> float:
     """Circular variance ``1 - R`` — 0 for a point mass, 1 for uniform."""
     return 1.0 - circular_resultant_length(angles)
 
 
-def circular_std(angles: np.ndarray) -> float:
+def circular_std(angles: FloatArray) -> float:
     """Circular standard deviation ``sqrt(-2 ln R)`` in radians."""
     r = circular_resultant_length(angles)
     if r <= 0.0:
@@ -96,7 +98,7 @@ def circular_std(angles: np.ndarray) -> float:
     return float(np.sqrt(-2.0 * np.log(r)))
 
 
-def angular_sector_width(angles: np.ndarray, coverage: float = 1.0) -> float:
+def angular_sector_width(angles: FloatArray, coverage: float = 1.0) -> float:
     """Width (radians) of the smallest arc containing a fraction of angles.
 
     Fig. 1 of the paper observes that all phase-difference samples fall inside

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..contracts import FloatArray
 from ..errors import ConfigurationError, SignalTooShortError
 
 __all__ = ["Spectrogram", "stft_spectrogram", "stft_bandpass", "track_rate"]
@@ -30,9 +31,9 @@ class Spectrogram:
         magnitude: ``(n_freqs, n_frames)`` magnitudes.
     """
 
-    times_s: np.ndarray
-    freqs_hz: np.ndarray
-    magnitude: np.ndarray
+    times_s: FloatArray
+    freqs_hz: FloatArray
+    magnitude: FloatArray
 
     @property
     def n_frames(self) -> int:
@@ -41,15 +42,15 @@ class Spectrogram:
 
 
 def _frame_signal(
-    x: np.ndarray, frame: int, hop: int
-) -> np.ndarray:
+    x: FloatArray, frame: int, hop: int
+) -> FloatArray:
     n_frames = 1 + (x.size - frame) // hop
     idx = np.arange(frame)[None, :] + hop * np.arange(n_frames)[:, None]
     return x[idx]
 
 
 def stft_spectrogram(
-    x: np.ndarray,
+    x: FloatArray,
     sample_rate_hz: float,
     *,
     window_s: float = 30.0,
@@ -99,12 +100,12 @@ def stft_spectrogram(
 
 
 def stft_bandpass(
-    x: np.ndarray,
+    x: FloatArray,
     sample_rate_hz: float,
     band_hz: tuple[float, float],
     *,
     window_s: float = 12.8,
-) -> np.ndarray:
+) -> FloatArray:
     """Band-limit a series by zeroing STFT bins outside ``band_hz``.
 
     Overlap-add analysis/synthesis with a Hann window at 50% overlap (COLA
@@ -150,14 +151,14 @@ def stft_bandpass(
 
 
 def track_rate(
-    x: np.ndarray,
+    x: FloatArray,
     sample_rate_hz: float,
     band_hz: tuple[float, float],
     *,
     window_s: float = 30.0,
     hop_s: float = 5.0,
     max_step_hz: float | None = None,
-) -> tuple[np.ndarray, np.ndarray]:
+) -> tuple[FloatArray, FloatArray]:
     """Follow the dominant in-band frequency over time (ridge tracking).
 
     Per frame, the strongest spectral peak inside ``band_hz`` is taken;

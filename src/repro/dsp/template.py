@@ -17,19 +17,20 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..contracts import FloatArray
 from ..errors import ConfigurationError, SignalTooShortError
 
 __all__ = ["fold_cycle_template", "subtract_cycle_template"]
 
 
 def fold_cycle_template(
-    signal: np.ndarray,
+    signal: FloatArray,
     sample_rate_hz: float,
     fundamental_hz: float,
     *,
     n_bins: int = 40,
     smooth_bins: int = 3,
-) -> tuple[np.ndarray, np.ndarray]:
+) -> tuple[FloatArray, FloatArray]:
     """Average waveform over one cycle of ``fundamental_hz``.
 
     Args:
@@ -90,12 +91,12 @@ def fold_cycle_template(
 
 
 def subtract_cycle_template(
-    signal: np.ndarray,
+    signal: FloatArray,
     sample_rate_hz: float,
     fundamental_hz: float,
     *,
     n_bins: int = 40,
-) -> np.ndarray:
+) -> FloatArray:
     """Remove the cycle-locked component of ``signal``.
 
     Folds the series by ``fundamental_hz``, builds the cycle template, and

@@ -26,6 +26,7 @@ from functools import lru_cache
 import numpy as np
 from scipy.special import comb
 
+from ..contracts import FloatArray
 from ..errors import ConfigurationError, SignalTooShortError
 
 __all__ = [
@@ -53,8 +54,8 @@ class Wavelet:
     """
 
     name: str
-    dec_lo: np.ndarray
-    dec_hi: np.ndarray
+    dec_lo: FloatArray
+    dec_hi: FloatArray
 
     @property
     def length(self) -> int:
@@ -95,7 +96,7 @@ def _scaling_coefficients(order: int) -> tuple[float, ...]:
     return tuple(float(v) for v in h)
 
 
-def daubechies_filter(order: int) -> np.ndarray:
+def daubechies_filter(order: int) -> FloatArray:
     """Daubechies scaling (reconstruction low-pass) filter ``h`` of 2N taps."""
     if not 1 <= order <= 12:
         raise ConfigurationError(
@@ -133,7 +134,7 @@ def _as_wavelet(wavelet: str | Wavelet) -> Wavelet:
     return make_wavelet(wavelet)
 
 
-def _circular_correlate_downsample(x: np.ndarray, f: np.ndarray) -> np.ndarray:
+def _circular_correlate_downsample(x: FloatArray, f: FloatArray) -> FloatArray:
     """``y[k] = Σ_n f[n] · x[(2k + n) mod N]`` for k in [0, N/2).
 
     The signal is tiled as needed so filters longer than the (coarse-level)
@@ -149,7 +150,7 @@ def _circular_correlate_downsample(x: np.ndarray, f: np.ndarray) -> np.ndarray:
     return full[:n:2].copy()
 
 
-def _upsample_circular_convolve(c: np.ndarray, f: np.ndarray, n: int) -> np.ndarray:
+def _upsample_circular_convolve(c: FloatArray, f: FloatArray, n: int) -> FloatArray:
     """Zero-stuff ``c`` to length ``n`` and circularly convolve with ``f``.
 
     Convolution output beyond ``n`` is folded back modulo ``n``, possibly
@@ -165,7 +166,7 @@ def _upsample_circular_convolve(c: np.ndarray, f: np.ndarray, n: int) -> np.ndar
     return out
 
 
-def dwt(x: np.ndarray, wavelet: str | Wavelet = "db4") -> tuple[np.ndarray, np.ndarray]:
+def dwt(x: FloatArray, wavelet: str | Wavelet = "db4") -> tuple[FloatArray, FloatArray]:
     """One periodized analysis step: ``x → (approximation, detail)``.
 
     The input length must be even (pad with :func:`numpy.pad` upstream or use
@@ -188,8 +189,8 @@ def dwt(x: np.ndarray, wavelet: str | Wavelet = "db4") -> tuple[np.ndarray, np.n
 
 
 def idwt(
-    approx: np.ndarray, detail: np.ndarray, wavelet: str | Wavelet = "db4"
-) -> np.ndarray:
+    approx: FloatArray, detail: FloatArray, wavelet: str | Wavelet = "db4"
+) -> FloatArray:
     """Exact inverse of :func:`dwt` (synthesis by the transposed operator)."""
     approx = np.asarray(approx, dtype=float)
     detail = np.asarray(detail, dtype=float)
@@ -218,8 +219,8 @@ class WaveletDecomposition:
             so :func:`waverec` can trim its output back.
     """
 
-    approx: np.ndarray
-    details: tuple[np.ndarray, ...]
+    approx: FloatArray
+    details: tuple[FloatArray, ...]
     wavelet: Wavelet
     original_length: int
 
@@ -228,7 +229,7 @@ class WaveletDecomposition:
         """Number of decomposition levels L."""
         return len(self.details)
 
-    def detail(self, level: int) -> np.ndarray:
+    def detail(self, level: int) -> FloatArray:
         """Detail coefficients β_level, with level 1 the finest scale."""
         if not 1 <= level <= self.level:
             raise ConfigurationError(
@@ -250,7 +251,7 @@ def dwt_max_level(n: int, wavelet: str | Wavelet = "db4") -> int:
 
 
 def wavedec(
-    x: np.ndarray, wavelet: str | Wavelet = "db4", level: int = 4
+    x: FloatArray, wavelet: str | Wavelet = "db4", level: int = 4
 ) -> WaveletDecomposition:
     """Multilevel periodized DWT.
 
@@ -279,7 +280,7 @@ def wavedec(
     original_length = x.size
 
     approx = x
-    details: list[np.ndarray] = []
+    details: list[FloatArray] = []
     for _ in range(level):
         if approx.size % 2 != 0:
             approx = np.concatenate([approx, approx[-1:]])
@@ -293,7 +294,7 @@ def wavedec(
     )
 
 
-def waverec(decomposition: WaveletDecomposition) -> np.ndarray:
+def waverec(decomposition: WaveletDecomposition) -> FloatArray:
     """Invert :func:`wavedec`, trimming padding back to the input length."""
     approx = decomposition.approx
     for detail in decomposition.details:
@@ -310,7 +311,7 @@ def reconstruct_band(
     *,
     keep_approx: bool = False,
     keep_details: tuple[int, ...] = (),
-) -> np.ndarray:
+) -> FloatArray:
     """Reconstruct a time series from a subset of the DWT coefficients.
 
     This is how PhaseBeat converts coefficient bands back to signals:
@@ -349,7 +350,7 @@ def reconstruct_band(
 
 
 def coefficient_band(
-    sample_rate: float, level: int, *, is_approx: bool
+    sample_rate_hz: float, level: int, *, is_approx: bool
 ) -> tuple[float, float]:
     """Nominal frequency band of a DWT coefficient vector.
 
@@ -358,10 +359,10 @@ def coefficient_band(
     the bookkeeping behind the paper's statement that, at 20 Hz with L = 4,
     α₄ covers 0–0.625 Hz and β₃+β₄ covers 0.625–2.5 Hz.
     """
-    if sample_rate <= 0:
-        raise ConfigurationError(f"sample rate must be positive, got {sample_rate}")
+    if sample_rate_hz <= 0:
+        raise ConfigurationError(f"sample rate must be positive, got {sample_rate_hz}")
     if level < 1:
         raise ConfigurationError(f"level must be >= 1, got {level}")
     if is_approx:
-        return 0.0, sample_rate / 2 ** (level + 1)
-    return sample_rate / 2 ** (level + 1), sample_rate / 2**level
+        return 0.0, sample_rate_hz / 2 ** (level + 1)
+    return sample_rate_hz / 2 ** (level + 1), sample_rate_hz / 2**level

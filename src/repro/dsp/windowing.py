@@ -6,10 +6,12 @@ from collections.abc import Iterator
 
 import numpy as np
 
+from ..contracts import FloatArray
+
 __all__ = ["sliding_view", "segment_indices", "centered_window_bounds"]
 
 
-def sliding_view(x: np.ndarray, window: int) -> np.ndarray:
+def sliding_view(x: FloatArray, window: int) -> FloatArray:
     """Read-only view of all length-``window`` slides of a 1-D array.
 
     Thin wrapper over :func:`numpy.lib.stride_tricks.sliding_window_view`

@@ -63,6 +63,27 @@ class NotStationaryError(ReproError, RuntimeError):
         )
 
 
+class ContractError(ReproError, TypeError):
+    """An array argument violated a declared shape/dtype contract.
+
+    Raised by the decorators in :mod:`repro.contracts` at public pipeline
+    boundaries, naming the function, the argument, the expected axis
+    layout/dtype, and what actually arrived — so a transposed or
+    mis-dtyped matrix fails loudly at the boundary instead of producing
+    silently wrong rates downstream.
+    """
+
+    def __init__(self, func: str, argument: str, expected: str, actual: str):
+        self.func = func
+        self.argument = argument
+        self.expected = expected
+        self.actual = actual
+        super().__init__(
+            f"{func}(): argument '{argument}' violates its array contract: "
+            f"expected {expected}, got {actual}"
+        )
+
+
 class TraceFormatError(ReproError, ValueError):
     """A CSI trace container or file violates the expected layout."""
 

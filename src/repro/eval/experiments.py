@@ -16,6 +16,8 @@ import dataclasses
 
 import numpy as np
 
+from ..contracts import FloatArray
+
 from ..core.breathing import FFTBreathingEstimator, MusicBreathingEstimator
 from ..core.calibration import calibrate
 from ..core.dwt_stage import decompose
@@ -37,7 +39,9 @@ from ..physio.heartbeat import SinusoidalHeartbeat
 from ..physio.motion import ActivityScript
 from ..physio.person import Person, random_cohort
 from ..rf.receiver import capture_trace
+from ..io_.trace import CSITrace
 from ..rf.scene import (
+    Scenario,
     corridor_scenario,
     laboratory_scenario,
     through_wall_scenario,
@@ -146,8 +150,8 @@ def fig04_calibration(seed: int = 1) -> dict:
     diff = phase_difference(trace)
     calibrated = calibrate(diff, trace.sample_rate_hz)
 
-    def _hf_fraction(series: np.ndarray, rate: float) -> float:
-        freqs, mag = magnitude_spectrum(series, rate)
+    def _hf_fraction(series: FloatArray, rate_hz: float) -> float:
+        freqs, mag = magnitude_spectrum(series, rate_hz)
         power = mag**2
         total = float(power[1:].sum())
         if total == 0:
@@ -202,8 +206,8 @@ def fig06_dwt_decomposition(seed: int = 1) -> dict:
     series = calibrated.series[:, selection.selected]
     bands = decompose(series, calibrated.sample_rate_hz)
 
-    def _tone_power(signal: np.ndarray, rate: float, f0: float) -> float:
-        freqs, mag = magnitude_spectrum(signal, rate)
+    def _tone_power(signal: FloatArray, rate_hz: float, f0: float) -> float:
+        freqs, mag = magnitude_spectrum(signal, rate_hz)
         window = (freqs > f0 - 0.05) & (freqs < f0 + 0.05)
         return float((mag[window] ** 2).sum())
 
@@ -326,7 +330,7 @@ def fig11_breathing_cdf(n_trials: int = 30, base_seed: int = 100) -> dict:
     bpm where the amplitude method reaches only ~70%, with maxima ~0.85 vs
     ~1.7 bpm.
     """
-    def factory(k: int, rng: np.random.Generator):
+    def factory(k: int, rng: np.random.Generator) -> Scenario:
         return laboratory_scenario(
             [default_subject(rng, with_heartbeat=False)], clutter_seed=base_seed + k
         )
@@ -573,7 +577,7 @@ def fig15_distance_corridor(
     Paper shape: error grows with distance (weaker reflected signal),
     reaching ≈ 0.3 bpm at 7 m and ≈ 0.55 bpm at 11 m.
     """
-    def builder(distance, persons, seed):
+    def builder(distance: float, persons: list, seed: int) -> Scenario:
         return corridor_scenario(distance, persons, clutter_seed=seed)
 
     return _distance_sweep(builder, distances_m, n_trials, base_seed)
@@ -590,7 +594,7 @@ def fig16_distance_through_wall(
     equal distance (≈ 0.52 vs ≈ 0.3 bpm at 7 m) because the wall attenuates
     the signal.
     """
-    def builder(distance, persons, seed):
+    def builder(distance: float, persons: list, seed: int) -> Scenario:
         return through_wall_scenario(distance, persons, clutter_seed=seed)
 
     def tx_side_y(distance: float) -> float:
@@ -603,7 +607,7 @@ def fig16_distance_through_wall(
 
 
 def robustness_impairments(
-    loss_rates: tuple[float, ...] = (0.0, 0.05, 0.1, 0.2, 0.3),
+    loss_fractions: tuple[float, ...] = (0.0, 0.05, 0.1, 0.2, 0.3),
     gap_lengths_s: tuple[float, ...] = (0.5, 1.0, 2.0),
     n_trials: int = 5,
     duration_s: float = 40.0,
@@ -626,7 +630,7 @@ def robustness_impairments(
     # stationarity gate like the other controlled sweeps do.
     pipeline = PhaseBeat(_SWEEP_CONFIG)
 
-    def breathing_error(trace, truth_bpm):
+    def breathing_error(trace: CSITrace, truth_bpm: float) -> float:
         try:
             result = pipeline.process(trace, estimate_heart=False)
         except (NotStationaryError, EstimationError):
@@ -634,16 +638,18 @@ def robustness_impairments(
         return abs(result.breathing_rates_bpm[0] - truth_bpm)
 
     clean_err = np.empty(n_trials)
-    loss_err = np.empty((len(loss_rates), n_trials))
+    loss_err = np.empty((len(loss_fractions), n_trials))
     gap_err = np.empty((len(gap_lengths_s), n_trials))
     for trial in range(n_trials):
         seed = base_seed + trial
         trace, person = _lab_trace(seed=seed, duration_s=duration_s)
         truth = person.breathing_rate_bpm
         clean_err[trial] = breathing_error(trace, truth)
-        for i, rate in enumerate(loss_rates):
+        for i, fraction in enumerate(loss_fractions):
             impaired = apply_impairments(
-                trace, [BernoulliLoss(rate)] if rate > 0 else [], seed=seed
+                trace,
+                [BernoulliLoss(fraction)] if fraction > 0 else [],
+                seed=seed,
             )
             loss_err[i, trial] = breathing_error(impaired, truth)
         for i, gap in enumerate(gap_lengths_s):
@@ -655,7 +661,7 @@ def robustness_impairments(
             gap_err[i, trial] = breathing_error(impaired, truth)
 
     return {
-        "loss_rates": list(loss_rates),
+        "loss_fractions": list(loss_fractions),
         "gap_lengths_s": list(gap_lengths_s),
         "clean_median_err": float(np.nanmedian(clean_err)),
         "loss_median_err": np.nanmedian(loss_err, axis=1),

@@ -15,6 +15,7 @@ import numpy as np
 
 from ..baselines.amplitude import AmplitudeMethod
 from ..core.pipeline import PhaseBeat, PhaseBeatConfig
+from ..contracts import FloatArray
 from ..errors import EstimationError, NotStationaryError, ReproError
 from ..io_.trace import CSITrace
 from ..physio.breathing import SinusoidalBreathing
@@ -54,7 +55,7 @@ class BreathingTrialResults:
 
     outcomes: dict[str, list[TrialOutcome]] = field(default_factory=dict)
 
-    def errors(self, method: str, *, drop_failures: bool = True) -> np.ndarray:
+    def errors(self, method: str, *, drop_failures: bool = True) -> FloatArray:
         """Per-trial errors for a method (failures dropped or kept as nan)."""
         rows = self.outcomes.get(method, [])
         values = [
@@ -62,7 +63,7 @@ class BreathingTrialResults:
         ]
         return np.asarray(values, dtype=float)
 
-    def accuracies(self, method: str) -> np.ndarray:
+    def accuracies(self, method: str) -> FloatArray:
         """Per-trial paper-accuracy values (failures score 0)."""
         rows = self.outcomes.get(method, [])
         return np.asarray([o.accuracy for o in rows], dtype=float)

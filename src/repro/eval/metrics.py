@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..contracts import FloatArray
 from ..errors import ConfigurationError
 
 __all__ = [
@@ -39,7 +40,7 @@ def accuracy(estimate_bpm: float, truth_bpm: float) -> float:
     return float(max(0.0, 1.0 - abs(estimate_bpm - truth_bpm) / truth_bpm))
 
 
-def match_rates(estimates: np.ndarray, truths: np.ndarray) -> list[tuple[float, float]]:
+def match_rates(estimates: FloatArray, truths: FloatArray) -> list[tuple[float, float]]:
     """Greedy closest-pair matching of estimated to true rates.
 
     Each truth is matched to the nearest unused estimate (smallest gaps
@@ -74,8 +75,8 @@ def match_rates(estimates: np.ndarray, truths: np.ndarray) -> list[tuple[float, 
 
 
 def multi_person_errors(
-    estimates: np.ndarray, truths: np.ndarray, *, miss_penalty_bpm: float | None = None
-) -> np.ndarray:
+    estimates: FloatArray, truths: FloatArray, *, miss_penalty_bpm: float | None = None
+) -> FloatArray:
     """Per-person absolute errors after closest-pair matching.
 
     Args:
@@ -96,7 +97,7 @@ def multi_person_errors(
     return np.asarray(errors, dtype=float)
 
 
-def empirical_cdf(errors: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+def empirical_cdf(errors: FloatArray) -> tuple[FloatArray, FloatArray]:
     """Empirical CDF points ``(sorted errors, cumulative probability)``."""
     errors = np.sort(np.asarray(errors, dtype=float))
     if errors.size == 0:
@@ -105,7 +106,7 @@ def empirical_cdf(errors: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     return errors, prob
 
 
-def percentile_error(errors: np.ndarray, q: float) -> float:
+def percentile_error(errors: FloatArray, q: float) -> float:
     """The q-th percentile of the error sample (q in [0, 100])."""
     errors = np.asarray(errors, dtype=float)
     if errors.size == 0:

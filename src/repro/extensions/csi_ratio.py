@@ -29,6 +29,7 @@ import numpy as np
 from ..core.breathing import BREATHING_SEARCH_BAND_HZ, PeakBreathingEstimator
 from ..dsp.hampel import hampel_filter
 from ..dsp.resample import decimate, downsampled_rate
+from ..contracts import ComplexArray, FloatArray
 from ..errors import ConfigurationError, EstimationError
 from ..io_.trace import CSITrace
 
@@ -40,7 +41,7 @@ def csi_ratio_series(
     antenna_pair: tuple[int, int] = (0, 1),
     *,
     epsilon: float = 1e-9,
-) -> np.ndarray:
+) -> ComplexArray:
     """Complex cross-antenna CSI ratio per packet and subcarrier.
 
     Args:
@@ -67,7 +68,7 @@ def csi_ratio_series(
     )
 
 
-def _principal_component_series(ratio: np.ndarray) -> np.ndarray:
+def _principal_component_series(ratio: ComplexArray) -> FloatArray:
     """Project a complex series' fluctuation on its principal axis.
 
     Stacks the (mean-removed) real and imaginary parts as a 2-D point
@@ -116,7 +117,7 @@ class CsiRatioEstimator:
     def __init__(self, config: CsiRatioConfig | None = None):
         self.config = config if config is not None else CsiRatioConfig()
 
-    def breathing_series(self, trace: CSITrace) -> tuple[np.ndarray, float]:
+    def breathing_series(self, trace: CSITrace) -> tuple[FloatArray, float]:
         """The calibrated principal-axis series and its sample rate.
 
         Per subcarrier: form the complex ratio, decimate to the processing

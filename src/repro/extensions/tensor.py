@@ -12,12 +12,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..contracts import FloatArray
 from ..errors import ConfigurationError, EstimationError
 
 __all__ = ["CPDecomposition", "cp_als", "khatri_rao", "unfold", "cp_reconstruct"]
 
 
-def khatri_rao(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+def khatri_rao(a: FloatArray, b: FloatArray) -> FloatArray:
     """Column-wise Kronecker (Khatri–Rao) product.
 
     Args:
@@ -38,7 +39,7 @@ def khatri_rao(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return (a[:, None, :] * b[None, :, :]).reshape(i * j, r)
 
 
-def unfold(tensor: np.ndarray, mode: int) -> np.ndarray:
+def unfold(tensor: FloatArray, mode: int) -> FloatArray:
     """Mode-``mode`` unfolding of a 3-way tensor (Kolda–Bader convention)."""
     tensor = np.asarray(tensor)
     if tensor.ndim != 3:
@@ -60,8 +61,8 @@ class CPDecomposition:
         n_iterations: ALS iterations performed.
     """
 
-    factors: tuple[np.ndarray, np.ndarray, np.ndarray]
-    weights: np.ndarray
+    factors: tuple[FloatArray, FloatArray, FloatArray]
+    weights: FloatArray
     fit: float
     n_iterations: int
 
@@ -71,7 +72,7 @@ class CPDecomposition:
         return int(self.weights.size)
 
 
-def cp_reconstruct(decomposition: CPDecomposition) -> np.ndarray:
+def cp_reconstruct(decomposition: CPDecomposition) -> FloatArray:
     """Rebuild the tensor from its CP factors."""
     a, b, c = decomposition.factors
     weighted = a * decomposition.weights[None, :]
@@ -79,13 +80,13 @@ def cp_reconstruct(decomposition: CPDecomposition) -> np.ndarray:
     return full
 
 
-def unfold_inverse(matrix: np.ndarray, shape: tuple[int, int, int]) -> np.ndarray:
+def unfold_inverse(matrix: FloatArray, shape: tuple[int, int, int]) -> FloatArray:
     """Inverse of :func:`unfold` for mode 0."""
     return matrix.reshape(shape[0], shape[1], shape[2])
 
 
 def cp_als(
-    tensor: np.ndarray,
+    tensor: FloatArray,
     rank: int,
     *,
     n_iterations: int = 200,
@@ -122,7 +123,7 @@ def cp_als(
     rng = np.random.default_rng(seed)
     is_complex = np.iscomplexobj(tensor)
 
-    def init(n: int) -> np.ndarray:
+    def init(n: int) -> FloatArray:
         real = rng.standard_normal((n, rank))
         if is_complex:
             return real + 1j * rng.standard_normal((n, rank))

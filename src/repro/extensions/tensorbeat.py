@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.signal import hilbert
 
+from ..contracts import FloatArray
 from ..errors import ConfigurationError, EstimationError
 from .tensor import cp_als
 
@@ -28,8 +29,8 @@ __all__ = ["TensorBeatConfig", "TensorBeatEstimator", "hankel_tensor"]
 
 
 def hankel_tensor(
-    matrix: np.ndarray, window: int
-) -> np.ndarray:
+    matrix: FloatArray, window: int
+) -> FloatArray:
     """Stack per-column Hankel matrices into a 3-way tensor.
 
     Args:
@@ -106,12 +107,12 @@ class TensorBeatEstimator:
 
     def estimate_bpm(
         self,
-        series: np.ndarray,
+        series: FloatArray,
         sample_rate_hz: float,
         n_persons: int,
         *,
         seed: int = 0,
-    ) -> np.ndarray:
+    ) -> FloatArray:
         """Breathing rates (bpm, ascending) for ``n_persons`` subjects.
 
         Args:
@@ -178,7 +179,7 @@ class TensorBeatEstimator:
         return 60.0 * np.sort(np.asarray(chosen[:n_persons]))
 
     @staticmethod
-    def _factor_frequency(factor: np.ndarray, sample_rate_hz: float) -> float:
+    def _factor_frequency(factor: FloatArray, sample_rate_hz: float) -> float:
         """Frequency of a (near-)exponential factor.
 
         Shift-invariance estimate (single-component ESPRIT): a Vandermonde

@@ -13,7 +13,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from typing import TYPE_CHECKING
+
 import numpy as np
+
+from ..contracts import FloatArray
+
+if TYPE_CHECKING:
+    from .trace import CSITrace
 
 __all__ = ["TraceQualityReport", "assess_trace", "assess_timestamps"]
 
@@ -71,7 +78,7 @@ class TraceQualityReport:
 
 
 def assess_timestamps(
-    timestamps_s: np.ndarray,
+    timestamps_s: FloatArray,
     nominal_rate_hz: float,
     *,
     uniform_tol: float = 0.25,
@@ -133,7 +140,7 @@ def assess_timestamps(
     )
 
 
-def assess_trace(trace, *, uniform_tol: float = 0.25) -> TraceQualityReport:
+def assess_trace(trace: "CSITrace", *, uniform_tol: float = 0.25) -> TraceQualityReport:
     """Assess a :class:`~repro.io_.trace.CSITrace` (see :func:`assess_timestamps`)."""
     return assess_timestamps(
         trace.timestamps_s, trace.sample_rate_hz, uniform_tol=uniform_tol

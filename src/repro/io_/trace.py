@@ -17,6 +17,7 @@ import json
 
 import numpy as np
 
+from ..contracts import ComplexArray, FloatArray, IntArray
 from ..errors import DataGapError, DegradedInputError, TraceFormatError
 from .quality import TraceQualityReport, assess_trace
 
@@ -46,10 +47,10 @@ class CSITrace:
             :meth:`validate` and the streaming quality gates are for.
     """
 
-    csi: np.ndarray
-    timestamps_s: np.ndarray
+    csi: ComplexArray
+    timestamps_s: FloatArray
     sample_rate_hz: float
-    subcarrier_indices: np.ndarray
+    subcarrier_indices: IntArray
     meta: dict[str, Any] = field(default_factory=dict)
     strict: InitVar[bool] = True
 
@@ -162,11 +163,11 @@ class CSITrace:
             raise DegradedInputError(reasons, report=report)
         return report
 
-    def amplitudes(self) -> np.ndarray:
+    def amplitudes(self) -> FloatArray:
         """|CSI| per packet/antenna/subcarrier (the baseline method's input)."""
         return np.abs(self.csi)
 
-    def phases(self) -> np.ndarray:
+    def phases(self) -> FloatArray:
         """Raw measured phase ∠CSI in radians (wrapped to (−π, π])."""
         return np.angle(self.csi)
 

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..contracts import BoolArray, FloatArray
 from ..errors import ConfigurationError
 
 __all__ = [
@@ -39,7 +40,7 @@ class BreathingModel:
     #: Nominal breathing frequency in Hz (ground truth for experiments).
     frequency_hz: float
 
-    def displacement(self, t: np.ndarray) -> np.ndarray:
+    def displacement(self, t: FloatArray) -> FloatArray:
         """Chest-surface displacement (m) at each time in ``t`` (seconds)."""
         raise NotImplementedError
 
@@ -78,7 +79,8 @@ class SinusoidalBreathing(BreathingModel):
                 f"breathing amplitude must be positive, got {self.amplitude_m}"
             )
 
-    def displacement(self, t: np.ndarray) -> np.ndarray:
+    def displacement(self, t: FloatArray) -> FloatArray:
+        """Pure (plus harmonics) sinusoidal chest motion at ``frequency_hz``."""
         t = np.asarray(t, dtype=float)
         return self.amplitude_m * np.cos(
             2.0 * np.pi * self.frequency_hz * t + self.phase
@@ -99,7 +101,8 @@ class RealisticBreathing(BreathingModel):
         amplitude_m: Peak displacement of the fundamental.
         harmonic_levels: Relative amplitude of harmonics 2, 3, … of the
             fundamental.
-        rate_jitter: Standard deviation of the relative frequency wander
+        rate_jitter_fraction: Standard deviation of the relative frequency
+            wander
             (0.02 → ±2% slow drift).
         phase: Initial phase in radians.
         seed: Seed for the frequency-wander realization, so traces are
@@ -109,7 +112,7 @@ class RealisticBreathing(BreathingModel):
     frequency_hz: float = 0.25
     amplitude_m: float = 5.0e-3
     harmonic_levels: tuple[float, ...] = (0.25, 0.08)
-    rate_jitter: float = 0.01
+    rate_jitter_fraction: float = 0.01
     phase: float = 0.0
     seed: int = 0
     _wander_cache: dict = field(default_factory=dict, repr=False, compare=False)
@@ -122,9 +125,9 @@ class RealisticBreathing(BreathingModel):
             )
         if any(level < 0 for level in self.harmonic_levels):
             raise ConfigurationError("harmonic levels must be non-negative")
-        if not 0 <= self.rate_jitter < 0.3:
+        if not 0 <= self.rate_jitter_fraction < 0.3:
             raise ConfigurationError(
-                f"rate_jitter must be in [0, 0.3), got {self.rate_jitter}"
+                f"rate_jitter_fraction must be in [0, 0.3), got {self.rate_jitter_fraction}"
             )
 
     def _instantaneous_phase(self, t: np.ndarray) -> np.ndarray:
@@ -134,7 +137,7 @@ class RealisticBreathing(BreathingModel):
         from the seed for any time grid.
         """
         t = np.asarray(t, dtype=float)
-        if self.rate_jitter == 0.0 or t.size < 2:
+        if self.rate_jitter_fraction == 0.0 or t.size < 2:  # phaselint: disable=PL004 -- exact-zero 'no wander' sentinel
             return 2.0 * np.pi * self.frequency_hz * t + self.phase
         rng = np.random.default_rng(self.seed)
         # One wander sample per second of signal, interpolated to the grid;
@@ -144,7 +147,7 @@ class RealisticBreathing(BreathingModel):
         knots = np.empty(n_knots)
         knots[0] = 0.0
         rho = 0.95
-        innovation = rng.normal(scale=self.rate_jitter * np.sqrt(1 - rho**2), size=n_knots - 1)
+        innovation = rng.normal(scale=self.rate_jitter_fraction * np.sqrt(1 - rho**2), size=n_knots - 1)
         for i in range(1, n_knots):
             knots[i] = rho * knots[i - 1] + innovation[i - 1]
         knot_times = t[0] + np.linspace(0.0, duration, n_knots)
@@ -153,7 +156,8 @@ class RealisticBreathing(BreathingModel):
         dt = np.diff(t, prepend=t[0])
         return 2.0 * np.pi * np.cumsum(freq * dt) + self.phase
 
-    def displacement(self, t: np.ndarray) -> np.ndarray:
+    def displacement(self, t: FloatArray) -> FloatArray:
+        """Harmonic-rich chest motion with seeded frequency wander."""
         phi = self._instantaneous_phase(t)
         signal = np.cos(phi)
         for k, level in enumerate(self.harmonic_levels, start=2):
@@ -202,7 +206,7 @@ class ApneicBreathing(BreathingModel):
         """Breathing frequency of the underlying model (between pauses)."""
         return self.base.frequency_hz
 
-    def gate(self, t: np.ndarray) -> np.ndarray:
+    def gate(self, t: FloatArray) -> BoolArray:
         """Multiplicative envelope: 1 while breathing, ``residual`` paused."""
         t = np.asarray(t, dtype=float)
         envelope = np.ones_like(t)
@@ -219,5 +223,6 @@ class ApneicBreathing(BreathingModel):
             )
         return envelope
 
-    def displacement(self, t: np.ndarray) -> np.ndarray:
+    def displacement(self, t: FloatArray) -> FloatArray:
+        """Breathing displacement gated to zero inside apnea windows."""
         return self.base.displacement(t) * self.gate(t)

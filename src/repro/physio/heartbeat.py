@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..contracts import FloatArray
 from ..errors import ConfigurationError
 
 __all__ = ["HeartbeatModel", "SinusoidalHeartbeat", "PulseHeartbeat"]
@@ -28,7 +29,7 @@ class HeartbeatModel:
 
     frequency_hz: float
 
-    def displacement(self, t: np.ndarray) -> np.ndarray:
+    def displacement(self, t: FloatArray) -> FloatArray:
         """Chest-surface displacement (m) at each time in ``t`` (seconds)."""
         raise NotImplementedError
 
@@ -70,7 +71,8 @@ class SinusoidalHeartbeat(HeartbeatModel):
                 f"heartbeat amplitude must be positive, got {self.amplitude_m}"
             )
 
-    def displacement(self, t: np.ndarray) -> np.ndarray:
+    def displacement(self, t: FloatArray) -> FloatArray:
+        """Pure sinusoidal pulse displacement at ``frequency_hz``."""
         t = np.asarray(t, dtype=float)
         return self.amplitude_m * np.cos(
             2.0 * np.pi * self.frequency_hz * t + self.phase
@@ -107,7 +109,8 @@ class PulseHeartbeat(HeartbeatModel):
         if not 0.0 < self.duty < 1.0:
             raise ConfigurationError(f"duty must be in (0, 1), got {self.duty}")
 
-    def displacement(self, t: np.ndarray) -> np.ndarray:
+    def displacement(self, t: FloatArray) -> FloatArray:
+        """Sharper, pulse-train-like heartbeat displacement."""
         t = np.asarray(t, dtype=float)
         # Beat phase in [0, 1); the pulse occupies the first `duty` fraction.
         beat_phase = np.mod(

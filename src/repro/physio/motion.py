@@ -18,6 +18,7 @@ from enum import Enum
 
 import numpy as np
 
+from ..contracts import BoolArray, FloatArray
 from ..errors import ConfigurationError
 
 __all__ = ["ActivityState", "MotionEvent", "ActivityScript"]
@@ -92,7 +93,7 @@ class ActivityScript:
                 return event.state
         return ActivityState.SITTING
 
-    def states(self, t: np.ndarray) -> np.ndarray:
+    def states(self, t: FloatArray) -> np.ndarray:  # phaselint: disable=PL002 -- object array of ActivityState
         """Vectorized :meth:`state_at`: array of state values for ``t``.
 
         Built per element — bulk fills of a str-enum decay to plain strings
@@ -109,7 +110,7 @@ class ActivityScript:
                     out[i] = event.state
         return out
 
-    def person_present(self, t: np.ndarray) -> np.ndarray:
+    def person_present(self, t: FloatArray) -> BoolArray:
         """Boolean mask: is the person in the scene at each time.
 
         Built directly from the event list (comparing an object array of
@@ -122,7 +123,7 @@ class ActivityScript:
                 present[(t >= event.start_s) & (t < event.end_s)] = False
         return present
 
-    def body_displacement(self, t: np.ndarray) -> np.ndarray:
+    def body_displacement(self, t: FloatArray) -> FloatArray:
         """Large-scale body displacement (m) added to the chest position.
 
         Walking is a random low-frequency sway; standing up is a smooth

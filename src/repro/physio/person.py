@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..contracts import FloatArray
 from ..errors import ConfigurationError
 from .breathing import BreathingModel, RealisticBreathing, SinusoidalBreathing
 from .heartbeat import HeartbeatModel, SinusoidalHeartbeat
@@ -51,7 +52,7 @@ class Person:
                 f"reflectivity must be positive, got {self.reflectivity}"
             )
 
-    def chest_displacement(self, t: np.ndarray) -> np.ndarray:
+    def chest_displacement(self, t: FloatArray) -> FloatArray:
         """Total chest-surface displacement (m): breathing plus heartbeat."""
         d = self.breathing.displacement(t)
         if self.heartbeat is not None:

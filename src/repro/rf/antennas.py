@@ -14,7 +14,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import ConfigurationError
-from .geometry import as_point, unit_vector
+from ..contracts import FloatArray
+from .geometry import PointLike, as_point, unit_vector
 
 __all__ = ["Antenna", "OmniAntenna", "DirectionalAntenna"]
 
@@ -22,11 +23,11 @@ __all__ = ["Antenna", "OmniAntenna", "DirectionalAntenna"]
 class Antenna:
     """Interface: amplitude gain toward a unit direction vector."""
 
-    def gain(self, direction: np.ndarray) -> float:
+    def gain(self, direction: FloatArray) -> float:
         """Amplitude (not power) gain toward ``direction`` (unit vector)."""
         raise NotImplementedError
 
-    def gain_towards(self, src, dst) -> float:
+    def gain_towards(self, src: PointLike, dst: PointLike) -> float:
         """Convenience: gain from a source point toward a target point."""
         return self.gain(unit_vector(src, dst))
 
@@ -43,7 +44,8 @@ class OmniAntenna(Antenna):
                 f"gain must be positive, got {self.amplitude_gain}"
             )
 
-    def gain(self, direction: np.ndarray) -> float:
+    def gain(self, direction: FloatArray) -> float:
+        """Flat gain, independent of direction."""
         return self.amplitude_gain
 
 
@@ -89,7 +91,8 @@ class DirectionalAntenna(Antenna):
         as_point(self.position)
         as_point(self.boresight)
 
-    def gain(self, direction: np.ndarray) -> float:
+    def gain(self, direction: FloatArray) -> float:
+        """Cosine-lobe gain toward ``direction``, floored behind the array."""
         axis = unit_vector(self.position, self.boresight)
         cos_theta = float(np.dot(np.asarray(direction, dtype=float), axis))
         if cos_theta <= 0.0:

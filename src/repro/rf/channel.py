@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..contracts import BoolArray, ComplexArray, FloatArray
 from ..errors import ConfigurationError
 from .constants import SPEED_OF_LIGHT
 from .multipath import DynamicRay, StaticRay
@@ -31,14 +32,14 @@ _MOTION_AMPLITUDE_SCALE = 0.4
 
 def simulate_clean_csi(
     static_rays: list[StaticRay],
-    dynamic_rays: list[tuple[DynamicRay, np.ndarray]],
-    times_s: np.ndarray,
-    frequencies_hz: np.ndarray,
+    dynamic_rays: list[tuple[DynamicRay, FloatArray]],
+    times_s: FloatArray,
+    frequencies_hz: FloatArray,
     *,
     n_rx: int,
-    body_displacement_m: np.ndarray | None = None,
-    person_present: np.ndarray | None = None,
-) -> np.ndarray:
+    body_displacement_m: FloatArray | None = None,
+    person_present: BoolArray | None = None,
+) -> ComplexArray:
     """Evaluate Eq. 2 over time for all antennas and subcarriers.
 
     Args:
@@ -76,7 +77,7 @@ def simulate_clean_csi(
             f"body displacement shape {body.shape} does not match "
             f"{times_s.shape} packets"
         )
-    moving = bool(np.any(body != 0.0))
+    moving = bool(np.any(body != 0.0))  # phaselint: disable=PL004 -- exact stillness sentinel
 
     for ray in static_rays:
         if ray.amplitudes.shape != (n_rx,):
@@ -84,7 +85,11 @@ def simulate_clean_csi(
                 f"static ray has {ray.amplitudes.shape} amplitudes for "
                 f"{n_rx} antennas"
             )
-        if moving and (ray.motion_amp_sens != 0.0 or ray.motion_phase_sens != 0.0):
+        sensitive = (
+            ray.motion_amp_sens != 0.0  # phaselint: disable=PL004 -- zero default
+            or ray.motion_phase_sens != 0.0  # phaselint: disable=PL004 -- zero default
+        )
+        if moving and sensitive:
             modulation = np.clip(
                 1.0 + ray.motion_amp_sens * body / _MOTION_AMPLITUDE_SCALE,
                 0.05,

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..contracts import FloatArray
+
 __all__ = [
     "SPEED_OF_LIGHT",
     "DEFAULT_CARRIER_HZ",
@@ -63,11 +65,11 @@ N_REPORTED_SUBCARRIERS = int(INTEL5300_SUBCARRIER_INDICES.size)
 N_RX_ANTENNAS = 3
 
 
-def subcarrier_frequencies(carrier_hz: float = DEFAULT_CARRIER_HZ) -> np.ndarray:
+def subcarrier_frequencies(carrier_hz: float = DEFAULT_CARRIER_HZ) -> FloatArray:
     """Absolute center frequency f_i of each reported subcarrier (Hz)."""
     return carrier_hz + INTEL5300_SUBCARRIER_INDICES * SUBCARRIER_SPACING_HZ
 
 
-def wavelength(frequency_hz: float | np.ndarray) -> np.ndarray:
+def wavelength(frequency_hz: float | FloatArray) -> FloatArray:
     """Wavelength λ = c / f in meters."""
     return SPEED_OF_LIGHT / np.asarray(frequency_hz, dtype=float)

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..contracts import FloatArray
 from ..errors import ConfigurationError
 from ..physio.person import Person
 from .channel import simulate_clean_csi
@@ -37,7 +38,7 @@ def phase_difference_sensitivity(
     *,
     displacement_m: float = 1.0e-3,
     antenna_pair: tuple[int, int] = (0, 1),
-) -> np.ndarray:
+) -> FloatArray:
     """Phase-difference response (rad) to a 1 mm chest displacement.
 
     Evaluates the scenario's static channel with the subject's chest at its
@@ -96,7 +97,7 @@ def sensitivity_map(
     *,
     resolution: int = 15,
     height_m: float = 1.0,
-) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+) -> tuple[FloatArray, FloatArray, FloatArray]:
     """Median phase-difference sensitivity over a grid of positions.
 
     Args:

@@ -10,6 +10,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from typing import Sequence, Union
+
+from ..contracts import FloatArray
 from ..errors import ConfigurationError
 
 __all__ = [
@@ -20,8 +23,11 @@ __all__ = [
     "rx_antenna_positions",
 ]
 
+#: Anything accepted as an (x, y, z) point: a triple, list, or 3-vector.
+PointLike = Union[Sequence[float], FloatArray]
 
-def as_point(p) -> np.ndarray:
+
+def as_point(p: PointLike) -> FloatArray:
     """Coerce an (x, y, z) triple into a float ndarray, validating shape."""
     arr = np.asarray(p, dtype=float)
     if arr.shape != (3,):
@@ -29,17 +35,19 @@ def as_point(p) -> np.ndarray:
     return arr
 
 
-def distance(a, b) -> float:
+def distance(a: PointLike, b: PointLike) -> float:
     """Euclidean distance between two points (meters)."""
     return float(np.linalg.norm(as_point(a) - as_point(b)))
 
 
-def reflection_path_length(tx, scatterer, rx) -> float:
+def reflection_path_length(
+    tx: PointLike, scatterer: PointLike, rx: PointLike
+) -> float:
     """TX → scatterer → RX total path length (meters)."""
     return distance(tx, scatterer) + distance(scatterer, rx)
 
 
-def unit_vector(src, dst) -> np.ndarray:
+def unit_vector(src: PointLike, dst: PointLike) -> FloatArray:
     """Unit vector pointing from ``src`` toward ``dst``.
 
     Raises:
@@ -47,17 +55,20 @@ def unit_vector(src, dst) -> np.ndarray:
     """
     delta = as_point(dst) - as_point(src)
     norm = np.linalg.norm(delta)
-    if norm == 0.0:
+    if norm == 0.0:  # phaselint: disable=PL004 -- exact zero is the degenerate case
         raise ConfigurationError("direction between coincident points is undefined")
     return delta / norm
 
 
 def rx_antenna_positions(
-    center, spacing: float, n_antennas: int, axis=(1.0, 0.0, 0.0)
-) -> np.ndarray:
+    center: PointLike,
+    spacing_m: float,
+    n_antennas: int,
+    axis: PointLike = (1.0, 0.0, 0.0),
+) -> FloatArray:
     """Positions of a uniform linear receive array.
 
-    The array is centered on ``center`` with ``spacing`` between adjacent
+    The array is centered on ``center`` with ``spacing_m`` between adjacent
     elements along ``axis``, matching the Intel 5300's 3-element row with
     d = 2.68 cm.
 
@@ -67,12 +78,14 @@ def rx_antenna_positions(
     center = as_point(center)
     axis = np.asarray(axis, dtype=float)
     norm = np.linalg.norm(axis)
-    if norm == 0.0:
+    if norm == 0.0:  # phaselint: disable=PL004 -- exact zero is the degenerate case
         raise ConfigurationError("array axis must be a nonzero vector")
-    if spacing <= 0:
-        raise ConfigurationError(f"antenna spacing must be positive, got {spacing}")
+    if spacing_m <= 0:
+        raise ConfigurationError(
+            f"antenna spacing must be positive, got {spacing_m}"
+        )
     if n_antennas < 1:
         raise ConfigurationError(f"need at least one antenna, got {n_antennas}")
     axis = axis / norm
-    offsets = (np.arange(n_antennas) - (n_antennas - 1) / 2.0) * spacing
+    offsets = (np.arange(n_antennas) - (n_antennas - 1) / 2.0) * spacing_m
     return center[None, :] + offsets[:, None] * axis[None, :]

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..contracts import ComplexArray, FloatArray, IntArray
 from ..errors import ConfigurationError
 from .constants import FFT_SIZE, GUARD_INTERVAL_S, SYMBOL_DURATION_S
 
@@ -88,8 +89,11 @@ class HardwareErrorModel:
         self.config = config if config is not None else HardwareConfig()
 
     def phase_errors(
-        self, n_packets: int, packet_interval_s: float, subcarrier_indices: np.ndarray
-    ) -> np.ndarray:
+        self,
+        n_packets: int,
+        packet_interval_s: float,
+        subcarrier_indices: IntArray,
+    ) -> FloatArray:
         """Common phase error e[k, i] = (λ_p + λ_s + λ_c)·m_i + λ_c0 per packet.
 
         Args:
@@ -141,10 +145,10 @@ class HardwareErrorModel:
 
     def apply(
         self,
-        csi: np.ndarray,
+        csi: ComplexArray,
         packet_interval_s: float,
-        subcarrier_indices: np.ndarray,
-    ) -> np.ndarray:
+        subcarrier_indices: IntArray,
+    ) -> ComplexArray:
         """Turn true CSI into measured CSI.
 
         Args:

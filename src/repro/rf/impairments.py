@@ -101,20 +101,21 @@ def _drop(trace: CSITrace, keep: np.ndarray, record: dict) -> CSITrace:
 
 @dataclass(frozen=True)
 class BernoulliLoss(Impairment):
-    """Independent per-packet loss at probability ``loss_rate``."""
+    """Independent per-packet loss at probability ``loss_fraction``."""
 
-    loss_rate: float = 0.1
+    loss_fraction: float = 0.1
 
     kind = "bernoulli-loss"
 
     def __post_init__(self) -> None:
-        if not 0.0 <= self.loss_rate < 1.0:
+        if not 0.0 <= self.loss_fraction < 1.0:
             raise ConfigurationError(
-                f"loss rate must be in [0, 1), got {self.loss_rate}"
+                f"loss rate must be in [0, 1), got {self.loss_fraction}"
             )
 
     def apply(self, trace: CSITrace, rng: np.random.Generator) -> CSITrace:
-        keep = rng.random(trace.n_packets) >= self.loss_rate
+        """Drop each packet independently with probability ``loss_fraction``."""
+        keep = rng.random(trace.n_packets) >= self.loss_fraction
         return _drop(trace, keep, self._record())
 
 
@@ -146,6 +147,7 @@ class GilbertElliottLoss(Impairment):
                 raise ConfigurationError(f"{name} must be in [0, 1], got {p}")
 
     def apply(self, trace: CSITrace, rng: np.random.Generator) -> CSITrace:
+        """Drop packets following the two-state burst-loss Markov chain."""
         n = trace.n_packets
         u_state = rng.random(n)
         u_loss = rng.random(n)
@@ -185,6 +187,7 @@ class DropoutGap(Impairment):
             )
 
     def apply(self, trace: CSITrace, rng: np.random.Generator) -> CSITrace:
+        """Cut a contiguous ``duration_s`` hole out of the capture."""
         t = trace.timestamps_s
         t0, t1 = float(t[0]), float(t[-1])
         span = t1 - t0
@@ -213,6 +216,7 @@ class TimestampJitter(Impairment):
             )
 
     def apply(self, trace: CSITrace, rng: np.random.Generator) -> CSITrace:
+        """Add zero-mean Gaussian noise to every timestamp."""
         times = trace.timestamps_s + rng.normal(
             scale=self.std_s, size=trace.n_packets
         )
@@ -228,6 +232,7 @@ class ClockDrift(Impairment):
     kind = "clock-drift"
 
     def apply(self, trace: CSITrace, rng: np.random.Generator) -> CSITrace:
+        """Stretch timestamps by the constant ppm clock-skew factor."""
         t = trace.timestamps_s
         times = t[0] + (t - t[0]) * (1.0 + self.drift_ppm * 1e-6)
         return _rebuild(trace, self._record(), timestamps_s=times)
@@ -256,6 +261,7 @@ class ClockGlitch(Impairment):
             )
 
     def apply(self, trace: CSITrace, rng: np.random.Generator) -> CSITrace:
+        """Inject a backwards timestamp step at the glitch point."""
         t = trace.timestamps_s
         span = float(t[-1] - t[0])
         at = (
@@ -277,18 +283,19 @@ class ClockGlitch(Impairment):
 class CorruptedTimestamps(Impairment):
     """Random timestamps replaced by NaN (corrupted capture log entries)."""
 
-    rate: float = 0.01
+    corrupt_fraction: float = 0.01
 
     kind = "corrupted-timestamps"
 
     def __post_init__(self) -> None:
-        if not 0.0 < self.rate <= 1.0:
+        if not 0.0 < self.corrupt_fraction <= 1.0:
             raise ConfigurationError(
-                f"corruption rate must be in (0, 1], got {self.rate}"
+                f"corruption rate must be in (0, 1], got {self.corrupt_fraction}"
             )
 
     def apply(self, trace: CSITrace, rng: np.random.Generator) -> CSITrace:
-        hit = rng.random(trace.n_packets) < self.rate
+        """Replace a random subset of timestamps with NaN."""
+        hit = rng.random(trace.n_packets) < self.corrupt_fraction
         times = trace.timestamps_s.copy()
         times[hit] = np.nan
         return _rebuild(
@@ -306,15 +313,15 @@ class ImpulsiveCorruption(Impairment):
     amplitude quality mask are what should absorb them.
     """
 
-    rate: float = 0.01
+    hit_fraction: float = 0.01
     magnitude: float = 10.0
 
     kind = "impulsive-corruption"
 
     def __post_init__(self) -> None:
-        if not 0.0 < self.rate <= 1.0:
+        if not 0.0 < self.hit_fraction <= 1.0:
             raise ConfigurationError(
-                f"corruption rate must be in (0, 1], got {self.rate}"
+                f"corruption rate must be in (0, 1], got {self.hit_fraction}"
             )
         if self.magnitude <= 0:
             raise ConfigurationError(
@@ -322,7 +329,8 @@ class ImpulsiveCorruption(Impairment):
             )
 
     def apply(self, trace: CSITrace, rng: np.random.Generator) -> CSITrace:
-        hit = rng.random(trace.n_packets) < self.rate
+        """Replace a random subset of packets with interference-level garbage."""
+        hit = rng.random(trace.n_packets) < self.hit_fraction
         csi = trace.csi.copy()
         n_hit = int(hit.sum())
         if n_hit:
@@ -344,15 +352,15 @@ class ClippedPackets(Impairment):
     survives only partially).
     """
 
-    rate: float = 0.05
+    clip_fraction: float = 0.05
     clip_quantile: float = 0.5
 
     kind = "clipped-packets"
 
     def __post_init__(self) -> None:
-        if not 0.0 < self.rate <= 1.0:
+        if not 0.0 < self.clip_fraction <= 1.0:
             raise ConfigurationError(
-                f"clip rate must be in (0, 1], got {self.rate}"
+                f"clip rate must be in (0, 1], got {self.clip_fraction}"
             )
         if not 0.0 < self.clip_quantile < 1.0:
             raise ConfigurationError(
@@ -360,7 +368,8 @@ class ClippedPackets(Impairment):
             )
 
     def apply(self, trace: CSITrace, rng: np.random.Generator) -> CSITrace:
-        hit = rng.random(trace.n_packets) < self.rate
+        """Clip the amplitude of a random subset of packets (AGC saturation)."""
+        hit = rng.random(trace.n_packets) < self.clip_fraction
         csi = trace.csi.copy()
         n_hit = int(hit.sum())
         if n_hit:
@@ -395,6 +404,7 @@ class SubcarrierNulls(Impairment):
             )
 
     def apply(self, trace: CSITrace, rng: np.random.Generator) -> CSITrace:
+        """Zero out the configured number of randomly chosen subcarriers."""
         if self.indices is not None:
             nulled = np.asarray(self.indices, dtype=int)
         else:

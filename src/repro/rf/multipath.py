@@ -25,7 +25,8 @@ from ..errors import ConfigurationError
 from ..physio.person import Person
 from .antennas import Antenna, OmniAntenna
 from .constants import SPEED_OF_LIGHT
-from .geometry import as_point, distance, reflection_path_length
+from ..contracts import FloatArray
+from .geometry import PointLike, as_point, distance, reflection_path_length
 
 __all__ = ["Wall", "StaticRay", "DynamicRay", "build_static_rays", "build_person_ray"]
 
@@ -62,7 +63,7 @@ class Wall:
         if self.loss_db < 0:
             raise ConfigurationError(f"wall loss must be >= 0 dB, got {self.loss_db}")
 
-    def crossings(self, a, b) -> int:
+    def crossings(self, a: PointLike, b: PointLike) -> int:
         """1 if the segment a→b crosses the wall plane, else 0."""
         n = np.asarray(self.normal, dtype=float)
         p = as_point(self.point)
@@ -70,7 +71,7 @@ class Wall:
         side_b = float(np.dot(as_point(b) - p, n))
         return int(side_a * side_b < 0)
 
-    def amplitude_factor(self, a, b) -> float:
+    def amplitude_factor(self, a: PointLike, b: PointLike) -> float:
         """Amplitude attenuation of the segment a→b through this wall."""
         n_crossings = self.crossings(a, b)
         return 10.0 ** (-self.loss_db * n_crossings / 20.0)
@@ -102,8 +103,8 @@ class StaticRay:
             effective path length, in path-lengths per meter of body travel.
     """
 
-    amplitudes: np.ndarray
-    delays_s: np.ndarray
+    amplitudes: FloatArray
+    delays_s: FloatArray
     motion_amp_sens: float = 0.0
     motion_phase_sens: float = 0.0
 
@@ -129,8 +130,8 @@ class DynamicRay:
     """
 
     person: Person
-    amplitudes: np.ndarray
-    delays_s: np.ndarray
+    amplitudes: FloatArray
+    delays_s: FloatArray
 
     def __post_init__(self) -> None:
         if self.amplitudes.shape != self.delays_s.shape:
@@ -140,8 +141,8 @@ class DynamicRay:
 
 
 def build_static_rays(
-    tx_position,
-    rx_positions: np.ndarray,
+    tx_position: PointLike,
+    rx_positions: FloatArray,
     *,
     tx_antenna: Antenna | None = None,
     walls: tuple[Wall, ...] = (),
@@ -220,8 +221,8 @@ def build_static_rays(
 
 def build_person_ray(
     person: Person,
-    tx_position,
-    rx_positions: np.ndarray,
+    tx_position: PointLike,
+    rx_positions: FloatArray,
     *,
     tx_antenna: Antenna | None = None,
     walls: tuple[Wall, ...] = (),

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..contracts import ComplexArray
 from ..errors import ConfigurationError, EstimationError
 from .constants import INTEL5300_SUBCARRIER_INDICES
 from .multipath import StaticRay
@@ -89,7 +90,7 @@ class PhyCsiEstimate:
         true_start: The actual (fractional) packet start in samples.
     """
 
-    csi: np.ndarray
+    csi: ComplexArray
     detected_start: int
     true_start: float
 
@@ -123,7 +124,7 @@ class OfdmPhy:
         time = np.fft.ifft(spectrum) * np.sqrt(_N_FFT)
         return np.concatenate([time[-_N_CP:], time])
 
-    def build_packet(self) -> np.ndarray:
+    def build_packet(self) -> ComplexArray:
         """Baseband packet: STF (64 samples) + LTF symbol (80 samples)."""
         return np.concatenate([self._stf_time, self._ltf_time])
 
@@ -136,7 +137,7 @@ class OfdmPhy:
         n_rx: int = 3,
         guard: int = 64,
         packet_index: int = 0,
-    ) -> tuple[np.ndarray, float]:
+    ) -> tuple[ComplexArray, float]:
         """Propagate one packet through the multipath channel.
 
         Args:
@@ -181,7 +182,7 @@ class OfdmPhy:
                     -2j * np.pi * freqs * delay
                 )
             received = np.fft.ifft(spectrum * response)
-            if cfg.cfo_hz != 0.0:
+            if cfg.cfo_hz != 0.0:  # phaselint: disable=PL004 -- exact-zero 'no CFO' sentinel
                 n = np.arange(n_samples)
                 received = received * np.exp(
                     2j * np.pi * cfg.cfo_hz * n / _SAMPLE_RATE
@@ -201,7 +202,7 @@ class OfdmPhy:
 
     # ------------------------------------------------------------------ RX
 
-    def detect_packet(self, waveform: np.ndarray) -> int:
+    def detect_packet(self, waveform: ComplexArray) -> int:
         """Packet start (integer sample) via STF cross-correlation."""
         correlation = np.abs(
             np.correlate(waveform, self._stf_time, mode="valid")
@@ -209,7 +210,7 @@ class OfdmPhy:
         return int(np.argmax(correlation))
 
     def estimate_csi(
-        self, waveforms: np.ndarray, true_start: float
+        self, waveforms: ComplexArray, true_start: float
     ) -> PhyCsiEstimate:
         """Channel estimation from the LTF of a received packet.
 

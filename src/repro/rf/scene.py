@@ -14,13 +14,14 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from ..contracts import FloatArray
 from ..errors import ConfigurationError
 from ..physio.motion import ActivityScript
 from ..physio.person import Person
 from .antennas import Antenna, DirectionalAntenna, OmniAntenna
 from .constants import ANTENNA_SPACING_M, DEFAULT_CARRIER_HZ, N_RX_ANTENNAS
 from .geometry import rx_antenna_positions
-from .multipath import Wall, build_person_ray, build_static_rays
+from .multipath import DynamicRay, StaticRay, Wall, build_person_ray, build_static_rays
 
 __all__ = [
     "Scenario",
@@ -87,13 +88,13 @@ class Scenario:
             )
         return OmniAntenna()
 
-    def rx_positions(self) -> np.ndarray:
+    def rx_positions(self) -> FloatArray:
         """Positions of the 3 receive elements (λ/2 spacing)."""
         return rx_antenna_positions(
             self.rx_center, ANTENNA_SPACING_M, N_RX_ANTENNAS, axis=self.rx_axis
         )
 
-    def build_rays(self):
+    def build_rays(self) -> tuple[list[StaticRay], list[DynamicRay]]:
         """Construct (static rays, one dynamic ray per person)."""
         rx = self.rx_positions()
         antenna = self.tx_antenna()

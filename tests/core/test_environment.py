@@ -14,7 +14,7 @@ from repro.core.environment import (
 )
 from repro.core.phase_difference import phase_difference
 from repro.errors import ConfigurationError
-from repro.physio.motion import ActivityScript, ActivityState, MotionEvent
+from repro.physio.motion import ActivityScript, ActivityState
 from repro.rf.receiver import capture_trace
 from repro.rf.scene import laboratory_scenario
 

@@ -49,7 +49,7 @@ class TestCleanSession:
 
     def test_rate_trend_present_and_consistent(self, clean_session):
         person, report = clean_session
-        times, rates = report.rate_over_time
+        times, rates = report.rate_over_time_bpm
         assert times.size >= 5
         assert np.all(np.abs(rates - person.breathing_rate_bpm) < 1.5)
 
@@ -57,7 +57,7 @@ class TestCleanSession:
         _, report = clean_session
         assert report.waveform is not None
         assert report.waveform.n_breaths > 15
-        assert report.waveform.interval_cv < 0.1
+        assert report.waveform.interval_cv_fraction < 0.1
 
     def test_no_apnea_on_clean_breathing(self, clean_session):
         _, report = clean_session

@@ -43,7 +43,7 @@ class TestAnalyzeWaveform:
     def test_regular_sine(self):
         stats = analyze_waveform(sine_breathing(), 20.0)
         assert stats.mean_rate_bpm == pytest.approx(15.0, abs=0.3)
-        assert stats.interval_cv < 0.05
+        assert stats.interval_cv_fraction < 0.05
         assert stats.ie_ratio == pytest.approx(1.0, abs=0.15)
 
     def test_variability_detected(self):
@@ -52,10 +52,10 @@ class TestAnalyzeWaveform:
         steady = analyze_waveform(sine_breathing(), 20.0)
         t = np.arange(2400) / 20.0
         wandering = RealisticBreathing(
-            frequency_hz=0.25, rate_jitter=0.08, seed=3
+            frequency_hz=0.25, rate_jitter_fraction=0.08, seed=3
         ).displacement(t)
         wander_stats = analyze_waveform(wandering * 1000, 20.0)
-        assert wander_stats.interval_cv > steady.interval_cv
+        assert wander_stats.interval_cv_fraction > steady.interval_cv_fraction
 
     def test_asymmetric_ie_ratio(self):
         # Phase-warped sine: inspiration (trough→crest) shorter than
@@ -77,4 +77,4 @@ class TestAnalyzeWaveform:
         assert stats.mean_rate_bpm == pytest.approx(
             lab_person.breathing_rate_bpm, abs=0.7
         )
-        assert stats.interval_cv < 0.2
+        assert stats.interval_cv_fraction < 0.2

@@ -1,7 +1,6 @@
 """Unit tests for detrending helpers."""
 
 import numpy as np
-import pytest
 
 from repro.dsp.detrend import hampel_denoise, hampel_detrend, remove_dc
 

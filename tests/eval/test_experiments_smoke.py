@@ -6,7 +6,6 @@ experiment code paths stay green under refactoring.
 """
 
 import numpy as np
-import pytest
 
 from repro.eval import experiments as E
 

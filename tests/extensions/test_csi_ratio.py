@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro import Person, SinusoidalBreathing, capture_trace, laboratory_scenario
+from repro import Person, capture_trace, laboratory_scenario
 from repro.errors import ConfigurationError
 from repro.extensions.csi_ratio import (
     CsiRatioConfig,

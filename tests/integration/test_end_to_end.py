@@ -5,7 +5,6 @@ persistence, multi-person monitoring, streaming, and the three deployment
 scenarios.
 """
 
-import numpy as np
 import pytest
 
 from repro import (
@@ -105,7 +104,7 @@ class TestRealisticPhysiology:
         person = Person(
             position=(2.2, 3.0, 1.0),
             breathing=RealisticBreathing(
-                frequency_hz=0.27, rate_jitter=0.02, seed=5
+                frequency_hz=0.27, rate_jitter_fraction=0.02, seed=5
             ),
             heartbeat=None,
         )

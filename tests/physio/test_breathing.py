@@ -44,7 +44,7 @@ class TestSinusoidalBreathing:
 
 class TestRealisticBreathing:
     def test_dominant_frequency_matches_nominal(self):
-        model = RealisticBreathing(frequency_hz=0.25, rate_jitter=0.01, seed=3)
+        model = RealisticBreathing(frequency_hz=0.25, rate_jitter_fraction=0.01, seed=3)
         fs = 20.0
         t = np.arange(2400) / fs
         f = dominant_frequency(model.displacement(t), fs, band=(0.1, 0.7))
@@ -52,7 +52,7 @@ class TestRealisticBreathing:
 
     def test_harmonics_present(self):
         model = RealisticBreathing(
-            frequency_hz=0.25, harmonic_levels=(0.3,), rate_jitter=0.0
+            frequency_hz=0.25, harmonic_levels=(0.3,), rate_jitter_fraction=0.0
         )
         fs = 20.0
         t = np.arange(2400) / fs
@@ -71,13 +71,13 @@ class TestRealisticBreathing:
 
     def test_different_seeds_differ(self):
         t = np.arange(600) / 20.0
-        a = RealisticBreathing(seed=7, rate_jitter=0.05).displacement(t)
-        b = RealisticBreathing(seed=8, rate_jitter=0.05).displacement(t)
+        a = RealisticBreathing(seed=7, rate_jitter_fraction=0.05).displacement(t)
+        b = RealisticBreathing(seed=8, rate_jitter_fraction=0.05).displacement(t)
         assert not np.allclose(a, b)
 
     def test_zero_jitter_is_deterministic_tone(self):
         model = RealisticBreathing(
-            frequency_hz=0.25, harmonic_levels=(), rate_jitter=0.0
+            frequency_hz=0.25, harmonic_levels=(), rate_jitter_fraction=0.0
         )
         t = np.arange(400) / 20.0
         expected = model.amplitude_m * np.cos(2 * np.pi * 0.25 * t)
@@ -85,7 +85,7 @@ class TestRealisticBreathing:
 
     def test_validation(self):
         with pytest.raises(ConfigurationError):
-            RealisticBreathing(rate_jitter=0.5)
+            RealisticBreathing(rate_jitter_fraction=0.5)
         with pytest.raises(ConfigurationError):
             RealisticBreathing(harmonic_levels=(-0.1,))
         with pytest.raises(ConfigurationError):

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.rf.constants import INTEL5300_SUBCARRIER_INDICES, SPEED_OF_LIGHT
+from repro.rf.constants import INTEL5300_SUBCARRIER_INDICES
 from repro.rf.multipath import StaticRay
 from repro.rf.ofdm import OfdmPhy, OfdmPhyConfig
 

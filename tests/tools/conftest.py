@@ -1,0 +1,13 @@
+"""Make ``tools/phaselint`` importable for its own test suite.
+
+The tier-1 command is ``PYTHONPATH=src python -m pytest``; the linter is
+deliberately not part of the installed package, so its tree is appended
+here instead of widening PYTHONPATH everywhere.
+"""
+
+import sys
+from pathlib import Path
+
+_TOOLS = Path(__file__).resolve().parents[2] / "tools"
+if str(_TOOLS) not in sys.path:
+    sys.path.insert(0, str(_TOOLS))

@@ -1,0 +1,373 @@
+"""Fixture-driven tests for the phaselint rules and CLI.
+
+Every rule gets at least one snippet it must fire on and one it must stay
+silent on, so a rule regression shows up as a failing pair rather than a
+quietly shrinking finding count.
+"""
+
+import json
+
+
+
+from phaselint.cli import main
+from phaselint.config import LintConfig, load_config
+from phaselint.engine import lint_file, lint_paths
+
+def lint_snippet(tmp_path, source, config=None, *, select=(), name="snippet.py"):
+    # Rule tests isolate their rule with ``select`` so an unrelated rule
+    # (e.g. PL006 on a deliberately sloppy snippet) cannot pollute the
+    # finding list under scrutiny.
+    if config is None:
+        config = LintConfig(select=tuple(select))
+    path = tmp_path / name
+    path.write_text(source)
+    return lint_file(path, config)
+
+
+def codes(findings):
+    return [f.rule for f in findings]
+
+
+class TestPL001Randomness:
+    def test_fires_on_global_numpy_rng(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "import numpy as np\nx = np.random.normal(size=3)\n",
+            select=("PL001",),
+        )
+        assert codes(found) == ["PL001"]
+
+    def test_fires_on_unseeded_default_rng(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "import numpy as np\nrng = np.random.default_rng()\n",
+            select=("PL001",),
+        )
+        assert codes(found) == ["PL001"]
+
+    def test_fires_on_stdlib_random(self, tmp_path):
+        found = lint_snippet(
+            tmp_path, "import random\nx = random.random()\n", select=("PL001",)
+        )
+        assert codes(found) == ["PL001"]
+
+    def test_fires_on_wall_clock(self, tmp_path):
+        found = lint_snippet(
+            tmp_path, "import time\nseed = int(time.time())\n", select=("PL001",)
+        )
+        assert codes(found) == ["PL001"]
+
+    def test_silent_on_seeded_rng(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "import numpy as np\nrng = np.random.default_rng(42)\n"
+            "x = rng.normal(size=3)\n",
+            select=("PL001",),
+        )
+        assert found == []
+
+    def test_allowlisted_entry_point_exempt(self, tmp_path):
+        config = LintConfig(allow_unseeded=("*cli.py",), select=("PL001",))
+        found = lint_snippet(
+            tmp_path,
+            "import numpy as np\nrng = np.random.default_rng()\n",
+            config,
+            name="cli.py",
+        )
+        assert found == []
+
+
+class TestPL002Ndarray:
+    def test_fires_on_bare_parameter_annotation(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "import numpy as np\n\n\n"
+            "def f(x: np.ndarray) -> float:\n"
+            '    """Doc."""\n'
+            "    return float(x.sum())\n",
+            select=("PL002",),
+        )
+        assert codes(found) == ["PL002"]
+
+    def test_fires_on_bare_return_annotation(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "import numpy as np\n\n\n"
+            "def f(n: int) -> np.ndarray:\n"
+            '    """Doc."""\n'
+            "    return np.zeros(n)\n",
+            select=("PL002",),
+        )
+        assert codes(found) == ["PL002"]
+
+    def test_silent_on_ndarray_alias(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "import numpy as np\nfrom numpy.typing import NDArray\n\n\n"
+            "def f(x: NDArray[np.float64]) -> NDArray[np.float64]:\n"
+            '    """Doc."""\n'
+            "    return x\n",
+            select=("PL002",),
+        )
+        assert found == []
+
+    def test_silent_on_private_function(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "import numpy as np\n\n\ndef _helper(x: np.ndarray):\n    return x\n",
+            select=("PL002",),
+        )
+        assert found == []
+
+
+class TestPL003Units:
+    def test_fires_on_ambiguous_parameter(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "def resample(series, sample_rate):\n"
+            '    """Doc."""\n'
+            "    return series\n",
+            select=("PL003",),
+        )
+        assert "PL003" in codes(found)
+
+    def test_fires_on_ambiguous_dataclass_field(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "from dataclasses import dataclass\n\n\n"
+            "@dataclass\nclass Config:\n"
+            '    """Doc."""\n\n'
+            "    rate: float = 1.0\n",
+            select=("PL003",),
+        )
+        assert "PL003" in codes(found)
+
+    def test_silent_with_unit_suffix(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "def resample(series, sample_rate_hz, window_duration_s):\n"
+            '    """Doc."""\n'
+            "    return series\n",
+            select=("PL003",),
+        )
+        assert found == []
+
+
+class TestPL004FloatEquality:
+    def test_fires_on_float_equality(self, tmp_path):
+        found = lint_snippet(tmp_path, "ok = 0.1 + 0.2 == 0.3\n", select=("PL004",))
+        assert codes(found) == ["PL004"]
+
+    def test_fires_on_float_inequality(self, tmp_path):
+        found = lint_snippet(
+            tmp_path, "def f(x):\n    return x != 1.5\n", select=("PL004",)
+        )
+        assert codes(found) == ["PL004"]
+
+    def test_silent_on_isclose(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "import math\nok = math.isclose(0.1 + 0.2, 0.3)\n",
+            select=("PL004",),
+        )
+        assert found == []
+
+    def test_silent_on_integer_comparison(self, tmp_path):
+        found = lint_snippet(
+            tmp_path, "def f(n):\n    return n == 0\n", select=("PL004",)
+        )
+        assert found == []
+
+
+class TestPL005MutableDefaults:
+    def test_fires_on_list_default(self, tmp_path):
+        found = lint_snippet(
+            tmp_path, "def f(items=[]):\n    return items\n", select=("PL005",)
+        )
+        assert codes(found) == ["PL005"]
+
+    def test_fires_on_dict_default(self, tmp_path):
+        found = lint_snippet(
+            tmp_path, "def f(table={}):\n    return table\n", select=("PL005",)
+        )
+        assert codes(found) == ["PL005"]
+
+    def test_silent_on_none_default(self, tmp_path):
+        found = lint_snippet(
+            tmp_path, "def f(items=None):\n    return items\n", select=("PL005",)
+        )
+        assert found == []
+
+
+class TestPL006PublicApi:
+    def test_fires_on_missing_annotations(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "def estimate(series, sample_rate_hz):\n"
+            '    """Doc."""\n'
+            "    return 0.0\n",
+            select=("PL006",),
+        )
+        assert "PL006" in codes(found)
+
+    def test_fires_on_missing_docstring(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "def estimate(series: list, sample_rate_hz: float) -> float:\n"
+            "    return 0.0\n",
+            select=("PL006",),
+        )
+        assert "PL006" in codes(found)
+
+    def test_silent_on_complete_public_function(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "def estimate(series: list, sample_rate_hz: float) -> float:\n"
+            '    """Estimate the rate."""\n'
+            "    return 0.0\n",
+            select=("PL006",),
+        )
+        assert found == []
+
+
+class TestSuppression:
+    def test_line_disable(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "ok = 0.1 == 0.2  # phaselint: disable=PL004 -- deliberate\n",
+            select=("PL004",),
+        )
+        assert found == []
+
+    def test_line_disable_other_rule_still_fires(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "ok = 0.1 == 0.2  # phaselint: disable=PL001\n",
+            select=("PL004",),
+        )
+        assert codes(found) == ["PL004"]
+
+    def test_file_disable(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "# phaselint: disable-file=PL004\nok = 0.1 == 0.2\nbad = 0.3 == 0.4\n",
+            select=("PL004",),
+        )
+        assert found == []
+
+
+class TestEngine:
+    def test_syntax_error_becomes_pl000(self, tmp_path):
+        found = lint_snippet(tmp_path, "def broken(:\n")
+        assert codes(found) == ["PL000"]
+
+    def test_rule_paths_scope(self, tmp_path):
+        (tmp_path / "src").mkdir()
+        (tmp_path / "tests").mkdir()
+        bad = "import numpy as np\n\n\ndef f(x: np.ndarray):\n    return x\n"
+        (tmp_path / "src" / "mod.py").write_text(bad)
+        (tmp_path / "tests" / "test_mod.py").write_text(bad)
+        config = LintConfig(
+            rule_paths={"PL002": (str(tmp_path / "src"),)}, select=("PL002",)
+        )
+        found = lint_paths([tmp_path], config)
+        assert [f.path for f in found] == [str(tmp_path / "src" / "mod.py")]
+
+    def test_findings_sorted_and_located(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "a = 0.1 == 0.2\nimport random\nb = random.random()\n",
+            select=("PL001", "PL004"),
+        )
+        assert [(f.rule, f.line) for f in found] == [
+            ("PL001", 3),
+            ("PL004", 1),
+        ] or [(f.rule, f.line) for f in found] == [("PL004", 1), ("PL001", 3)]
+        for f in found:
+            assert f.line >= 1 and f.col >= 0 and f.path
+
+
+class TestConfigLoading:
+    def test_load_config_reads_pyproject(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(
+            "[tool.phaselint]\n"
+            'allow-unseeded = ["scripts/*"]\n'
+            "[tool.phaselint.rule-paths]\n"
+            'PL006 = ["src/repro"]\n'
+        )
+        config = load_config(tmp_path)
+        assert config.allow_unseeded == ("scripts/*",)
+        assert config.rule_paths["PL006"] == ("src/repro",)
+
+    def test_missing_pyproject_gives_defaults(self, tmp_path):
+        assert load_config(tmp_path) == LintConfig()
+
+
+class TestCli:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert main([str(tmp_path / "ok.py"), "--config-root", str(tmp_path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_findings_exit_one_with_summary(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("ok = 0.1 == 0.2\n")
+        assert main([str(tmp_path / "bad.py"), "--config-root", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "PL004" in out and "1 finding(s)" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("ok = 0.1 == 0.2\n")
+        code = main(
+            [
+                str(tmp_path / "bad.py"),
+                "--config-root",
+                str(tmp_path),
+                "--format",
+                "json",
+            ]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["rule"] == "PL004"
+        assert set(payload[0]) == {"path", "line", "col", "rule", "message"}
+
+    def test_select_filters_rules(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(
+            "import random\na = random.random()\nb = 0.1 == 0.2\n"
+        )
+        code = main(
+            [
+                str(tmp_path / "bad.py"),
+                "--config-root",
+                str(tmp_path),
+                "--select",
+                "PL001",
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "PL001" in out and "PL004" not in out
+
+    def test_unknown_rule_code_is_usage_error(self, tmp_path):
+        assert main(["--select", "PL999", str(tmp_path)]) == 2
+
+    def test_missing_path_is_usage_error(self, tmp_path):
+        assert main([str(tmp_path / "missing_dir")]) == 2
+
+    def test_list_rules_covers_all_six(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("PL001", "PL002", "PL003", "PL004", "PL005", "PL006"):
+            assert code in out
+
+
+class TestRepoIsClean:
+    def test_shipping_tree_has_no_findings(self, monkeypatch):
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[2]
+        # Relative paths, as CI invokes it: [tool.phaselint] scoping and
+        # allowlists are expressed relative to the repo root.
+        monkeypatch.chdir(root)
+        findings = lint_paths(["src", "tests", "benchmarks"], load_config(root))
+        assert findings == [], "\n".join(f.format_text() for f in findings)

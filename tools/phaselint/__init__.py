@@ -1,0 +1,35 @@
+"""phaselint — domain-aware static analysis for the PhaseBeat reproduction.
+
+A small AST-based linter that encodes the array-pipeline invariants the
+Python type system cannot see: seeded randomness, ``NDArray`` typing in
+public signatures, unit-suffixed frequency/rate names, no float equality,
+no mutable defaults, and a fully annotated + documented public API under
+``src/repro/``.
+
+Run it from the repository root::
+
+    PYTHONPATH=tools python -m phaselint src tests benchmarks
+
+Every finding carries a rule code (``PL001`` … ``PL006``); a finding can be
+silenced in place with ``# phaselint: disable=PL001`` on the offending line
+or ``# phaselint: disable-file=PL001`` anywhere in the file.  Defaults live
+in ``[tool.phaselint]`` of ``pyproject.toml``.
+"""
+
+from .config import LintConfig, load_config
+from .engine import lint_file, lint_paths
+from .findings import Finding
+from .rules import ALL_RULES, Rule
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "LintConfig",
+    "Rule",
+    "lint_file",
+    "lint_paths",
+    "load_config",
+    "__version__",
+]

@@ -1,0 +1,94 @@
+"""Command-line front end: ``python -m phaselint src tests benchmarks``."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+from pathlib import Path
+from typing import Sequence
+
+from .config import load_config
+from .engine import lint_paths
+from .rules import ALL_RULES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The phaselint argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="phaselint",
+        description=(
+            "Domain-aware static analysis for the PhaseBeat reproduction: "
+            "seeded randomness, NDArray typing, unit-suffixed names, no "
+            "float equality, no mutable defaults, complete public API."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests", "benchmarks"],
+        help="files or directories to lint (default: src tests benchmarks)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format; json emits a machine-readable finding list",
+    )
+    parser.add_argument(
+        "--config-root",
+        default=".",
+        help="directory containing pyproject.toml (default: cwd)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run (e.g. PL001,PL005)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule code with its one-line description and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Run the linter; 0 = clean, 1 = findings, 2 = usage error."""
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.code} {rule.name}: {rule.description}")
+        return 0
+    config = load_config(Path(args.config_root))
+    if args.select:
+        codes = tuple(c.strip() for c in args.select.split(",") if c.strip())
+        known = {rule.code for rule in ALL_RULES}
+        unknown = [c for c in codes if c not in known]
+        if unknown:
+            print(f"phaselint: unknown rule code(s): {', '.join(unknown)}",
+                  file=sys.stderr)
+            return 2
+        config = type(config)(**{**config.__dict__, "select": codes})
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(f"phaselint: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+    findings = lint_paths(args.paths, config)
+    if args.format == "json":
+        print(json.dumps([f.to_json() for f in findings], indent=2))
+    else:
+        for finding in findings:
+            print(finding.format_text())
+        if findings:
+            by_rule = Counter(f.rule for f in findings)
+            summary = ", ".join(f"{n}× {code}" for code, n in sorted(by_rule.items()))
+            print(f"\nphaselint: {len(findings)} finding(s) ({summary})")
+        else:
+            print("phaselint: clean")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

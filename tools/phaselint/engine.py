@@ -1,0 +1,125 @@
+"""File discovery, suppression handling, and rule dispatch."""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .config import LintConfig
+from .findings import Finding
+from .rules import ALL_RULES, Rule, RuleContext
+
+__all__ = ["lint_file", "lint_paths", "discover_files", "Suppressions"]
+
+_DIRECTIVE = re.compile(
+    r"#\s*phaselint:\s*(?P<kind>disable(?:-file)?)\s*(?:=\s*(?P<codes>[A-Z0-9,\s]+))?"
+)
+
+
+class Suppressions:
+    """In-source suppression directives for one file.
+
+    ``# phaselint: disable=PL001,PL004`` silences those rules on its own
+    line; ``# phaselint: disable`` silences every rule on the line;
+    ``# phaselint: disable-file=PL003`` (anywhere in the file) silences a
+    rule for the whole file.
+    """
+
+    def __init__(self, source: str) -> None:
+        self.line_codes: dict[int, set[str]] = {}
+        self.file_codes: set[str] = set()
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+            for tok in tokens:
+                if tok.type != tokenize.COMMENT:
+                    continue
+                match = _DIRECTIVE.search(tok.string)
+                if not match:
+                    continue
+                codes = (
+                    {c.strip() for c in match["codes"].split(",") if c.strip()}
+                    if match["codes"]
+                    else {"*"}
+                )
+                if match["kind"] == "disable-file":
+                    self.file_codes |= codes
+                else:
+                    self.line_codes.setdefault(tok.start[0], set()).update(codes)
+        except tokenize.TokenError:
+            pass  # partial/odd files: no suppressions, findings still flow
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        """True when an in-source directive covers ``finding``."""
+        if "*" in self.file_codes or finding.rule in self.file_codes:
+            return True
+        codes = self.line_codes.get(finding.line, ())
+        return "*" in codes or finding.rule in codes
+
+
+def discover_files(
+    paths: Sequence[str | Path], config: LintConfig
+) -> list[Path]:
+    """Expand CLI arguments into the sorted list of ``.py`` files to lint."""
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    return [f for f in files if not config.is_excluded(f.as_posix())]
+
+
+def lint_file(
+    path: str | Path,
+    config: LintConfig | None = None,
+    rules: Iterable[Rule] = ALL_RULES,
+) -> list[Finding]:
+    """Lint one file and return its unsuppressed findings, sorted.
+
+    A syntax error is itself reported as a ``PL000`` finding rather than
+    crashing the run, so one broken file cannot hide findings in others.
+    """
+    config = config if config is not None else LintConfig()
+    path = Path(path)
+    posix = path.as_posix()
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=str(path),
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                rule="PL000",
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    suppressions = Suppressions(source)
+    ctx = RuleContext(path=str(path), posix_path=posix, tree=tree, config=config)
+    findings: list[Finding] = []
+    for rule in rules:
+        if not config.rule_applies(rule.code, posix):
+            continue
+        findings.extend(
+            f for f in rule.check(ctx) if not suppressions.is_suppressed(f)
+        )
+    return sorted(findings)
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    config: LintConfig | None = None,
+    rules: Iterable[Rule] = ALL_RULES,
+) -> list[Finding]:
+    """Lint every file under ``paths`` and return all findings, sorted."""
+    config = config if config is not None else LintConfig()
+    findings: list[Finding] = []
+    for file in discover_files(paths, config):
+        findings.extend(lint_file(file, config, rules))
+    return sorted(findings)

@@ -1,0 +1,33 @@
+"""The finding record emitted by every rule."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes:
+        path: File the finding is in, as given on the command line.
+        line: 1-based line number of the offending node.
+        col: 0-based column offset of the offending node.
+        rule: Rule code, e.g. ``"PL001"``.
+        message: Human-readable explanation including the fix.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format_text(self) -> str:
+        """``path:line:col: PLxxx message`` — the text-mode report line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON-serializable dict for ``--format json`` / CI consumers."""
+        return asdict(self)

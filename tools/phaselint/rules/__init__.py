@@ -1,0 +1,30 @@
+"""Rule registry: one instance of every shipped rule, in code order."""
+
+from .base import Rule, RuleContext
+from .pl001_randomness import UnseededRandomnessRule
+from .pl002_ndarray import BareNdarrayRule
+from .pl003_units import UnitSuffixRule
+from .pl004_floateq import FloatEqualityRule
+from .pl005_mutable_defaults import MutableDefaultRule
+from .pl006_public_api import PublicApiRule
+
+ALL_RULES: tuple[Rule, ...] = (
+    UnseededRandomnessRule(),
+    BareNdarrayRule(),
+    UnitSuffixRule(),
+    FloatEqualityRule(),
+    MutableDefaultRule(),
+    PublicApiRule(),
+)
+
+__all__ = [
+    "ALL_RULES",
+    "Rule",
+    "RuleContext",
+    "UnseededRandomnessRule",
+    "BareNdarrayRule",
+    "UnitSuffixRule",
+    "FloatEqualityRule",
+    "MutableDefaultRule",
+    "PublicApiRule",
+]

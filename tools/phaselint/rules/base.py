@@ -1,0 +1,74 @@
+"""Rule protocol and the shared per-file context rules check against."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..config import LintConfig
+from ..findings import Finding
+
+__all__ = ["Rule", "RuleContext", "dotted_name", "is_public_name"]
+
+
+@dataclass(frozen=True)
+class RuleContext:
+    """Everything a rule may consult about the file under analysis.
+
+    Attributes:
+        path: Path as reported in findings (as passed on the CLI).
+        posix_path: Normalized forward-slash path used for scoping.
+        tree: Parsed module AST.
+        config: The active :class:`~phaselint.config.LintConfig`.
+    """
+
+    path: str
+    posix_path: str
+    tree: ast.Module
+    config: LintConfig
+
+
+class Rule:
+    """Base class for phaselint rules.
+
+    Subclasses set ``code``/``name``/``description`` and implement
+    :meth:`check`, yielding a :class:`Finding` per violation.  Rules are
+    stateless: one instance is reused across files.
+    """
+
+    code: str = "PL000"
+    name: str = "abstract-rule"
+    description: str = ""
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        """Yield findings for ``ctx``; the base class yields nothing."""
+        raise NotImplementedError
+
+    def finding(self, ctx: RuleContext, node: ast.AST, message: str) -> Finding:
+        """Build a :class:`Finding` for ``node`` with this rule's code."""
+        return Finding(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.code,
+            message=message,
+        )
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """Flatten ``a.b.c`` attribute chains to ``"a.b.c"``; None otherwise."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def is_public_name(name: str) -> bool:
+    """Public by Python convention: no leading underscore (dunders are not
+    part of the *documented* API surface phaselint patrols)."""
+    return not name.startswith("_")

@@ -1,0 +1,151 @@
+"""PL001 — every stochastic or wall-clock path must be explicitly seeded.
+
+Reproducibility is a correctness property for this codebase: traces,
+benchmarks, and figure scripts must replay bit-identically.  The rule
+therefore bans the three ways nondeterminism leaks in:
+
+* the legacy NumPy global RNG (``np.random.normal(...)``, ``np.random.seed``),
+* ``np.random.default_rng()`` without a seed argument,
+* the stdlib ``random`` module (except seeded ``random.Random(seed)``), and
+* wall-clock reads (``time.time``, ``datetime.now``, …) that smuggle the
+  current time into data or seeds.
+
+Entry points that legitimately need fresh entropy or real timestamps (CLIs,
+latency benchmarks) are exempted via ``allow-unseeded`` globs in
+``[tool.phaselint]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from .base import Rule, RuleContext, dotted_name
+
+__all__ = ["UnseededRandomnessRule"]
+
+# Attribute chains that read the wall clock.  perf_counter/monotonic are
+# deliberately absent: measuring a duration is deterministic-irrelevant.
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+    "date.today",
+}
+
+# np.random attributes that are fine to reference: the Generator API itself.
+_NP_RANDOM_OK = {"Generator", "BitGenerator", "SeedSequence", "default_rng"}
+
+_WALL_CLOCK_FROM_IMPORTS = {("time", "time"), ("time", "time_ns")}
+
+
+def _is_unseeded_default_rng(call: ast.Call) -> bool:
+    """``default_rng()`` with no argument, or an explicit ``None`` seed."""
+    if not call.args and not call.keywords:
+        return True
+    if call.args:
+        first = call.args[0]
+        return isinstance(first, ast.Constant) and first.value is None
+    return any(
+        kw.arg == "seed"
+        and isinstance(kw.value, ast.Constant)
+        and kw.value.value is None
+        for kw in call.keywords
+    )
+
+
+class UnseededRandomnessRule(Rule):
+    """Ban global-RNG, unseeded-generator, and wall-clock nondeterminism."""
+
+    code = "PL001"
+    name = "no-unseeded-randomness"
+    description = (
+        "stochastic and wall-clock calls must flow through a seeded "
+        "np.random.Generator (or an allowlisted entry point)"
+    )
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        """Yield a finding per nondeterministic call or import."""
+        if ctx.config.unseeded_allowed(ctx.posix_path):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom):
+                yield from self._check_import_from(ctx, node)
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node)
+
+    def _check_import_from(
+        self, ctx: RuleContext, node: ast.ImportFrom
+    ) -> Iterator[Finding]:
+        if node.module == "random":
+            yield self.finding(
+                ctx,
+                node,
+                "import from the stdlib 'random' module; use a seeded "
+                "np.random.Generator instead",
+            )
+        elif node.module in ("time", "datetime"):
+            for alias in node.names:
+                if (node.module, alias.name) in _WALL_CLOCK_FROM_IMPORTS or (
+                    node.module == "datetime" and alias.name == "datetime"
+                ):
+                    # `from datetime import datetime` is only flagged at the
+                    # call site (datetime.now); importing the type is fine.
+                    if node.module == "datetime":
+                        continue
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"'from {node.module} import {alias.name}' reads the "
+                        "wall clock; derive timestamps from the trace or a "
+                        "seeded source",
+                    )
+
+    def _check_call(self, ctx: RuleContext, node: ast.Call) -> Iterator[Finding]:
+        name = dotted_name(node.func)
+        if name is None:
+            return
+        if name in ("default_rng", "np.random.default_rng", "numpy.random.default_rng"):
+            if _is_unseeded_default_rng(node):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "default_rng() without a seed is nondeterministic; pass "
+                    "an explicit seed or thread a Generator through",
+                )
+            return
+        if name in _WALL_CLOCK:
+            yield self.finding(
+                ctx,
+                node,
+                f"{name}() reads the wall clock; results must not depend on "
+                "when the run happens (use time.perf_counter for durations)",
+            )
+            return
+        for prefix in ("np.random.", "numpy.random."):
+            if name.startswith(prefix):
+                attr = name[len(prefix):].split(".", 1)[0]
+                if attr not in _NP_RANDOM_OK:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{name}() uses the global NumPy RNG; use a seeded "
+                        "np.random.Generator (np.random.default_rng(seed))",
+                    )
+                return
+        if name.startswith("random."):
+            if name == "random.Random" and (node.args or node.keywords):
+                return  # seeded stdlib Random is deterministic
+            yield self.finding(
+                ctx,
+                node,
+                f"{name}() uses the stdlib global RNG; use a seeded "
+                "np.random.Generator instead",
+            )

@@ -1,0 +1,122 @@
+"""PL002 — public signatures must not use bare ``np.ndarray``.
+
+``np.ndarray`` tells a caller nothing about dtype, and the whole pipeline
+hinges on dtype distinctions (complex CSI vs real phase vs boolean masks).
+Public parameters, returns, and public dataclass fields must use
+``numpy.typing.NDArray[np.<dtype>]`` — in this repo, via the aliases in
+``repro.contracts`` (``FloatArray``, ``ComplexArray``, ``BoolArray``,
+``IntArray``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from .base import Rule, RuleContext, dotted_name, is_public_name
+
+__all__ = ["BareNdarrayRule"]
+
+_BARE = {"np.ndarray", "numpy.ndarray", "ndarray"}
+
+
+def _contains_bare_ndarray(annotation: ast.expr) -> ast.expr | None:
+    """The first sub-expression of ``annotation`` that is bare ndarray."""
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        # Stringified annotation: parse it and recurse.
+        try:
+            parsed = ast.parse(annotation.value, mode="eval").body
+        except SyntaxError:
+            return None
+        return annotation if _contains_bare_ndarray(parsed) is not None else None
+    for sub in ast.walk(annotation):
+        name = dotted_name(sub)
+        if name in _BARE:
+            # `np.ndarray[Any, np.dtype[...]]` (subscripted) is precise
+            # enough; only the un-subscripted form is bare.
+            return sub
+    return None
+
+
+def _is_subscripted(annotation: ast.expr, bare: ast.expr) -> bool:
+    """True when ``bare`` appears as the value of a Subscript node."""
+    for sub in ast.walk(annotation):
+        if isinstance(sub, ast.Subscript) and sub.value is bare:
+            return True
+    return False
+
+
+class BareNdarrayRule(Rule):
+    """Require dtype-parameterized array annotations on the public surface."""
+
+    code = "PL002"
+    name = "no-bare-ndarray"
+    description = (
+        "public signatures must use numpy.typing.NDArray[np.<dtype>] "
+        "(or a repro.contracts alias), not bare np.ndarray"
+    )
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        """Yield a finding per bare-ndarray annotation on public API."""
+        for owner, node in _public_signatures(ctx.tree):
+            if isinstance(node, ast.AnnAssign):
+                yield from self._check_annotation(
+                    ctx, node.annotation, f"field {owner}"
+                )
+                continue
+            for arg in _all_args(node.args):
+                if arg.annotation is not None:
+                    yield from self._check_annotation(
+                        ctx,
+                        arg.annotation,
+                        f"parameter '{arg.arg}' of {owner}",
+                    )
+            if node.returns is not None:
+                yield from self._check_annotation(
+                    ctx, node.returns, f"return of {owner}"
+                )
+
+    def _check_annotation(
+        self, ctx: RuleContext, annotation: ast.expr, where: str
+    ) -> Iterator[Finding]:
+        bare = _contains_bare_ndarray(annotation)
+        if bare is None:
+            return
+        if not isinstance(bare, ast.Constant) and _is_subscripted(annotation, bare):
+            return
+        yield self.finding(
+            ctx,
+            annotation,
+            f"bare np.ndarray annotation on {where}; use "
+            "NDArray[np.<dtype>] (FloatArray/ComplexArray/BoolArray/"
+            "IntArray from repro.contracts)",
+        )
+
+
+def _all_args(args: ast.arguments) -> list[ast.arg]:
+    out = list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+    if args.vararg is not None:
+        out.append(args.vararg)
+    if args.kwarg is not None:
+        out.append(args.kwarg)
+    return out
+
+
+def _public_signatures(tree: ast.Module):
+    """(label, node) for public module-level defs, public methods of public
+    classes, and annotated fields of public classes."""
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if is_public_name(node.name):
+                yield f"function '{node.name}'", node
+        elif isinstance(node, ast.ClassDef) and is_public_name(node.name):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if is_public_name(item.name):
+                        yield f"method '{node.name}.{item.name}'", item
+                elif isinstance(item, ast.AnnAssign) and isinstance(
+                    item.target, ast.Name
+                ):
+                    if is_public_name(item.target.id):
+                        yield f"'{node.name}.{item.target.id}'", item

@@ -1,0 +1,74 @@
+"""PL003 — frequency/rate/duration names must carry a unit suffix.
+
+The pipeline mixes three rate units (packet rate in Hz, vital-sign bands
+in Hz, reported rates in bpm) and two time axes (seconds, samples).  A
+parameter named ``rate`` forces every caller to guess; ``rate_hz`` or
+``rate_bpm`` does not.  Any parameter or public dataclass field whose name
+contains an ambiguous stem (``rate``, ``freq``, ``duration``, …) must end
+with a unit suffix (``_hz``, ``_bpm``, ``_s``, ``_fraction``, …).  Both
+lists are configurable via ``unit-tokens`` / ``unit-suffixes`` in
+``[tool.phaselint]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from .base import Rule, RuleContext, is_public_name
+
+__all__ = ["UnitSuffixRule"]
+
+
+class UnitSuffixRule(Rule):
+    """Require unit-suffixed names for unit-bearing quantities."""
+
+    code = "PL003"
+    name = "unit-suffix-required"
+    description = (
+        "frequency/rate/duration parameters must end in a unit suffix "
+        "(_hz, _bpm, _s, ...) so the unit travels with the name"
+    )
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        """Yield a finding per unit-ambiguous parameter or public field."""
+        cfg = ctx.config
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for arg in _named_args(node.args):
+                    if self._ambiguous(arg.arg, cfg):
+                        yield self.finding(
+                            ctx,
+                            arg,
+                            f"parameter '{arg.arg}' of '{node.name}' is "
+                            "unit-ambiguous; add a unit suffix "
+                            f"(e.g. {arg.arg}_hz, {arg.arg}_bpm, {arg.arg}_s)",
+                        )
+            elif isinstance(node, ast.ClassDef) and is_public_name(node.name):
+                for item in node.body:
+                    if (
+                        isinstance(item, ast.AnnAssign)
+                        and isinstance(item.target, ast.Name)
+                        and is_public_name(item.target.id)
+                        and self._ambiguous(item.target.id, cfg)
+                    ):
+                        yield self.finding(
+                            ctx,
+                            item,
+                            f"field '{node.name}.{item.target.id}' is "
+                            "unit-ambiguous; add a unit suffix "
+                            "(e.g. _hz, _bpm, _s, _fraction)",
+                        )
+
+    @staticmethod
+    def _ambiguous(name: str, cfg) -> bool:
+        tokens = name.lower().split("_")
+        if tokens[-1] in cfg.unit_suffixes:
+            return False
+        stems = set(cfg.unit_tokens)
+        return any(t in stems or (t.endswith("s") and t[:-1] in stems) for t in tokens)
+
+
+def _named_args(args: ast.arguments) -> list[ast.arg]:
+    return list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)

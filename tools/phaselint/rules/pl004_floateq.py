@@ -1,0 +1,63 @@
+"""PL004 — no ``==`` / ``!=`` against floating-point values.
+
+Exact float comparison is almost always a latent bug in DSP code: a value
+that was ever filtered, resampled, or accumulated will miss the literal by
+an ulp.  Compare with an explicit tolerance (``math.isclose``,
+``np.isclose``) instead.  The rare *sentinel* comparison (``if gain ==
+0.0`` guarding a division) is legitimate — mark it with
+``# phaselint: disable=PL004`` so the intent is recorded at the site.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from .base import Rule, RuleContext, dotted_name
+
+__all__ = ["FloatEqualityRule"]
+
+_FLOAT_CALLS = {"float", "np.float64", "np.float32", "numpy.float64", "numpy.float32"}
+
+
+def _is_float_expr(node: ast.expr) -> bool:
+    """Syntactically certain to produce a float: literals, ``-literal``,
+    and ``float(...)``-family conversion calls."""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_float_expr(node.operand)
+    if isinstance(node, ast.Call):
+        return dotted_name(node.func) in _FLOAT_CALLS
+    return False
+
+
+class FloatEqualityRule(Rule):
+    """Ban exact equality against float expressions."""
+
+    code = "PL004"
+    name = "no-float-equality"
+    description = (
+        "== / != against a float is a tolerance bug; use math.isclose / "
+        "np.isclose, or mark a deliberate sentinel with a disable comment"
+    )
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        """Yield a finding per float equality comparison."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_float_expr(left) or _is_float_expr(right):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "exact ==/!= against a float; use math.isclose/"
+                        "np.isclose with an explicit tolerance (or disable "
+                        "for a deliberate sentinel check)",
+                    )
+                    break

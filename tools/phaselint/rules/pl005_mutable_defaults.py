@@ -1,0 +1,86 @@
+"""PL005 — no mutable default arguments.
+
+A ``def f(x, history=[])`` default is evaluated once and shared across
+calls; for a streaming pipeline that is state leaking between windows.
+Use ``None`` plus an in-body default, or ``dataclasses.field`` for
+dataclass attributes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from .base import Rule, RuleContext, dotted_name
+
+__all__ = ["MutableDefaultRule"]
+
+_MUTABLE_CALLS = {
+    "list",
+    "dict",
+    "set",
+    "bytearray",
+    "collections.defaultdict",
+    "collections.deque",
+    "collections.OrderedDict",
+    "collections.Counter",
+    "defaultdict",
+    "deque",
+    "OrderedDict",
+    "Counter",
+    "np.array",
+    "np.zeros",
+    "np.ones",
+    "np.empty",
+    "numpy.array",
+    "numpy.zeros",
+    "numpy.ones",
+    "numpy.empty",
+}
+
+_MUTABLE_NODES = (
+    ast.List,
+    ast.Dict,
+    ast.Set,
+    ast.ListComp,
+    ast.DictComp,
+    ast.SetComp,
+)
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, _MUTABLE_NODES):
+        return True
+    if isinstance(node, ast.Call):
+        return dotted_name(node.func) in _MUTABLE_CALLS
+    return False
+
+
+class MutableDefaultRule(Rule):
+    """Ban list/dict/set/array literals (and constructors) as defaults."""
+
+    code = "PL005"
+    name = "no-mutable-defaults"
+    description = (
+        "mutable default arguments are shared across calls; default to "
+        "None (or dataclasses.field) and build inside the function"
+    )
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        """Yield a finding per mutable default value."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            args = node.args
+            defaults = list(args.defaults) + [
+                d for d in args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if _is_mutable_default(default):
+                    yield self.finding(
+                        ctx,
+                        default,
+                        f"mutable default argument in '{node.name}'; use "
+                        "None and construct inside the body",
+                    )

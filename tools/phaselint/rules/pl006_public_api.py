@@ -1,0 +1,94 @@
+"""PL006 — the public API must be fully annotated and documented.
+
+Scoped (via ``rule-paths``) to ``src/repro``: every public module-level
+function and every public method of a public class needs a docstring, an
+annotation on every parameter, and a return annotation.  This is the
+static complement of ``mypy --disallow-untyped-defs`` — it also demands
+the docstring, and it runs without an environment.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from .base import Rule, RuleContext, dotted_name, is_public_name
+
+__all__ = ["PublicApiRule"]
+
+
+def _is_overload(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    return any(
+        dotted_name(d) in ("overload", "typing.overload") for d in node.decorator_list
+    )
+
+
+def _has_docstring(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    return (
+        bool(node.body)
+        and isinstance(node.body[0], ast.Expr)
+        and isinstance(node.body[0].value, ast.Constant)
+        and isinstance(node.body[0].value.value, str)
+    )
+
+
+def _missing_parts(
+    node: ast.FunctionDef | ast.AsyncFunctionDef, *, is_method: bool
+) -> list[str]:
+    missing = []
+    if not _has_docstring(node):
+        missing.append("a docstring")
+    args = node.args
+    named = list(args.posonlyargs) + list(args.args)
+    if is_method and named:
+        named = named[1:]  # self / cls
+    named += list(args.kwonlyargs)
+    if args.vararg is not None:
+        named.append(args.vararg)
+    if args.kwarg is not None:
+        named.append(args.kwarg)
+    unannotated = [a.arg for a in named if a.annotation is None]
+    if unannotated:
+        missing.append(
+            "annotations for " + ", ".join(f"'{a}'" for a in unannotated)
+        )
+    if node.returns is None:
+        missing.append("a return annotation")
+    return missing
+
+
+class PublicApiRule(Rule):
+    """Require docstrings and full annotations on the public surface."""
+
+    code = "PL006"
+    name = "public-api-complete"
+    description = (
+        "public functions and methods must carry a docstring, parameter "
+        "annotations, and a return annotation"
+    )
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        """Yield a finding per incompletely specified public function."""
+        for label, node, is_method in _public_functions(ctx.tree):
+            if _is_overload(node):
+                continue
+            missing = _missing_parts(node, is_method=is_method)
+            if missing:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"public {label} is missing " + " and ".join(missing),
+                )
+
+
+def _public_functions(tree: ast.Module):
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if is_public_name(node.name):
+                yield f"function '{node.name}'", node, False
+        elif isinstance(node, ast.ClassDef) and is_public_name(node.name):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if is_public_name(item.name):
+                        yield f"method '{node.name}.{item.name}'", item, True
