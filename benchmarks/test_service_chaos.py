@@ -1,0 +1,81 @@
+"""Robustness — supervised monitoring service under scripted chaos.
+
+Not a paper figure: PhaseBeat's evaluation assumes an uninterrupted
+capture process.  A deployed monitor also has to survive the *process*
+failing — the capture tool crashing, the NIC stalling, the driver
+throwing transient errors, the channel degrading — so this benchmark
+replays each shipped chaos scenario through the supervised service
+(``repro.service``) and checks the recovery contract:
+
+* the run ends healthy with the circuit breaker closed,
+* fresh estimates resume after the last fault clears, and
+* the post-recovery median breathing error stays within 0.5 bpm of the
+  fault-free run on the same scene.
+
+Each scenario's event log is also checked for the expected failure
+signature (crash → restart, stall detection, breaker trip/probe/close,
+fallback escalation/recovery) so a regression that silently skips the
+recovery machinery cannot pass on accuracy alone.
+"""
+
+import pytest
+from conftest import banner, run_once
+
+from repro.service import SHIPPED_SCENARIOS, run_chaos
+
+TOLERANCE_BPM = 0.5
+
+# Event-order signatures: for each scenario, these kinds must all appear,
+# in this relative order, in the faulted run's event log.
+EXPECTED_ORDER = {
+    "source-crash": ["source-crash", "source-restart"],
+    "sustained-stall": ["stall-detected", "source-restart"],
+    "transient-errors": ["breaker-open", "breaker-half-open",
+                         "breaker-closed"],
+    "degradation-burst": ["fallback-escalated", "fallback-recovered"],
+}
+
+
+def _assert_ordered(kinds, expected):
+    cursor = -1
+    for kind in expected:
+        assert kind in kinds, f"missing event {kind!r}"
+        index = kinds.index(kind, cursor + 1)
+        cursor = index
+
+
+@pytest.mark.parametrize("name", sorted(SHIPPED_SCENARIOS))
+def test_service_chaos(benchmark, name):
+    scenario = SHIPPED_SCENARIOS[name]
+    report = run_once(benchmark, run_chaos, scenario)
+
+    banner(f"Chaos — {name}")
+    print(f"scenario: {scenario.description}")
+    print(f"capture:  {report.trace_quality}")
+    print(f"truth:    {report.truth_bpm:.2f} bpm")
+    for event in report.events:
+        print(f"  t={event.time_s:7.2f}s  {event.kind}")
+    print(
+        f"fault-free median error:    "
+        f"{report.fault_free_median_error_bpm:.3f} bpm"
+    )
+    print(
+        f"post-recovery median error: "
+        f"{report.post_recovery_median_error_bpm:.3f} bpm "
+        f"({report.n_post_recovery} fresh estimates after "
+        f"t={report.recovery_horizon_s:.0f}s)"
+    )
+    print(
+        f"claim: service recovers and holds post-recovery error within "
+        f"{TOLERANCE_BPM} bpm of fault-free"
+    )
+
+    assert report.violations(tolerance_bpm=TOLERANCE_BPM) == []
+    _assert_ordered(report.events.kinds(), EXPECTED_ORDER[name])
+    # The last breaker event, if any, must be a close — never leave the
+    # service wedged open.
+    breaker_kinds = [
+        k for k in report.events.kinds() if k.startswith("breaker-")
+    ]
+    if breaker_kinds:
+        assert breaker_kinds[-1] == "breaker-closed"

@@ -1,17 +1,20 @@
 """Command-line interface: simulate, estimate, and reproduce from a shell.
 
-Four subcommands::
+Five subcommands::
 
     repro-phasebeat simulate  --scenario lab --duration 30 --out trace.npz
     repro-phasebeat estimate  trace.npz --persons 1 --heart
     repro-phasebeat dataset   --out corpus/ --count 10 --duration 30
     repro-phasebeat experiment fig11 --trials 20
+    repro-phasebeat monitor   --duration 90 --chaos-scenario faults.json
 
 ``simulate`` builds one of the paper's three deployments and writes a CSI
 trace; ``estimate`` runs the PhaseBeat pipeline on a stored trace;
 ``dataset`` generates a labelled corpus; ``experiment`` regenerates one of
 the paper's figures and prints the same rows/series the benchmarks assert
-against.
+against; ``monitor`` runs the supervised monitoring service over a
+simulated scene, optionally under a chaos scenario (a shipped name or a
+JSON fault-schedule file), and prints the event log and health summary.
 """
 
 from __future__ import annotations
@@ -126,6 +129,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", default=None, metavar="PATH",
         help="also write the result dictionary as JSON",
     )
+
+    monitor = sub.add_parser(
+        "monitor",
+        help="run the supervised monitoring service on a simulated scene",
+    )
+    monitor.add_argument("--duration", type=float, default=90.0, help="seconds")
+    monitor.add_argument(
+        "--rate", type=float, default=100.0, help="packets per second"
+    )
+    monitor.add_argument("--seed", type=int, default=0)
+    monitor.add_argument(
+        "--chaos-scenario", default=None, metavar="NAME_OR_PATH",
+        help="a shipped scenario name (e.g. source-crash) or a JSON "
+        "fault-schedule file; omit for a fault-free run",
+    )
+    monitor.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the chaos report as JSON",
+    )
     return parser
 
 
@@ -226,6 +248,72 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .service import SHIPPED_SCENARIOS, ChaosScenario, load_scenario
+    from .service.chaos import run_chaos
+
+    if args.chaos_scenario is None:
+        scenario = ChaosScenario(
+            name="fault-free", faults=(), description="no faults injected"
+        )
+    elif args.chaos_scenario in SHIPPED_SCENARIOS:
+        scenario = SHIPPED_SCENARIOS[args.chaos_scenario]
+    elif Path(args.chaos_scenario).exists():
+        scenario = load_scenario(args.chaos_scenario)
+    else:
+        names = ", ".join(sorted(SHIPPED_SCENARIOS))
+        print(
+            f"error: {args.chaos_scenario!r} is neither a shipped scenario "
+            f"({names}) nor a readable JSON file",
+            file=sys.stderr,
+        )
+        return 2
+
+    report = run_chaos(
+        scenario,
+        duration_s=args.duration,
+        sample_rate_hz=args.rate,
+        seed=args.seed,
+    )
+
+    print(f"=== monitor: scenario {scenario.name} ===")
+    if scenario.description:
+        print(scenario.description)
+    print(f"capture: {report.trace_quality}")
+    print(f"ground truth: {report.truth_bpm:.2f} bpm")
+    print()
+    print("event log:")
+    for event in report.events:
+        detail = " ".join(f"{k}={v}" for k, v in event.detail.items())
+        print(f"  t={event.time_s:7.2f}s  {event.kind:<26s} {detail}")
+    print()
+    print("health summary:")
+    health = report.health
+    print(
+        f"  health={health['health']} method={health['method']} "
+        f"restarts={health['monitor_restarts']} breaker={health['breaker']}"
+    )
+    print(f"  source counters: {health['source_counters']}")
+    print(
+        f"  estimates: {health['n_estimates']} total, "
+        f"{report.n_post_recovery} fresh post-recovery"
+    )
+    print(
+        f"  median error: fault-free {report.fault_free_median_error_bpm:.3f} "
+        f"bpm, post-recovery {report.post_recovery_median_error_bpm:.3f} bpm"
+    )
+    violations = report.violations()
+    print(f"  recovery invariants: {'OK' if not violations else violations}")
+    if args.json:
+        import json
+
+        Path(args.json).write_text(json.dumps(report.to_jsonable(), indent=2))
+        print(f"wrote {args.json}")
+    return 0 if not violations else 1
+
+
 def _jsonable(value):
     """Recursively convert an experiment result to JSON-safe types."""
     if isinstance(value, dict):
@@ -274,6 +362,7 @@ def main(argv: list[str] | None = None) -> int:
         "estimate": _cmd_estimate,
         "dataset": _cmd_dataset,
         "experiment": _cmd_experiment,
+        "monitor": _cmd_monitor,
     }
     try:
         return handlers[args.command](args)

@@ -16,7 +16,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..contracts import FloatArray
-from ..errors import ConfigurationError, EstimationError, NotStationaryError
+from ..errors import (
+    ConfigurationError,
+    EstimationError,
+    NotStationaryError,
+    ReproError,
+)
 from ..io_.trace import CSITrace
 from .apnea import ApneaConfig, ApneaEvent, detect_apnea
 from .environment import EnvironmentDetector
@@ -125,7 +130,7 @@ def analyze_session(
             apnea_events = tuple(
                 detect_apnea(result.breathing_signal, rate, apnea_config)
             )
-        except Exception:
+        except ReproError:
             apnea_events = ()
     except (EstimationError, NotStationaryError):
         pass

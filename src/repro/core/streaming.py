@@ -22,17 +22,25 @@ The monitor therefore
 * **degrades gracefully** — a rejected window re-emits the last good
   estimate, flagged ``held_over`` with its staleness, until the
   ``holdover_s`` budget expires; once the fault slides out of the window,
-  fresh estimates resume automatically.
+  fresh estimates resume automatically;
+* **checkpoints and restores** — :meth:`StreamingMonitor.checkpoint`
+  snapshots the buffer and holdover state, and :meth:`~StreamingMonitor.restore`
+  rebuilds a monitor that continues **bit-identically**, which is what lets
+  :class:`repro.service.MonitorSupervisor` restart a crashed monitor without
+  losing its analysis window.
 """
 
 from __future__ import annotations
 
+import copy
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
+from typing import Any
 
 import numpy as np
 
 from ..errors import (
+    CheckpointError,
     ConfigurationError,
     EstimationError,
     NotStationaryError,
@@ -46,6 +54,10 @@ from .pipeline import PhaseBeat, PhaseBeatConfig
 from .results import PhaseBeatResult
 
 __all__ = ["StreamingConfig", "StreamingEstimate", "StreamingMonitor"]
+
+# Checkpoint payload layout version; bumped whenever the monitor's internal
+# state gains/loses fields so stale checkpoints fail loudly on restore.
+_CHECKPOINT_VERSION = 1
 
 # A window with fewer packets than this cannot support calibration + DWT
 # regardless of its nominal span; it is rejected as degraded input.
@@ -268,6 +280,120 @@ class StreamingMonitor:
             if out is not None:
                 estimates.append(out)
         return estimates
+
+    def window_trace(self) -> CSITrace | None:
+        """The current buffer as a trace (``None`` with < 2 packets).
+
+        Built ``strict=False`` because a buffered window may legitimately
+        carry the degraded timing the quality gates rejected it for — the
+        fallback estimators in :mod:`repro.service` analyze exactly those
+        windows.
+        """
+        if len(self._buffer) < 2:
+            return None
+        return CSITrace(
+            csi=np.stack(self._buffer),
+            timestamps_s=np.asarray(self._times),
+            sample_rate_hz=self.sample_rate_hz,
+            subcarrier_indices=self._subcarrier_indices,
+            meta={"streaming_window": True},
+            strict=False,
+        )
+
+    def checkpoint(self) -> dict[str, Any]:
+        """Snapshot the monitor's full mutable state.
+
+        The returned dict is self-contained (arrays and results are
+        copied): mutating the monitor afterwards does not corrupt it.  A
+        monitor constructed with the same configuration and then
+        :meth:`restore`-d from this snapshot produces **bit-identical**
+        estimates to one that was never interrupted.
+        """
+        return {
+            "version": _CHECKPOINT_VERSION,
+            "sample_rate_hz": self.sample_rate_hz,
+            "config": asdict(self.config),
+            "packet_shape": self._packet_shape,
+            "subcarrier_indices": (
+                None
+                if self._subcarrier_indices is None
+                else self._subcarrier_indices.copy()
+            ),
+            "buffer": [packet.copy() for packet in self._buffer],
+            "times": list(self._times),
+            "last_time": self._last_time,
+            "last_emit_time": self._last_emit_time,
+            "last_good_time": self._last_good_time,
+            "last_good_result": copy.deepcopy(self._last_good_result),
+            "counters": dict(self.counters),
+        }
+
+    def restore(self, state: dict[str, Any]) -> None:
+        """Load a :meth:`checkpoint` snapshot into this monitor.
+
+        The monitor must have been constructed with the same sample rate
+        and streaming configuration the checkpoint was taken under;
+        anything else would silently change window geometry mid-stream.
+
+        Raises:
+            CheckpointError: The snapshot is malformed, from a different
+                checkpoint format version, or incompatible with this
+                monitor's configuration.
+        """
+        try:
+            version = state["version"]
+            if version != _CHECKPOINT_VERSION:
+                raise CheckpointError(
+                    f"checkpoint version {version} != supported "
+                    f"{_CHECKPOINT_VERSION}"
+                )
+            if state["sample_rate_hz"] != self.sample_rate_hz:
+                raise CheckpointError(
+                    f"checkpoint rate {state['sample_rate_hz']} Hz != "
+                    f"monitor rate {self.sample_rate_hz} Hz"
+                )
+            if state["config"] != asdict(self.config):
+                raise CheckpointError(
+                    "checkpoint was taken under a different streaming "
+                    "configuration"
+                )
+            buffer = [np.asarray(p) for p in state["buffer"]]
+            times = [float(t) for t in state["times"]]
+            if len(buffer) != len(times):
+                raise CheckpointError(
+                    f"checkpoint buffer has {len(buffer)} packets but "
+                    f"{len(times)} timestamps"
+                )
+            packet_shape = state["packet_shape"]
+            for packet in buffer:
+                if packet_shape is not None and packet.shape != tuple(
+                    packet_shape
+                ):
+                    raise CheckpointError(
+                        f"checkpoint packet shape {packet.shape} != "
+                        f"recorded {tuple(packet_shape)}"
+                    )
+            self._packet_shape = (
+                None if packet_shape is None else tuple(packet_shape)
+            )
+            self._subcarrier_indices = (
+                None
+                if state["subcarrier_indices"] is None
+                else np.asarray(state["subcarrier_indices"], dtype=int)
+            )
+            self._buffer = deque(packet.copy() for packet in buffer)
+            self._times = deque(times)
+            self._last_time = state["last_time"]
+            self._last_emit_time = state["last_emit_time"]
+            self._last_good_time = state["last_good_time"]
+            self._last_good_result = copy.deepcopy(state["last_good_result"])
+            self.counters = dict(state["counters"])
+        except CheckpointError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"malformed checkpoint: {exc}"
+            ) from exc
 
     def _reset_stream(self) -> None:
         """Forget everything tied to the old clock base."""

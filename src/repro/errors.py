@@ -88,6 +88,95 @@ class TraceFormatError(ReproError, ValueError):
     """A CSI trace container or file violates the expected layout."""
 
 
+class ServiceError(ReproError, RuntimeError):
+    """Base class for the supervised monitoring service layer.
+
+    Everything :mod:`repro.service` raises derives from this class, so a
+    deployment loop can catch one type at the fault-domain boundary.
+    Service-layer code always chains the underlying cause
+    (``raise ... from exc``) so post-mortems see the original fault, not
+    just the supervisor's classification of it.
+    """
+
+
+class TransientSourceError(ServiceError):
+    """A packet source failed in a way that is expected to be retryable.
+
+    Models the transient faults flaky capture hardware produces — a USB
+    read error, a momentarily unreachable capture daemon.  The
+    :class:`~repro.service.sources.ResilientSource` wrapper retries these
+    with bounded exponential backoff before giving up.
+    """
+
+
+class SourceCrashedError(ServiceError):
+    """A packet source died and cannot serve further packets.
+
+    Unlike :class:`TransientSourceError` this is terminal for the source
+    instance: every subsequent call fails too.  Recovery requires the
+    supervisor to rebuild the source from its factory.
+    """
+
+
+class SourceTimeoutError(ServiceError):
+    """A source call exceeded its deadline (hung read, stalled driver).
+
+    Attributes:
+        elapsed_s: How long the call took (simulated time).
+        deadline_s: The budget it blew.
+    """
+
+    def __init__(self, elapsed_s: float, deadline_s: float):
+        self.elapsed_s = float(elapsed_s)
+        self.deadline_s = float(deadline_s)
+        super().__init__(
+            f"source read took {self.elapsed_s:.3f}s, exceeding the "
+            f"{self.deadline_s:.3f}s deadline"
+        )
+
+
+class SourceUnavailableError(ServiceError):
+    """Bounded retry gave up: the source kept failing transiently.
+
+    Always chained from the last :class:`TransientSourceError`, carrying
+    how many attempts were made.
+    """
+
+    def __init__(self, attempts: int):
+        self.attempts = int(attempts)
+        super().__init__(
+            f"source still failing after {self.attempts} attempts"
+        )
+
+
+class CircuitOpenError(ServiceError):
+    """The per-source circuit breaker is open: calls are short-circuited.
+
+    Raised instead of touching a source that has failed repeatedly, until
+    the breaker's reset timeout elapses and a half-open probe is allowed.
+
+    Attributes:
+        retry_after_s: Simulated seconds until the next probe is allowed.
+    """
+
+    def __init__(self, retry_after_s: float):
+        self.retry_after_s = float(retry_after_s)
+        super().__init__(
+            f"circuit breaker open; next probe allowed in "
+            f"{self.retry_after_s:.3f}s"
+        )
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """A monitor checkpoint could not be taken or restored.
+
+    Raised by :meth:`StreamingMonitor.restore` when a checkpoint is
+    malformed, from a different format version, or taken under an
+    incompatible configuration (different window geometry, sample rate, or
+    packet shape) — restoring such state would silently corrupt estimates.
+    """
+
+
 class DataGapError(ReproError, RuntimeError):
     """Packet timestamps contain a gap too large to bridge.
 

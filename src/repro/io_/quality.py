@@ -76,6 +76,16 @@ class TraceQualityReport:
             found.append("data-gap")
         return found
 
+    def summary(self) -> str:
+        """One-line human rendering for logs and service event details."""
+        return (
+            f"{self.n_packets} pkts over {self.duration_s:.1f}s "
+            f"(effective {self.effective_rate_hz:.1f}/"
+            f"{self.nominal_rate_hz:.0f} Hz, "
+            f"loss {self.loss_fraction:.0%}, "
+            f"max gap {self.max_gap_s * 1e3:.0f} ms)"
+        )
+
 
 def assess_timestamps(
     timestamps_s: FloatArray,

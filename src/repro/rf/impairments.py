@@ -42,6 +42,7 @@ __all__ = [
     "ImpulsiveCorruption",
     "ClippedPackets",
     "SubcarrierNulls",
+    "SegmentImpairment",
     "apply_impairments",
 ]
 
@@ -422,6 +423,70 @@ class SubcarrierNulls(Impairment):
             self._record(realized_indices=[int(i) for i in nulled]),
             csi=csi,
         )
+
+
+@dataclass(frozen=True)
+class SegmentImpairment(Impairment):
+    """Confine another impairment to one time window of the capture.
+
+    The fault model above is stationary: a loss process runs for the whole
+    trace.  Real degradation is often a *burst* — a microwave oven runs for
+    two minutes, a neighboring network backs up for thirty seconds.  This
+    wrapper applies ``inner`` only to the packets captured in
+    ``[start_s, end_s)`` (offsets from the first packet) and splices the
+    result back, so the chaos harness can script "clean, then degraded,
+    then clean again" timelines from the existing impairment vocabulary.
+    """
+
+    inner: Impairment = None  # type: ignore[assignment]
+    start_s: float = 0.0
+    end_s: float = 0.0
+
+    kind = "segment"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.inner, Impairment):
+            raise ConfigurationError(
+                "SegmentImpairment needs an inner Impairment"
+            )
+        if self.end_s <= self.start_s:
+            raise ConfigurationError(
+                f"segment window [{self.start_s}, {self.end_s}) is empty"
+            )
+
+    def apply(self, trace: CSITrace, rng: np.random.Generator) -> CSITrace:
+        """Apply ``inner`` to the window's packets only, splicing back."""
+        t0 = float(trace.timestamps_s[0])
+        offsets = trace.timestamps_s - t0
+        in_window = (offsets >= self.start_s) & (offsets < self.end_s)
+        record = self._record(n_segment_packets=int(in_window.sum()))
+        if in_window.sum() < 2:
+            record["inner_record"] = None
+            return _rebuild(trace, record)
+        segment = CSITrace(
+            csi=trace.csi[in_window],
+            timestamps_s=trace.timestamps_s[in_window],
+            sample_rate_hz=trace.sample_rate_hz,
+            subcarrier_indices=trace.subcarrier_indices,
+            meta={},
+            strict=False,
+        )
+        impaired = self.inner.apply(segment, rng)
+        inner_records = impaired.meta.get("impairments", [])
+        record["inner_record"] = inner_records[-1] if inner_records else None
+        before = offsets < self.start_s
+        after = offsets >= self.end_s
+        csi = np.concatenate(
+            [trace.csi[before], impaired.csi, trace.csi[after]]
+        )
+        times = np.concatenate(
+            [
+                trace.timestamps_s[before],
+                impaired.timestamps_s,
+                trace.timestamps_s[after],
+            ]
+        )
+        return _rebuild(trace, record, csi=csi, timestamps_s=times)
 
 
 def apply_impairments(

@@ -33,6 +33,7 @@ def capture_trace(
     hardware: HardwareConfig | None = None,
     seed: int = 0,
     timing_jitter: float = 0.0,
+    t0_s: float = 0.0,
 ) -> CSITrace:
     """Simulate one CSI capture of ``scenario``.
 
@@ -47,6 +48,10 @@ def capture_trace(
             on the scenario itself; physiology on the person models).
         timing_jitter: Std-dev of packet-time jitter as a fraction of the
             packet interval (0 = ideal periodic injection).
+        t0_s: Timestamp of the first packet.  Physiology is evaluated at the
+            shifted times, so a capture started at ``t0_s`` continues the
+            same scene a ``t0_s``-second earlier capture left off — which is
+            what a restarted receiver process observes.
 
     Returns:
         A :class:`CSITrace` with ground truth in ``meta``.
@@ -68,6 +73,7 @@ def capture_trace(
         rng = np.random.default_rng(seed + 7)
         times = times + rng.normal(scale=timing_jitter * interval, size=n_packets)
         times = np.sort(times - times[0])
+    times = times + t0_s
 
     static_rays, person_rays = scenario.build_rays()
     dynamic = [

@@ -1,0 +1,55 @@
+"""Simulated time: the clock every service component schedules against.
+
+The service layer never reads the wall clock (phaselint PL001 bans it):
+retries, backoff delays, circuit-breaker cooldowns, watchdog deadlines, and
+checkpoint periods are all measured on one shared :class:`SimulatedClock`
+that only moves forward when something advances it — a packet arriving with
+a later timestamp, a simulated hang, or a backoff sleep.  That makes every
+fault scenario bit-replayable: the same packet sequence and fault script
+produce the same event log, byte for byte, on every run.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+
+__all__ = ["SimulatedClock"]
+
+
+class SimulatedClock:
+    """A monotonically advancing simulated clock.
+
+    Args:
+        start_s: Initial time.
+
+    The clock can only move forward; components advance it explicitly
+    (``advance``) or pin it to an event time (``advance_to``, which is a
+    no-op when the target is in the past — packet timestamps may lag the
+    clock after a backoff sleep).
+    """
+
+    def __init__(self, start_s: float = 0.0):
+        self._now_s = float(start_s)
+
+    @property
+    def now_s(self) -> float:
+        """Current simulated time."""
+        return self._now_s
+
+    def advance(self, dt_s: float) -> float:
+        """Move the clock forward by ``dt_s`` seconds; returns the new time."""
+        if dt_s < 0:
+            raise ConfigurationError(
+                f"clock can only advance forward, got dt={dt_s}"
+            )
+        self._now_s += float(dt_s)
+        return self._now_s
+
+    def advance_to(self, t_s: float) -> float:
+        """Move forward to ``t_s`` if it is in the future; never backward."""
+        if t_s > self._now_s:
+            self._now_s = float(t_s)
+        return self._now_s
+
+    def __repr__(self) -> str:
+        return f"SimulatedClock(now_s={self._now_s:.6f})"

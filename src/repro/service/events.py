@@ -1,0 +1,98 @@
+"""Structured service event log.
+
+Every state transition in the service layer — breaker trips, source
+restarts, watchdog stalls, monitor restarts, checkpoints, fallback ladder
+moves, health changes — is recorded as a typed :class:`ServiceEvent` rather
+than a log line, so tests (and the chaos harness's recovery invariants) can
+assert on transition *order* and the CLI can print a faithful account of a
+run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = ["ServiceEvent", "EventLog"]
+
+
+@dataclass(frozen=True)
+class ServiceEvent:
+    """One service-layer state transition.
+
+    Attributes:
+        time_s: Simulated time the event occurred.
+        subject: Subject (monitor) the event belongs to, or ``""`` for
+            service-wide events.
+        kind: Machine-readable event type, e.g. ``"breaker-open"``,
+            ``"source-restart"``, ``"fallback-escalated"``.
+        detail: Free-form JSON-serializable context (reasons, counters).
+    """
+
+    time_s: float
+    subject: str
+    kind: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe representation."""
+        return {
+            "time_s": self.time_s,
+            "subject": self.subject,
+            "kind": self.kind,
+            "detail": dict(self.detail),
+        }
+
+
+class EventLog:
+    """Append-only, time-ordered list of :class:`ServiceEvent` records."""
+
+    def __init__(self) -> None:
+        self._events: list[ServiceEvent] = []
+
+    def record(
+        self,
+        time_s: float,
+        subject: str,
+        kind: str,
+        **detail: Any,
+    ) -> ServiceEvent:
+        """Append one event and return it."""
+        event = ServiceEvent(
+            time_s=float(time_s), subject=subject, kind=kind, detail=detail
+        )
+        self._events.append(event)
+        return event
+
+    @property
+    def events(self) -> tuple[ServiceEvent, ...]:
+        """All recorded events, in arrival order."""
+        return tuple(self._events)
+
+    def kinds(
+        self, *, subject: str | None = None
+    ) -> list[str]:
+        """Event kinds in order (optionally for one subject) — the thing
+        transition-order assertions compare against."""
+        return [e.kind for e in self.select(subject=subject)]
+
+    def select(
+        self, *, kind: str | None = None, subject: str | None = None
+    ) -> list[ServiceEvent]:
+        """Events matching the given kind and/or subject."""
+        return [
+            e
+            for e in self._events
+            if (kind is None or e.kind == kind)
+            and (subject is None or e.subject == subject)
+        ]
+
+    def to_jsonable(self) -> list[dict[str, Any]]:
+        """JSON-safe list of all events."""
+        return [e.to_dict() for e in self._events]
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[ServiceEvent]:
+        return iter(self._events)

@@ -1,0 +1,27 @@
+"""Service-suite fixture: one longer, cheaper capture for fault tests.
+
+Fault-recovery tests need room for a warm-up, a mid-run fault window, and
+a clean tail longer than one analysis window — the 10 s shared trace is
+too tight.  One 40 s capture at 100 Hz is built per session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Person, capture_trace, laboratory_scenario
+from repro.physio import SinusoidalBreathing, SinusoidalHeartbeat
+
+
+@pytest.fixture(scope="session")
+def service_trace():
+    """40 s laboratory capture at 100 Hz (15 bpm ground truth)."""
+    person = Person(
+        position=(2.2, 3.0, 1.0),
+        breathing=SinusoidalBreathing(frequency_hz=0.25),
+        heartbeat=SinusoidalHeartbeat(frequency_hz=1.07),
+    )
+    scenario = laboratory_scenario([person], clutter_seed=4)
+    return capture_trace(
+        scenario, duration_s=40.0, sample_rate_hz=100.0, seed=4
+    )

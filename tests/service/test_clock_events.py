@@ -1,0 +1,58 @@
+"""SimulatedClock and EventLog basics."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service import EventLog, SimulatedClock
+
+
+class TestSimulatedClock:
+    def test_starts_where_told(self):
+        assert SimulatedClock().now_s == 0.0
+        assert SimulatedClock(5.5).now_s == 5.5
+
+    def test_advance_accumulates_and_returns_new_now(self):
+        clock = SimulatedClock()
+        assert clock.advance(1.5) == pytest.approx(1.5)
+        assert clock.advance(0.5) == pytest.approx(2.0)
+        assert clock.now_s == pytest.approx(2.0)
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            SimulatedClock().advance(-0.1)
+
+    def test_advance_to_never_goes_backwards(self):
+        clock = SimulatedClock(10.0)
+        clock.advance_to(4.0)
+        assert clock.now_s == 10.0
+        clock.advance_to(12.0)
+        assert clock.now_s == 12.0
+
+
+class TestEventLog:
+    def test_records_in_order_with_detail(self):
+        log = EventLog()
+        log.record(1.0, "a", "breaker-open", previous="closed")
+        log.record(2.0, "b", "source-crash")
+        assert len(log) == 2
+        assert log.kinds() == ["breaker-open", "source-crash"]
+        assert log.kinds(subject="a") == ["breaker-open"]
+        first = log.events[0]
+        assert first.subject == "a"
+        assert first.detail == {"previous": "closed"}
+
+    def test_select_filters_by_kind_and_subject(self):
+        log = EventLog()
+        log.record(1.0, "a", "checkpoint")
+        log.record(2.0, "a", "source-crash")
+        log.record(3.0, "b", "checkpoint")
+        assert [e.time_s for e in log.select(kind="checkpoint")] == [1.0, 3.0]
+        assert [e.kind for e in log.select(subject="b")] == ["checkpoint"]
+
+    def test_to_jsonable_round_trips_through_json(self):
+        import json
+
+        log = EventLog()
+        log.record(1.25, "a", "fallback-escalated", to_method="csi-ratio")
+        dumped = json.dumps(log.to_jsonable())
+        assert json.loads(dumped)[0]["detail"]["to_method"] == "csi-ratio"

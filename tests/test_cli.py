@@ -134,3 +134,60 @@ class TestExperimentJsonExport:
         data = json.loads(out.read_text())
         assert "diff_resultant_length" in data
         assert isinstance(data["diff_resultant_length"], float)
+
+
+class TestMonitorCommand:
+    def test_monitor_defaults(self):
+        args = build_parser().parse_args(["monitor"])
+        assert args.duration == 90.0
+        assert args.rate == 100.0
+        assert args.chaos_scenario is None
+
+    def test_unknown_scenario_is_an_error(self, capsys):
+        code = main(["monitor", "--chaos-scenario", "nope"])
+        assert code == 2
+        assert "neither a shipped scenario" in capsys.readouterr().err
+
+    def test_fault_free_run_reports_healthy(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "report.json"
+        code = main(
+            [
+                "monitor",
+                "--duration", "40",
+                "--rate", "100",
+                "--seed", "0",
+                "--json", str(out),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "scenario fault-free" in output
+        assert "recovery invariants: OK" in output
+        data = json.loads(out.read_text())
+        assert data["violations"] == []
+        assert data["health"]["health"] == "healthy"
+
+    def test_scenario_from_json_file(self, tmp_path, capsys):
+        from repro.service import ChaosScenario, TimedFault
+
+        path = tmp_path / "faults.json"
+        scenario = ChaosScenario(
+            name="one-crash",
+            faults=(TimedFault(kind="crash", at_s=15.0),),
+        )
+        path.write_text(scenario.to_json())
+        code = main(
+            [
+                "monitor",
+                "--duration", "40",
+                "--rate", "100",
+                "--seed", "0",
+                "--chaos-scenario", str(path),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "scenario one-crash" in output
+        assert "source-crash" in output

@@ -354,11 +354,89 @@ class TestCli:
     def test_missing_path_is_usage_error(self, tmp_path):
         assert main([str(tmp_path / "missing_dir")]) == 2
 
-    def test_list_rules_covers_all_six(self, capsys):
+    def test_list_rules_covers_all_shipped(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for code in ("PL001", "PL002", "PL003", "PL004", "PL005", "PL006"):
+        for code in (
+            "PL001", "PL002", "PL003", "PL004", "PL005", "PL006", "PL007",
+        ):
             assert code in out
+
+
+class TestPL007BroadExcept:
+    def test_fires_on_bare_except(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "try:\n    x = 1\nexcept:\n    pass\n",
+            select=("PL007",),
+        )
+        assert codes(found) == ["PL007"]
+
+    def test_fires_on_silent_except_exception(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "try:\n    x = 1\nexcept Exception:\n    x = 2\n",
+            select=("PL007",),
+        )
+        assert codes(found) == ["PL007"]
+
+    def test_fires_on_broad_tuple(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "try:\n    x = 1\nexcept (ValueError, Exception):\n    pass\n",
+            select=("PL007",),
+        )
+        assert codes(found) == ["PL007"]
+
+    def test_silent_on_narrow_type(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "try:\n    x = 1\nexcept ValueError:\n    pass\n",
+            select=("PL007",),
+        )
+        assert found == []
+
+    def test_silent_when_reraising_typed_error(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "try:\n    x = 1\n"
+            "except Exception as exc:\n"
+            "    raise RuntimeError('boom') from exc\n",
+            select=("PL007",),
+        )
+        assert found == []
+
+    def test_silent_when_logging(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "import warnings\n"
+            "try:\n    x = 1\n"
+            "except Exception:\n"
+            "    warnings.warn('degraded')\n",
+            select=("PL007",),
+        )
+        assert found == []
+
+    def test_raise_in_nested_function_does_not_count(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "try:\n    x = 1\n"
+            "except Exception:\n"
+            "    def fail():\n"
+            "        raise RuntimeError('later')\n",
+            select=("PL007",),
+        )
+        assert codes(found) == ["PL007"]
+
+    def test_disable_comment_suppresses(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "try:\n    x = 1\n"
+            "except Exception:  # phaselint: disable=PL007\n"
+            "    pass\n",
+            select=("PL007",),
+        )
+        assert found == []
 
 
 class TestRepoIsClean:

@@ -7,6 +7,7 @@ from .pl003_units import UnitSuffixRule
 from .pl004_floateq import FloatEqualityRule
 from .pl005_mutable_defaults import MutableDefaultRule
 from .pl006_public_api import PublicApiRule
+from .pl007_exceptions import BroadExceptRule
 
 ALL_RULES: tuple[Rule, ...] = (
     UnseededRandomnessRule(),
@@ -15,6 +16,7 @@ ALL_RULES: tuple[Rule, ...] = (
     FloatEqualityRule(),
     MutableDefaultRule(),
     PublicApiRule(),
+    BroadExceptRule(),
 )
 
 __all__ = [
@@ -27,4 +29,5 @@ __all__ = [
     "FloatEqualityRule",
     "MutableDefaultRule",
     "PublicApiRule",
+    "BroadExceptRule",
 ]

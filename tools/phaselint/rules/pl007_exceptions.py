@@ -1,0 +1,104 @@
+"""PL007 — no silent broad exception handlers.
+
+A bare ``except:`` or an ``except Exception`` that swallows the error
+silently turns every future bug at that site into wrong numbers instead of
+a traceback — the exact failure mode a reproduction repo cannot afford.
+Broad handlers are legitimate only at deliberate fault boundaries (the
+supervisor catching anything a monitor throws), and those sites either
+re-raise a typed error (``raise XError(...) from exc``) or record the
+event; both are easy to prove syntactically.  A handler that does neither
+is flagged — narrow the exception type, or mark an intentional boundary
+with ``# phaselint: disable=PL007``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from .base import Rule, RuleContext, dotted_name
+
+__all__ = ["BroadExceptRule"]
+
+_BROAD_NAMES = {"Exception", "BaseException"}
+
+# A handler body counts as "logging" when it calls into any of these
+# families (stdlib logging/warnings or a conventionally named logger).
+_LOG_CALL_PREFIXES = ("logging.", "logger.", "log.", "warnings.")
+
+
+def _is_broad(type_node: ast.expr | None) -> bool:
+    """Whether the except clause catches Exception/BaseException (or is bare)."""
+    if type_node is None:
+        return True
+    if isinstance(type_node, ast.Tuple):
+        return any(_is_broad(elt) for elt in type_node.elts)
+    name = dotted_name(type_node)
+    if name is None:
+        return False
+    return name.split(".")[-1] in _BROAD_NAMES
+
+
+def _walk_handler(nodes: list[ast.stmt]) -> Iterator[ast.AST]:
+    """Walk handler statements without descending into nested scopes.
+
+    A ``raise`` inside a nested ``def``/``lambda`` does not re-raise for
+    the handler, so nested scopes must not satisfy the check.
+    """
+    stack: list[ast.AST] = list(nodes)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _handles_the_error(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler body re-raises or logs/records the error."""
+    for node in _walk_handler(handler.body):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            if name == "warn" or name.startswith(_LOG_CALL_PREFIXES):
+                return True
+    return False
+
+
+class BroadExceptRule(Rule):
+    """Ban broad exception handlers that neither re-raise nor log."""
+
+    code = "PL007"
+    name = "no-silent-broad-except"
+    description = (
+        "bare except / except Exception that neither re-raises nor logs "
+        "hides bugs; narrow the type, chain a typed error, or disable at "
+        "a deliberate fault boundary"
+    )
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        """Yield a finding per silent broad exception handler."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_broad(node.type):
+                continue
+            if _handles_the_error(node):
+                continue
+            clause = (
+                "bare except:"
+                if node.type is None
+                else "except over Exception/BaseException"
+            )
+            yield self.finding(
+                ctx,
+                node,
+                f"{clause} swallows the error silently; catch a narrower "
+                "type or re-raise a typed error (raise ... from exc)",
+            )
