@@ -1,12 +1,13 @@
 """Command-line interface: simulate, estimate, and reproduce from a shell.
 
-Five subcommands::
+Six subcommands::
 
     repro-phasebeat simulate  --scenario lab --duration 30 --out trace.npz
     repro-phasebeat estimate  trace.npz --persons 1 --heart
     repro-phasebeat dataset   --out corpus/ --count 10 --duration 30
     repro-phasebeat experiment fig11 --trials 20
     repro-phasebeat monitor   --duration 90 --chaos-scenario faults.json
+    repro-phasebeat metrics   render metrics.json --format prometheus
 
 ``simulate`` builds one of the paper's three deployments and writes a CSI
 trace; ``estimate`` runs the PhaseBeat pipeline on a stored trace;
@@ -14,7 +15,10 @@ trace; ``estimate`` runs the PhaseBeat pipeline on a stored trace;
 the paper's figures and prints the same rows/series the benchmarks assert
 against; ``monitor`` runs the supervised monitoring service over a
 simulated scene, optionally under a chaos scenario (a shipped name or a
-JSON fault-schedule file), and prints the event log and health summary.
+JSON fault-schedule file), and prints the event log and health summary —
+``--metrics-out`` / ``--events-out`` additionally dump the run's metrics
+snapshot (canonical JSON) and event log (JSONL); ``metrics`` renders or
+diffs those snapshots offline.
 """
 
 from __future__ import annotations
@@ -148,6 +152,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", default=None, metavar="PATH",
         help="also write the chaos report as JSON",
     )
+    monitor.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the faulted run's metrics snapshot as canonical JSON "
+        "(byte-identical across identical runs)",
+    )
+    monitor.add_argument(
+        "--events-out", default=None, metavar="PATH",
+        help="write the faulted run's event log as JSON Lines",
+    )
+
+    metrics = sub.add_parser(
+        "metrics", help="render or diff metrics snapshots from --metrics-out"
+    )
+    metrics_sub = metrics.add_subparsers(dest="metrics_command", required=True)
+    render = metrics_sub.add_parser(
+        "render", help="pretty-print one snapshot"
+    )
+    render.add_argument("snapshot", help="path to a --metrics-out JSON file")
+    render.add_argument(
+        "--format",
+        choices=("table", "prometheus", "json"),
+        default="table",
+        help="output format (default: table)",
+    )
+    diff = metrics_sub.add_parser(
+        "diff", help="compare two snapshots series-by-series"
+    )
+    diff.add_argument("old", help="baseline snapshot path")
+    diff.add_argument("new", help="candidate snapshot path")
     return parser
 
 
@@ -251,6 +284,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 def _cmd_monitor(args: argparse.Namespace) -> int:
     from pathlib import Path
 
+    from .obs import MetricsRegistry, canonical_json
     from .service import SHIPPED_SCENARIOS, ChaosScenario, load_scenario
     from .service.chaos import run_chaos
 
@@ -271,11 +305,13 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         )
         return 2
 
+    registry = MetricsRegistry() if args.metrics_out else None
     report = run_chaos(
         scenario,
         duration_s=args.duration,
         sample_rate_hz=args.rate,
         seed=args.seed,
+        registry=registry,
     )
 
     print(f"=== monitor: scenario {scenario.name} ===")
@@ -311,7 +347,68 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
 
         Path(args.json).write_text(json.dumps(report.to_jsonable(), indent=2))
         print(f"wrote {args.json}")
+    if registry is not None:
+        Path(args.metrics_out).write_text(canonical_json(registry.snapshot()))
+        print(f"wrote {args.metrics_out}")
+    if args.events_out:
+        Path(args.events_out).write_text(report.events.to_jsonl())
+        print(f"wrote {args.events_out}")
     return 0 if not violations else 1
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .obs import (
+        canonical_json,
+        diff_snapshots,
+        load_snapshot,
+        render_prometheus,
+        render_table,
+    )
+
+    def read(path: str) -> str:
+        try:
+            return Path(path).read_text()
+        except OSError as exc:
+            raise ReproError(f"cannot read snapshot {path!r}: {exc}") from exc
+
+    if args.metrics_command == "render":
+        snapshot = load_snapshot(read(args.snapshot))
+        if args.format == "prometheus":
+            sys.stdout.write(render_prometheus(snapshot))
+        elif args.format == "json":
+            sys.stdout.write(canonical_json(snapshot))
+        else:
+            sys.stdout.write(render_table(snapshot))
+        return 0
+
+    old = load_snapshot(read(args.old))
+    new = load_snapshot(read(args.new))
+    changes = diff_snapshots(old, new)
+    if not changes:
+        print("snapshots are identical")
+        return 0
+
+    def brief(sample: dict) -> str:
+        if sample["kind"] == "histogram":
+            return f"count={sample['count']} sum={sample['sum']:.6g}"
+        return f"{sample['value']:.6g}"
+
+    for change in changes:
+        labels = "".join(
+            f" {k}={v}" for k, v in sorted(change["labels"].items())
+        )
+        if change["change"] == "added":
+            print(f"+ {change['name']}{labels}  {brief(change['new'])}")
+        elif change["change"] == "removed":
+            print(f"- {change['name']}{labels}  {brief(change['old'])}")
+        else:
+            print(
+                f"~ {change['name']}{labels}  "
+                f"{brief(change['old'])} -> {brief(change['new'])}"
+            )
+    return 1
 
 
 def _jsonable(value):
@@ -363,6 +460,7 @@ def main(argv: list[str] | None = None) -> int:
         "dataset": _cmd_dataset,
         "experiment": _cmd_experiment,
         "monitor": _cmd_monitor,
+        "metrics": _cmd_metrics,
     }
     try:
         return handlers[args.command](args)

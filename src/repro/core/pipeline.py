@@ -30,6 +30,7 @@ from ..dsp.resample import reclock
 from ..dsp.template import subtract_cycle_template
 from ..errors import NotStationaryError, SignalTooShortError
 from ..io_.trace import CSITrace
+from ..obs import NULL_INSTRUMENTATION, Instrumentation
 from ..physio.motion import ActivityState
 from .breathing import (
     FFTBreathingEstimator,
@@ -57,7 +58,10 @@ __all__ = ["PhaseBeatConfig", "PhaseBeat", "prepare_calibrated_matrix"]
 
 
 def _pair_series(
-    trace: CSITrace, pair: tuple[int, int], needs_reclock: bool
+    trace: CSITrace,
+    pair: tuple[int, int],
+    needs_reclock: bool,
+    instrumentation: Instrumentation | None = None,
 ) -> FloatArray:
     """Phase-difference series for one pair, on a guaranteed-uniform grid.
 
@@ -71,7 +75,12 @@ def _pair_series(
     diff = phase_difference(trace, pair)
     if not needs_reclock:
         return diff
-    return reclock(diff, trace.timestamps_s, trace.sample_rate_hz).series
+    return reclock(
+        diff,
+        trace.timestamps_s,
+        trace.sample_rate_hz,
+        instrumentation=instrumentation,
+    ).series
 
 
 @check_trace()
@@ -167,11 +176,22 @@ class PhaseBeat:
 
     Args:
         config: Pipeline parameters; paper defaults when omitted.
+        instrumentation: Optional :class:`repro.obs.Instrumentation`; when
+            given, every stage of :meth:`process` is timed into the
+            ``pipeline_stage_duration_s`` histogram (see
+            ``docs/observability.md``).
     """
 
-    def __init__(self, config: PhaseBeatConfig | None = None):
+    def __init__(
+        self,
+        config: PhaseBeatConfig | None = None,
+        instrumentation: Instrumentation | None = None,
+    ):
         self.config = config if config is not None else PhaseBeatConfig()
         self._detector = EnvironmentDetector(self.config.environment)
+        self._obs = (
+            instrumentation if instrumentation is not None else NULL_INSTRUMENTATION
+        )
 
     @check_trace()
     def process(
@@ -204,31 +224,38 @@ class PhaseBeat:
             EstimationError: If an estimator cannot produce a rate.
         """
         cfg = self.config
+        obs = self._obs
         pairs = self._antenna_pairs(trace)
         quality_report = trace.quality_report()
         needs_reclock = not quality_report.is_uniform
-        diff = _pair_series(trace, pairs[0], needs_reclock)
+        with obs.stage("phase_difference"):
+            diff = _pair_series(trace, pairs[0], needs_reclock, obs)
 
-        v = v_statistic(diff)
-        lo, hi = cfg.environment.stationary_band
-        if v < lo:
-            state = ActivityState.NO_PERSON
-        elif v > hi:
-            state = ActivityState.WALKING
-        else:
-            state = ActivityState.SITTING
-            # A motion burst occupying only part of the segment can leave
-            # the whole-segment V inside the band while corrupting the
-            # estimate; any single sliding window above the band flags it.
-            window = int(round(cfg.environment.window_s * trace.sample_rate_hz))
-            if diff.shape[0] >= 2 * window:
-                _, windowed = windowed_v(
-                    diff, trace.sample_rate_hz, cfg.environment
-                )
-                if windowed.max() > hi:
-                    state = ActivityState.WALKING
-                    v = float(windowed.max())
+        with obs.stage("environment_detection"):
+            v = v_statistic(diff)
+            lo, hi = cfg.environment.stationary_band
+            if v < lo:
+                state = ActivityState.NO_PERSON
+            elif v > hi:
+                state = ActivityState.WALKING
+            else:
+                state = ActivityState.SITTING
+                # A motion burst occupying only part of the segment can leave
+                # the whole-segment V inside the band while corrupting the
+                # estimate; any single sliding window above the band flags it.
+                window = int(round(cfg.environment.window_s * trace.sample_rate_hz))
+                if diff.shape[0] >= 2 * window:
+                    _, windowed = windowed_v(
+                        diff, trace.sample_rate_hz, cfg.environment
+                    )
+                    if windowed.max() > hi:
+                        state = ActivityState.WALKING
+                        v = float(windowed.max())
         if cfg.enforce_stationarity and state is not ActivityState.SITTING:
+            obs.count(
+                "pipeline_not_stationary_total",
+                help_text="Traces rejected by environment detection.",
+            )
             raise NotStationaryError(v, state.value)
 
         # Calibrate every pair's series and stack them column-wise: the
@@ -237,45 +264,60 @@ class PhaseBeat:
         columns = []
         masks = []
         sample_rate = None
-        for pair in pairs:
-            pair_diff = (
-                diff if pair == pairs[0] else _pair_series(trace, pair, needs_reclock)
-            )
-            calibrated = calibrate(pair_diff, trace.sample_rate_hz, cfg.calibration)
-            columns.append(calibrated.series)
-            masks.append(self._subcarrier_quality_mask(trace, pair))
-            sample_rate = calibrated.sample_rate_hz
+        with obs.stage("calibration"):
+            for pair in pairs:
+                pair_diff = (
+                    diff
+                    if pair == pairs[0]
+                    else _pair_series(trace, pair, needs_reclock, obs)
+                )
+                calibrated = calibrate(
+                    pair_diff, trace.sample_rate_hz, cfg.calibration
+                )
+                columns.append(calibrated.series)
+                masks.append(self._subcarrier_quality_mask(trace, pair))
+                sample_rate = calibrated.sample_rate_hz
         stacked = np.hstack(columns)
         quality = np.concatenate(masks)
         n_sub = trace.n_subcarriers
 
-        selection = select_subcarrier(stacked, cfg.selection, mask=quality)
+        with obs.stage("subcarrier_selection"):
+            selection = select_subcarrier(stacked, cfg.selection, mask=quality)
         selected_series = stacked[:, selection.selected]
         selected_pair = pairs[selection.selected // n_sub]
-        bands = decompose(selected_series, sample_rate, cfg.dwt)
+        with obs.stage("dwt"):
+            bands = decompose(selected_series, sample_rate, cfg.dwt)
 
         matrix = stacked[:, quality] if quality.any() else stacked
         method = breathing_method or ("peak" if n_persons == 1 else "music")
-        breathing = self._estimate_breathing(
-            method, bands.breathing, matrix, selected_series,
-            sample_rate, n_persons,
-        )
+        with obs.stage("breathing_estimation"):
+            breathing = self._estimate_breathing(
+                method, bands.breathing, matrix, selected_series,
+                sample_rate, n_persons,
+            )
 
         heart = None
         heart_signal = bands.heart
         if estimate_heart and n_persons == 1:
-            f_breath = breathing[0].rate_bpm / 60.0
-            heart_signal = self._best_heart_signal(
-                stacked, quality, selection.sensitivities, sample_rate, f_breath
-            )
-            if heart_signal is None:
-                heart_signal = bands.heart
-            rate = cfg.heart_estimator.estimate_bpm(
-                heart_signal,
-                bands.sample_rate_hz,
-                breathing_rate_hz=f_breath,
-            )
-            heart = VitalSignEstimate(rate_bpm=rate, method="fft+3bin")
+            with obs.stage("heart_estimation"):
+                f_breath = breathing[0].rate_bpm / 60.0
+                heart_signal = self._best_heart_signal(
+                    stacked, quality, selection.sensitivities, sample_rate,
+                    f_breath,
+                )
+                if heart_signal is None:
+                    heart_signal = bands.heart
+                rate = cfg.heart_estimator.estimate_bpm(
+                    heart_signal,
+                    bands.sample_rate_hz,
+                    breathing_rate_hz=f_breath,
+                )
+                heart = VitalSignEstimate(rate_bpm=rate, method="fft+3bin")
+        obs.count(
+            "pipeline_processed_traces_total",
+            labels={"method": method},
+            help_text="Traces fully processed, by breathing method.",
+        )
 
         diagnostics = PipelineDiagnostics(
             v_statistic=v,

@@ -50,6 +50,7 @@ from ..errors import (
 from ..contracts import ComplexArray
 from ..io_.quality import TraceQualityReport, assess_timestamps
 from ..io_.trace import CSITrace
+from ..obs import NULL_INSTRUMENTATION, Instrumentation
 from .pipeline import PhaseBeat, PhaseBeatConfig
 from .results import PhaseBeatResult
 
@@ -149,6 +150,11 @@ class StreamingMonitor:
         sample_rate_hz: Nominal packet rate of the incoming stream.
         config: Streaming parameters.
         pipeline_config: Parameters for the underlying pipeline.
+        instrumentation: Optional :class:`repro.obs.Instrumentation`,
+            shared with the wrapped pipeline; records window latency,
+            quality-gate rejections, holdovers, and per-packet drop
+            counters.  Never serialized into checkpoints — a restored
+            monitor keeps its own instrumentation.
 
     Attributes:
         counters: Running tallies of the faults absorbed so far — keys
@@ -162,12 +168,16 @@ class StreamingMonitor:
         sample_rate_hz: float,
         config: StreamingConfig | None = None,
         pipeline_config: PhaseBeatConfig | None = None,
+        instrumentation: Instrumentation | None = None,
     ):
         if sample_rate_hz <= 0:
             raise ConfigurationError("sample rate must be positive")
         self.sample_rate_hz = float(sample_rate_hz)
         self.config = config if config is not None else StreamingConfig()
-        self._pipeline = PhaseBeat(pipeline_config)
+        self._obs = (
+            instrumentation if instrumentation is not None else NULL_INSTRUMENTATION
+        )
+        self._pipeline = PhaseBeat(pipeline_config, instrumentation=self._obs)
         # One nominal packet interval: the slack that makes "span >= window"
         # and "hop elapsed" robust to the last packet landing one tick short
         # of the exact boundary (a stream sampled at t = k/rate reaches
@@ -231,9 +241,11 @@ class StreamingMonitor:
         timestamp_s = float(timestamp_s)
         if not np.isfinite(timestamp_s):
             self.counters["dropped_nonfinite_timestamp"] += 1
+            self._count_drop("nonfinite-timestamp")
             return None
         if not np.all(np.isfinite(csi_packet)):
             self.counters["dropped_nonfinite_csi"] += 1
+            self._count_drop("nonfinite-csi")
             return None
         if self._last_time is not None and timestamp_s < self._last_time:
             if self._last_time - timestamp_s > self.config.window_s:
@@ -241,8 +253,13 @@ class StreamingMonitor:
                 # a counter restart, not a glitch.  Start a fresh stream.
                 self._reset_stream()
                 self.counters["stream_resets"] += 1
+                self._obs.count(
+                    "monitor_stream_resets_total",
+                    help_text="Backward clock jumps treated as stream resets.",
+                )
             else:
                 self.counters["dropped_backward_timestamp"] += 1
+                self._count_drop("backward-timestamp")
                 return None
 
         self._buffer.append(csi_packet)
@@ -395,6 +412,14 @@ class StreamingMonitor:
                 f"malformed checkpoint: {exc}"
             ) from exc
 
+    def _count_drop(self, reason: str) -> None:
+        """Mirror one dropped-packet tally into the metrics registry."""
+        self._obs.count(
+            "monitor_dropped_packets_total",
+            labels={"reason": reason},
+            help_text="Malformed packets dropped before buffering.",
+        )
+
     def _reset_stream(self) -> None:
         """Forget everything tied to the old clock base."""
         self._buffer.clear()
@@ -409,9 +434,19 @@ class StreamingMonitor:
     ) -> StreamingEstimate:
         """A structured rejection, holding over the last good estimate
         while the staleness budget allows."""
+        self._obs.count(
+            "monitor_rejected_windows_total",
+            labels={"reason": reason},
+            help_text="Windows rejected by quality gates or the estimator.",
+        )
         if self._last_good_result is not None and self._last_good_time is not None:
             staleness = t_end - self._last_good_time
             if 0.0 <= staleness <= self.config.holdover_s:
+                self._obs.count(
+                    "monitor_holdover_windows_total",
+                    help_text="Rejected windows that re-emitted a stale "
+                    "estimate.",
+                )
                 return StreamingEstimate(
                     t_end,
                     self._last_good_result,
@@ -425,6 +460,16 @@ class StreamingMonitor:
         )
 
     def _emit(self) -> StreamingEstimate:
+        with self._obs.stage("window_emit", component="monitor"):
+            estimate = self._emit_window()
+        self._obs.gauge_set(
+            "monitor_buffer_depth_packets",
+            len(self._buffer),
+            help_text="Packets currently buffered in the analysis window.",
+        )
+        return estimate
+
+    def _emit_window(self) -> StreamingEstimate:
         times = np.asarray(self._times)
         t_end = float(times[-1])
         quality = assess_timestamps(times, self.sample_rate_hz)
@@ -455,4 +500,8 @@ class StreamingMonitor:
             return self._reject(t_end, "estimation-failed", quality)
         self._last_good_time = t_end
         self._last_good_result = result
+        self._obs.count(
+            "monitor_fresh_windows_total",
+            help_text="Windows analyzed successfully with a fresh estimate.",
+        )
         return StreamingEstimate(t_end, result, quality=quality)

@@ -24,8 +24,12 @@ from scipy.signal import decimate as _scipy_decimate
 
 from ..contracts import BoolArray, FloatArray
 from ..errors import ConfigurationError, DataGapError, SignalTooShortError
+from ..obs import NULL_INSTRUMENTATION, Instrumentation
 
 __all__ = ["ReclockedSeries", "decimate", "downsampled_rate", "reclock"]
+
+# Histogram bounds for gap fractions (dimensionless, 0..1).
+_FRACTION_BUCKETS = (0.0, 0.01, 0.02, 0.05, 0.1, 0.25, 0.5, 1.0)
 
 
 def decimate(
@@ -95,6 +99,7 @@ def reclock(
     *,
     max_gap_s: float | None = None,
     gap_flag_s: float | None = None,
+    instrumentation: Instrumentation | None = None,
 ) -> ReclockedSeries:
     """Interpolate irregularly-timestamped samples onto a uniform grid.
 
@@ -115,6 +120,9 @@ def reclock(
         gap_flag_s: Gap length above which output samples inside the gap
             are flagged in ``gap_mask``; defaults to three target-grid
             intervals.
+        instrumentation: Optional :class:`repro.obs.Instrumentation`;
+            records the ``dsp.reclock`` stage duration, samples dropped,
+            and the fabricated-gap fraction.
 
     Returns:
         A :class:`ReclockedSeries`.
@@ -124,6 +132,34 @@ def reclock(
         SignalTooShortError: Fewer than two usable samples survive.
         DataGapError: A gap exceeds ``max_gap_s``.
     """
+    obs = instrumentation if instrumentation is not None else NULL_INSTRUMENTATION
+    with obs.stage("reclock", component="dsp"):
+        result = _reclock(
+            x, timestamps_s, target_rate_hz,
+            max_gap_s=max_gap_s, gap_flag_s=gap_flag_s,
+        )
+    obs.count(
+        "dsp_reclock_dropped_samples_total",
+        amount=result.n_dropped,
+        help_text="Input samples dropped for non-finite/backward timestamps.",
+    )
+    obs.observe(
+        "dsp_reclock_gap_fraction",
+        result.gap_fraction,
+        help_text="Fraction of output samples fabricated inside input gaps.",
+        bucket_bounds=_FRACTION_BUCKETS,
+    )
+    return result
+
+
+def _reclock(
+    x: FloatArray,
+    timestamps_s: FloatArray,
+    target_rate_hz: float,
+    *,
+    max_gap_s: float | None = None,
+    gap_flag_s: float | None = None,
+) -> ReclockedSeries:
     if target_rate_hz <= 0:
         raise ConfigurationError(
             f"target rate must be positive, got {target_rate_hz}"

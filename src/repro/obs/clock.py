@@ -1,0 +1,58 @@
+"""The single sanctioned wall-clock shim of the whole codebase.
+
+Every duration the observability layer measures flows through a
+:class:`Clock` — an object exposing monotonically non-decreasing seconds as
+``now_s``.  Two implementations exist:
+
+* :class:`WallClock` (here) reads ``time.perf_counter`` and is what a real
+  deployment profiles with;
+* :class:`repro.service.SimulatedClock` satisfies the same protocol, so a
+  chaos drill run on simulated time produces **deterministic** traces and
+  metric snapshots — every "duration" is a simulated-time delta and
+  replays byte-identically.
+
+phaselint rule PL001 enforces that this file is the *only* module under
+``src/`` that touches the ``time`` module (see ``wall-clock-shims`` in
+``[tool.phaselint]``): any other import smuggles nondeterminism past the
+simulated clock and breaks replayability.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol, runtime_checkable
+
+__all__ = ["Clock", "WallClock"]
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """What the observability layer requires of a time source.
+
+    ``now_s`` must be monotonically non-decreasing; its zero point is
+    arbitrary (only differences are ever used).
+    :class:`repro.service.SimulatedClock` satisfies this protocol.
+    """
+
+    @property
+    def now_s(self) -> float:
+        """Current time in seconds (monotonic, arbitrary epoch)."""
+        ...
+
+
+class WallClock:
+    """Real elapsed time via ``time.perf_counter``.
+
+    ``perf_counter`` (not ``time.time``) because durations must be immune
+    to NTP steps and DST; the absolute value is meaningless by design, so
+    nothing can accidentally persist a wall-clock timestamp into a
+    supposedly deterministic artifact.
+    """
+
+    @property
+    def now_s(self) -> float:
+        """Current monotonic time in seconds."""
+        return time.perf_counter()
+
+    def __repr__(self) -> str:
+        return "WallClock()"

@@ -1,0 +1,199 @@
+"""Snapshot exporters: canonical JSON, Prometheus text, table, and diff.
+
+The canonical-JSON form is the interchange format (``repro monitor
+--metrics-out``, ``repro metrics render/diff``, the CI ``BENCH_obs.json``
+artifact).  Canonical means: sorted keys, compact separators, ``repr``
+floats, trailing newline — two registries holding equal samples serialize
+to *byte-identical* text, which is what the determinism acceptance test
+byte-compares.
+
+The Prometheus renderer follows the text exposition format (``# HELP`` /
+``# TYPE`` headers, cumulative ``_bucket{le=...}`` histogram series) so a
+real deployment can drop the snapshot behind any scrape endpoint.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "canonical_json",
+    "diff_snapshots",
+    "load_snapshot",
+    "render_prometheus",
+    "render_table",
+]
+
+_SCHEMA = "repro.obs/v1"
+
+
+def canonical_json(snapshot: Mapping[str, Any]) -> str:
+    """Serialize a registry snapshot to canonical JSON text.
+
+    Sorted keys and compact separators make the bytes a pure function of
+    the snapshot's contents; equal snapshots compare equal as files.
+    """
+    return json.dumps(snapshot, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def load_snapshot(text: str) -> dict[str, Any]:
+    """Parse snapshot JSON text, validating the schema marker.
+
+    Raises:
+        ConfigurationError: The text is not valid JSON or does not carry
+            the ``repro.obs/v1`` schema marker.
+    """
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"snapshot is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict) or data.get("schema") != _SCHEMA:
+        raise ConfigurationError(
+            f"snapshot lacks the {_SCHEMA!r} schema marker; "
+            "was this file produced by `repro monitor --metrics-out`?"
+        )
+    return data
+
+
+def _fmt_value(value: float) -> str:
+    """Shortest-roundtrip decimal form of a sample value."""
+    return repr(float(value))
+
+
+def _fmt_labels(labels: Mapping[str, str], extra: str = "") -> str:
+    """Render ``{k="v",...}`` (empty string when there are no labels)."""
+    parts = [f'{k}="{v}"' for k, v in sorted(labels.items())]
+    if extra:
+        parts.append(extra)
+    if not parts:
+        return ""
+    return "{" + ",".join(parts) + "}"
+
+
+def render_prometheus(snapshot: Mapping[str, Any]) -> str:
+    """Render a snapshot in the Prometheus text exposition format.
+
+    Histogram buckets are emitted cumulatively with ``le`` upper bounds
+    plus the conventional ``+Inf``, ``_sum``, and ``_count`` series.
+    """
+    lines: list[str] = []
+    seen_headers: set[str] = set()
+    for sample in snapshot.get("metrics", []):
+        name = sample["name"]
+        if name not in seen_headers:
+            seen_headers.add(name)
+            help_text = sample.get("help", "")
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {sample['kind']}")
+        labels = sample.get("labels", {})
+        if sample["kind"] == "histogram":
+            cumulative = 0
+            for bound, count in zip(
+                sample["bucket_bounds"], sample["bucket_counts"]
+            ):
+                cumulative += count
+                le = _fmt_labels(labels, extra=f'le="{_fmt_value(bound)}"')
+                lines.append(f"{name}_bucket{le} {cumulative}")
+            cumulative += sample["bucket_counts"][-1]
+            le = _fmt_labels(labels, extra='le="+Inf"')
+            lines.append(f"{name}_bucket{le} {cumulative}")
+            lines.append(
+                f"{name}_sum{_fmt_labels(labels)} {_fmt_value(sample['sum'])}"
+            )
+            lines.append(f"{name}_count{_fmt_labels(labels)} {sample['count']}")
+        else:
+            lines.append(
+                f"{name}{_fmt_labels(labels)} {_fmt_value(sample['value'])}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def render_table(snapshot: Mapping[str, Any]) -> str:
+    """Render a human-readable aligned table of all series.
+
+    Histograms are summarized as ``count/sum/mean`` rather than dumped
+    bucket-by-bucket; use the Prometheus format for full buckets.
+    """
+    rows: list[tuple[str, str, str, str]] = []
+    for sample in snapshot.get("metrics", []):
+        labels = sample.get("labels", {})
+        label_text = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+        if sample["kind"] == "histogram":
+            count = sample["count"]
+            mean = sample["sum"] / count if count else 0.0
+            value_text = f"count={count} sum={sample['sum']:.6g} mean={mean:.6g}"
+        else:
+            value_text = f"{sample['value']:.6g}"
+        rows.append((sample["name"], sample["kind"], label_text, value_text))
+    if not rows:
+        return "(no metrics recorded)\n"
+    headers = ("metric", "kind", "labels", "value")
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows)) for i in range(4)
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)).rstrip(),
+        "  ".join("-" * widths[i] for i in range(4)),
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+        )
+    return "\n".join(lines) + "\n"
+
+
+def _series_key(sample: Mapping[str, Any]) -> tuple[str, tuple[tuple[str, str], ...]]:
+    labels = sample.get("labels", {})
+    return sample["name"], tuple(sorted(labels.items()))
+
+
+def diff_snapshots(
+    old: Mapping[str, Any], new: Mapping[str, Any]
+) -> list[dict[str, Any]]:
+    """Structured differences between two snapshots.
+
+    Returns one entry per changed series, each a dict with ``name``,
+    ``labels``, ``change`` (``added`` / ``removed`` / ``changed``), and
+    for value changes the ``old`` and ``new`` sample payloads.  Equal
+    snapshots diff to an empty list.
+    """
+    old_series = {_series_key(s): s for s in old.get("metrics", [])}
+    new_series = {_series_key(s): s for s in new.get("metrics", [])}
+    entries: list[dict[str, Any]] = []
+    for key in sorted(set(old_series) | set(new_series)):
+        name, labels = key
+        before = old_series.get(key)
+        after = new_series.get(key)
+        if before is None and after is not None:
+            entries.append(
+                {
+                    "name": name,
+                    "labels": dict(labels),
+                    "change": "added",
+                    "new": after,
+                }
+            )
+        elif after is None and before is not None:
+            entries.append(
+                {
+                    "name": name,
+                    "labels": dict(labels),
+                    "change": "removed",
+                    "old": before,
+                }
+            )
+        elif before != after:
+            entries.append(
+                {
+                    "name": name,
+                    "labels": dict(labels),
+                    "change": "changed",
+                    "old": before,
+                    "new": after,
+                }
+            )
+    return entries

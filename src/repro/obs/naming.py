@@ -1,0 +1,102 @@
+"""Metric naming discipline: every metric name carries its unit.
+
+The repo-wide phaselint rule PL003 already forces *code* identifiers
+(parameters, dataclass fields) to end in a unit suffix; exported metric
+names are strings, invisible to an AST linter, so the registry enforces
+the same vocabulary at registration time instead.  The suffix set below
+mirrors ``unit-suffixes`` in ``[tool.phaselint]`` (a test cross-checks the
+two lists), extended by the Prometheus counting conventions ``_total`` /
+``_count``.
+
+Examples of valid names::
+
+    pipeline_stage_duration_s        # histogram of seconds
+    monitor_rejected_windows_total   # counter
+    supervisor_checkpoint_size_packets
+    supervisor_fallback_level        # gauge of a dimensionless level
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import ConfigurationError
+
+__all__ = ["METRIC_UNIT_SUFFIXES", "validate_metric_name", "validate_label_name"]
+
+# Must stay equal to the `unit-suffixes` list in [tool.phaselint]
+# (tests/obs/test_naming.py asserts the two sets match), so a metric name
+# that passes the registry also passes a hypothetical PL003 check and
+# vice versa.
+METRIC_UNIT_SUFFIXES: frozenset[str] = frozenset(
+    {
+        "hz",
+        "khz",
+        "mhz",
+        "ghz",
+        "bpm",
+        "s",
+        "ms",
+        "us",
+        "ns",
+        "min",
+        "m",
+        "cm",
+        "mm",
+        "db",
+        "dbm",
+        "samples",
+        "packets",
+        "bins",
+        "fraction",
+        "ratio",
+        "norm",
+        "level",
+        "total",
+        "count",
+    }
+)
+
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+_LABEL_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+
+
+def validate_metric_name(name: str) -> str:
+    """Validate (and return) a metric name.
+
+    Args:
+        name: Candidate metric name, e.g. ``"pipeline_stage_duration_s"``.
+
+    Returns:
+        ``name`` unchanged, for call-site chaining.
+
+    Raises:
+        ConfigurationError: The name is not ``snake_case`` or its final
+            ``_``-separated token is not a sanctioned unit suffix.
+    """
+    if not _NAME_RE.match(name):
+        raise ConfigurationError(
+            f"metric name {name!r} must be snake_case ([a-z][a-z0-9_]*)"
+        )
+    suffix = name.rsplit("_", 1)[-1]
+    if suffix not in METRIC_UNIT_SUFFIXES:
+        raise ConfigurationError(
+            f"metric name {name!r} lacks a unit suffix: its final token "
+            f"{suffix!r} is not one of the sanctioned suffixes "
+            f"(e.g. _s, _hz, _packets, _fraction, _total, _count); "
+            "the unit must travel with the name (PL003 discipline)"
+        )
+    return name
+
+
+def validate_label_name(name: str) -> str:
+    """Validate (and return) a label key (``snake_case``).
+
+    Raises:
+        ConfigurationError: The label key is not ``snake_case``.
+    """
+    if not _LABEL_RE.match(name):
+        raise ConfigurationError(
+            f"label name {name!r} must be snake_case ([a-z][a-z0-9_]*)"
+        )
+    return name

@@ -1,0 +1,179 @@
+"""Stage tracing: named spans on an injectable monotonic clock.
+
+A :class:`Tracer` records :class:`Span`\\ s — named intervals measured on a
+:class:`repro.obs.clock.Clock`.  Spans nest: entering a span inside another
+records the child with ``depth + 1``, which is enough structure to render
+an indented stage profile without the bookkeeping of full span IDs.
+
+Determinism: on :class:`repro.service.SimulatedClock` all span timestamps
+are simulated seconds, so traces from a seeded chaos drill replay
+byte-identically.  On :class:`repro.obs.clock.WallClock` they are real
+``perf_counter`` readings for profiling.
+
+:class:`StageTimer` is the single-block convenience: one context manager
+that opens a span (if tracing) and feeds the elapsed time into a histogram
+(if measuring), shared by every instrumented component via
+:meth:`repro.obs.instrument.Instrumentation.stage`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from types import TracebackType
+from typing import Any, Iterator
+
+from .clock import Clock
+from .registry import Histogram
+
+__all__ = ["Span", "StageTimer", "Tracer"]
+
+
+@dataclass
+class Span:
+    """One named interval on the tracer's clock.
+
+    ``end_s`` is ``None`` while the span is open; ``depth`` is the nesting
+    level at entry (0 = top level).
+    """
+
+    name: str
+    start_s: float
+    end_s: float | None = None
+    depth: int = 0
+
+    @property
+    def duration_s(self) -> float:
+        """Elapsed seconds (0.0 while the span is still open)."""
+        if self.end_s is None:
+            return 0.0
+        return self.end_s - self.start_s
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe form (keys sorted by the exporter, not here)."""
+        return {
+            "name": self.name,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "duration_s": self.duration_s,
+            "depth": self.depth,
+        }
+
+
+class Tracer:
+    """Records nested spans against an injectable clock.
+
+    Bounded: after ``max_spans`` retained spans, further spans are still
+    timed but not kept (``n_dropped_total`` counts them), so a
+    long-running monitor cannot grow memory without bound.
+    """
+
+    def __init__(self, clock: Clock, max_spans: int = 100_000):
+        if max_spans < 1:
+            raise ValueError(f"max_spans must be >= 1, got {max_spans}")
+        self._clock = clock
+        self._max_spans = max_spans
+        self._spans: list[Span] = []
+        self._depth = 0
+        self._n_dropped = 0
+
+    @property
+    def spans(self) -> tuple[Span, ...]:
+        """Retained spans in entry order (open spans have ``end_s=None``)."""
+        return tuple(self._spans)
+
+    @property
+    def n_dropped_total(self) -> int:
+        """Spans discarded after the ``max_spans`` retention cap."""
+        return self._n_dropped
+
+    def begin(self, name: str) -> Span:
+        """Open a span now; pair with :meth:`end`.
+
+        Prefer the :meth:`span` context manager unless enter/exit must
+        straddle method boundaries (as in :class:`StageTimer`).
+        """
+        record = Span(name=name, start_s=self._clock.now_s, depth=self._depth)
+        if len(self._spans) < self._max_spans:
+            self._spans.append(record)
+        else:
+            self._n_dropped += 1
+        self._depth += 1
+        return record
+
+    def end(self, record: Span) -> None:
+        """Close a span opened by :meth:`begin` at the current clock time."""
+        self._depth -= 1
+        record.end_s = self._clock.now_s
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[Span]:
+        """Open a named span for the duration of the ``with`` block.
+
+        The yielded :class:`Span` gains its ``end_s`` when the block
+        exits (also on exception — a failing stage still has a duration).
+        """
+        record = self.begin(name)
+        try:
+            yield record
+        finally:
+            self.end(record)
+
+    def clear(self) -> None:
+        """Forget all recorded spans (drop count included)."""
+        self._spans.clear()
+        self._n_dropped = 0
+
+    def to_jsonable(self) -> list[dict[str, Any]]:
+        """JSON-safe list of all retained spans, in entry order."""
+        return [span.to_dict() for span in self._spans]
+
+
+class StageTimer:
+    """Times one block into a histogram and/or a tracer span.
+
+    Reusable but not reentrant: each ``with`` use times one interval.
+    Either sink may be ``None``; with both ``None`` it degrades to a
+    no-op context manager.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        clock: Clock,
+        histogram: Histogram | None = None,
+        tracer: Tracer | None = None,
+    ):
+        self.name = name
+        self._clock = clock
+        self._histogram = histogram
+        self._tracer = tracer
+        self._start_s = 0.0
+        self._span: Span | None = None
+        self.last_duration_s = 0.0
+
+    def __enter__(self) -> "StageTimer":
+        """Start timing (and open a span when a tracer is attached)."""
+        if self._tracer is not None:
+            self._span = self._tracer.begin(self.name)
+            self._start_s = self._span.start_s
+        else:
+            self._start_s = self._clock.now_s
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        """Stop timing and record the elapsed seconds into the sinks."""
+        if self._tracer is not None and self._span is not None:
+            self._tracer.end(self._span)
+            end_s = self._span.end_s if self._span.end_s is not None else 0.0
+            self._span = None
+        else:
+            end_s = self._clock.now_s
+        self.last_duration_s = end_s - self._start_s
+        if self._histogram is not None:
+            self._histogram.observe(self.last_duration_s)

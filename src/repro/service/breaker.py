@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from ..errors import ConfigurationError
+from ..obs import NULL_INSTRUMENTATION, Instrumentation
 from .clock import SimulatedClock
 
 __all__ = ["BreakerState", "BreakerConfig", "CircuitBreaker"]
@@ -68,6 +69,9 @@ class CircuitBreaker:
         on_transition: Optional callback ``(old_state, new_state)`` invoked
             on every state change (the supervisor wires this to the event
             log).
+        instrumentation: Optional :class:`repro.obs.Instrumentation`;
+            counts state transitions into
+            ``breaker_transitions_total{from=...,to=...}``.
     """
 
     def __init__(
@@ -75,10 +79,14 @@ class CircuitBreaker:
         clock: SimulatedClock,
         config: BreakerConfig | None = None,
         on_transition: Callable[[BreakerState, BreakerState], None] | None = None,
+        instrumentation: Instrumentation | None = None,
     ):
         self._clock = clock
         self.config = config if config is not None else BreakerConfig()
         self._on_transition = on_transition
+        self._obs = (
+            instrumentation if instrumentation is not None else NULL_INSTRUMENTATION
+        )
         self._state = BreakerState.CLOSED
         self._consecutive_failures = 0
         self._opened_at_s: float | None = None
@@ -151,5 +159,14 @@ class CircuitBreaker:
     def _transition(self, new_state: BreakerState) -> None:
         old_state = self._state
         self._state = new_state
+        if old_state is not new_state:
+            self._obs.count(
+                "breaker_transitions_total",
+                labels={
+                    "from_state": old_state.value,
+                    "to_state": new_state.value,
+                },
+                help_text="Circuit-breaker state changes.",
+            )
         if self._on_transition is not None and old_state is not new_state:
             self._on_transition(old_state, new_state)

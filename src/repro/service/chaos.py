@@ -33,6 +33,7 @@ from ..core.streaming import StreamingConfig
 from ..errors import ConfigurationError
 from ..eval.harness import default_subject
 from ..io_.quality import assess_trace
+from ..obs import Instrumentation, MetricsRegistry
 from ..rf.impairments import BernoulliLoss, SegmentImpairment, apply_impairments
 from ..rf.receiver import capture_trace
 from ..rf.scene import laboratory_scenario
@@ -412,13 +413,20 @@ def _run_supervised(
     supervisor_config: SupervisorConfig,
     seed: int,
     subject_name: str,
+    registry: MetricsRegistry | None = None,
 ) -> tuple[MonitorSupervisor, list[ServiceEstimate]]:
     clock = SimulatedClock(float(trace.timestamps_s[0]))
+    instrumentation = (
+        Instrumentation(clock=clock, registry=registry)
+        if registry is not None
+        else None
+    )
     supervisor = MonitorSupervisor(
         clock=clock,
         config=supervisor_config,
         streaming_config=streaming_config,
         seed=seed,
+        instrumentation=instrumentation,
     )
     interval_s = 1.0 / sample_rate_hz
     supervisor.add_subject(
@@ -447,6 +455,7 @@ def run_chaos(
     seed: int = 0,
     streaming_config: StreamingConfig | None = None,
     supervisor_config: SupervisorConfig | None = None,
+    registry: MetricsRegistry | None = None,
 ) -> ChaosReport:
     """Run the supervised service through one chaos scenario.
 
@@ -463,6 +472,9 @@ def run_chaos(
         streaming_config: Monitor parameters; a chaos-friendly default
             (15 s window, 5 s hop, 0.5 s gap tolerance) when omitted.
         supervisor_config: Supervision parameters; defaults when omitted.
+        registry: Optional metrics registry the *faulted* run records into
+            (timed on its simulated clock, so snapshots are deterministic).
+            The fault-free reference run is never instrumented.
 
     Returns:
         The :class:`ChaosReport`.
@@ -526,6 +538,7 @@ def run_chaos(
         supervisor_config=supervisor_config,
         seed=seed,
         subject_name="subject",
+        registry=registry,
     )
     health = faulted.health_summary()["subject"]
 

@@ -10,6 +10,7 @@ run.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
@@ -90,6 +91,18 @@ class EventLog:
     def to_jsonable(self) -> list[dict[str, Any]]:
         """JSON-safe list of all events."""
         return [e.to_dict() for e in self._events]
+
+    def to_jsonl(self) -> str:
+        """One canonical-JSON line per event, in arrival order.
+
+        Lines are compact and key-sorted, so two identical runs produce
+        byte-identical output (the ``--events-out`` file format).
+        """
+        return "".join(
+            json.dumps(e.to_dict(), sort_keys=True, separators=(",", ":"))
+            + "\n"
+            for e in self._events
+        )
 
     def __len__(self) -> int:
         return len(self._events)

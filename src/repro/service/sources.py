@@ -34,6 +34,7 @@ from ..errors import (
     TransientSourceError,
 )
 from ..io_.trace import CSITrace
+from ..obs import NULL_INSTRUMENTATION, Instrumentation
 from .breaker import BreakerConfig, BreakerState, CircuitBreaker
 from .clock import SimulatedClock
 from .events import EventLog
@@ -316,6 +317,9 @@ class ResilientSource:
         retry: Bounded-backoff parameters for transient errors.
         breaker: Circuit-breaker parameters.
         seed: Seed for backoff jitter.
+        instrumentation: Optional :class:`repro.obs.Instrumentation`;
+            mirrors the ``counters`` tallies into ``source_*_total``
+            series labelled by subject, shared with the inner breaker.
 
     Attributes:
         counters: Tallies — ``reads_ok``, ``transient_errors``,
@@ -333,6 +337,7 @@ class ResilientSource:
         retry: RetryConfig | None = None,
         breaker: BreakerConfig | None = None,
         seed: int = 0,
+        instrumentation: Instrumentation | None = None,
     ):
         if deadline_s <= 0:
             raise ConfigurationError("deadline_s must be positive")
@@ -340,6 +345,9 @@ class ResilientSource:
         self._clock = clock
         self._subject = subject
         self._events = events if events is not None else EventLog()
+        self._obs = (
+            instrumentation if instrumentation is not None else NULL_INSTRUMENTATION
+        )
         self.deadline_s = float(deadline_s)
         self.retry = retry if retry is not None else RetryConfig()
         self._rng = np.random.default_rng(seed)
@@ -347,6 +355,7 @@ class ResilientSource:
             clock,
             breaker if breaker is not None else BreakerConfig(),
             on_transition=self._on_breaker_transition,
+            instrumentation=self._obs,
         )
         self._source = source_factory(clock.now_s)
         self.counters: dict[str, int] = {
@@ -378,6 +387,12 @@ class ResilientSource:
             previous=old.value,
         )
 
+    def _count(self, name: str, help_text: str) -> None:
+        """Mirror one ``counters`` increment into the metrics registry."""
+        self._obs.count(
+            name, labels={"subject": self._subject}, help_text=help_text
+        )
+
     def _backoff_delay_s(self, attempt: int) -> float:
         base = self.retry.backoff_base_s * self.retry.backoff_factor**attempt
         jitter = 1.0 + self.retry.jitter_fraction * float(
@@ -389,6 +404,7 @@ class ResilientSource:
         """Replace a crashed source with a fresh one starting 'now'."""
         self._source = self._factory(self._clock.now_s)
         self.counters["rebuilds"] += 1
+        self._count("source_rebuilds_total", "Sources rebuilt after a crash or stall.")
         self._events.record(
             self._clock.now_s, self._subject, "source-restart"
         )
@@ -419,6 +435,10 @@ class ResilientSource:
         """
         if not self.breaker.allow_call():
             self.counters["circuit_rejections"] += 1
+            self._count(
+                "source_circuit_rejections_total",
+                "Reads short-circuited by an open breaker.",
+            )
             raise CircuitOpenError(self.breaker.retry_after_s())
         attempt = 0
         while True:
@@ -427,6 +447,10 @@ class ResilientSource:
                 packet = self._source.next_packet()
             except TransientSourceError as exc:
                 self.counters["transient_errors"] += 1
+                self._count(
+                    "source_transient_errors_total",
+                    "Transient read errors (including retried ones).",
+                )
                 self.breaker.record_failure()
                 if attempt < self.retry.max_retries:
                     self._clock.advance(self._backoff_delay_s(attempt))
@@ -435,6 +459,7 @@ class ResilientSource:
                 raise SourceUnavailableError(attempt + 1) from exc
             except SourceCrashedError as exc:
                 self.counters["crashes"] += 1
+                self._count("source_crashes_total", "Hard source crashes.")
                 self.breaker.record_failure()
                 self._events.record(
                     self._clock.now_s,
@@ -445,8 +470,17 @@ class ResilientSource:
                 self._rebuild()
                 raise
             elapsed = self._clock.now_s - t0
+            self._obs.observe(
+                "source_read_duration_s",
+                elapsed,
+                labels={"subject": self._subject},
+                help_text="Simulated seconds one supervised read took.",
+            )
             if elapsed > self.deadline_s:
                 self.counters["timeouts"] += 1
+                self._count(
+                    "source_timeouts_total", "Reads that blew their deadline."
+                )
                 self.breaker.record_failure()
                 timeout = SourceTimeoutError(elapsed, self.deadline_s)
                 self._events.record(
@@ -460,4 +494,5 @@ class ResilientSource:
             self.breaker.record_success()
             if packet is not None:
                 self.counters["reads_ok"] += 1
+                self._count("source_reads_ok_total", "Successful packet reads.")
             return packet

@@ -48,6 +48,11 @@ from ..errors import (
     SourceUnavailableError,
 )
 from ..extensions.csi_ratio import CsiRatioEstimator
+from ..obs import (
+    DEFAULT_SIZE_BUCKETS,
+    NULL_INSTRUMENTATION,
+    Instrumentation,
+)
 from .breaker import BreakerConfig, BreakerState
 from .clock import SimulatedClock
 from .events import EventLog
@@ -210,6 +215,10 @@ class MonitorSupervisor:
         seed: Master seed for per-source retry jitter (each subject gets a
             distinct child seed, so adding a subject never reshuffles the
             others' backoff timing).
+        instrumentation: Optional :class:`repro.obs.Instrumentation`,
+            shared with every subject's source, breaker, monitor, and
+            pipeline; records restarts, checkpoints, fallback-ladder
+            moves, stalls, and health levels (``supervisor_*`` series).
     """
 
     def __init__(
@@ -220,6 +229,7 @@ class MonitorSupervisor:
         pipeline_config: PhaseBeatConfig | None = None,
         events: EventLog | None = None,
         seed: int = 0,
+        instrumentation: Instrumentation | None = None,
     ):
         self.clock = clock if clock is not None else SimulatedClock()
         self.config = config if config is not None else SupervisorConfig()
@@ -228,6 +238,9 @@ class MonitorSupervisor:
         )
         self.pipeline_config = pipeline_config
         self.events = events if events is not None else EventLog()
+        self._obs = (
+            instrumentation if instrumentation is not None else NULL_INSTRUMENTATION
+        )
         self._seed = int(seed)
         self._subjects: dict[str, _Subject] = {}
         self._csi_ratio = CsiRatioEstimator()
@@ -265,9 +278,13 @@ class MonitorSupervisor:
             retry=self.config.retry,
             breaker=self.config.breaker,
             seed=self._seed + len(self._subjects),
+            instrumentation=self._obs,
         )
         monitor = StreamingMonitor(
-            sample_rate_hz, self.streaming_config, self.pipeline_config
+            sample_rate_hz,
+            self.streaming_config,
+            self.pipeline_config,
+            instrumentation=self._obs,
         )
         self._subjects[name] = _Subject(
             name=name,
@@ -387,6 +404,11 @@ class MonitorSupervisor:
             "stall-detected",
             silence_s=silence_s,
         )
+        self._obs.count(
+            "supervisor_stalls_detected_total",
+            labels={"subject": subject.name},
+            help_text="Silent stalls caught by the watchdog.",
+        )
         subject.source.force_restart()
         subject.last_progress_s = self.clock.now_s
 
@@ -408,6 +430,11 @@ class MonitorSupervisor:
 
     def _restart_monitor(self, subject: _Subject, cause: Exception) -> None:
         subject.monitor_restarts += 1
+        self._obs.count(
+            "supervisor_monitor_restarts_total",
+            labels={"subject": subject.name},
+            help_text="Monitor rebuilds after a crash.",
+        )
         if subject.monitor_restarts > self.config.max_monitor_restarts:
             subject.failed = True
             self.events.record(
@@ -416,11 +443,18 @@ class MonitorSupervisor:
                 "subject-failed",
                 monitor_restarts=subject.monitor_restarts,
             )
+            self._obs.count(
+                "supervisor_subject_failures_total",
+                labels={"subject": subject.name},
+                help_text="Subjects escalated to FAILED (restart budget "
+                "exhausted).",
+            )
             return
         monitor = StreamingMonitor(
             subject.monitor.sample_rate_hz,
             self.streaming_config,
             self.pipeline_config,
+            instrumentation=self._obs,
         )
         restored = False
         if subject.last_checkpoint is not None:
@@ -454,11 +488,24 @@ class MonitorSupervisor:
             return
         subject.last_checkpoint = subject.monitor.checkpoint()
         subject.last_checkpoint_s = self.clock.now_s
+        n_buffered = len(subject.last_checkpoint["buffer"])
         self.events.record(
             self.clock.now_s,
             subject.name,
             "checkpoint",
-            n_buffered=len(subject.last_checkpoint["buffer"]),
+            n_buffered=n_buffered,
+        )
+        self._obs.count(
+            "supervisor_checkpoints_total",
+            labels={"subject": subject.name},
+            help_text="Periodic monitor checkpoints taken.",
+        )
+        self._obs.observe(
+            "supervisor_checkpoint_size_packets",
+            n_buffered,
+            labels={"subject": subject.name},
+            help_text="Buffered packets per checkpoint.",
+            bucket_bounds=DEFAULT_SIZE_BUCKETS,
         )
 
     # ------------------------------------------------------------------
@@ -529,6 +576,12 @@ class MonitorSupervisor:
             from_level = subject.fallback_level
             subject.fallback_level = 0
             subject.consecutive_fresh = 0
+            self._obs.count(
+                "supervisor_fallback_recoveries_total",
+                labels={"subject": subject.name},
+                help_text="Returns to the primary estimator.",
+            )
+            self._set_fallback_gauge(subject)
             self.events.record(
                 self.clock.now_s,
                 subject.name,
@@ -568,6 +621,12 @@ class MonitorSupervisor:
             return
         subject.fallback_level += 1
         subject.consecutive_gated = 0
+        self._obs.count(
+            "supervisor_fallback_escalations_total",
+            labels={"subject": subject.name},
+            help_text="Steps down the estimator fallback ladder.",
+        )
+        self._set_fallback_gauge(subject)
         self.events.record(
             self.clock.now_s,
             subject.name,
@@ -575,6 +634,14 @@ class MonitorSupervisor:
             to_method=FALLBACK_METHODS[subject.fallback_level],
             level=subject.fallback_level,
             reason=reason,
+        )
+
+    def _set_fallback_gauge(self, subject: _Subject) -> None:
+        self._obs.gauge_set(
+            "supervisor_fallback_level",
+            subject.fallback_level,
+            labels={"subject": subject.name},
+            help_text="Current fallback-ladder rung (0 = primary).",
         )
 
     def _handle_rejected(
@@ -656,3 +723,16 @@ class MonitorSupervisor:
             health=new.value,
         )
         subject.health = new
+        # 0 = healthy, 1 = degraded, 2 = failed.
+        health_levels = {
+            SubjectHealth.HEALTHY: 0,
+            SubjectHealth.DEGRADED: 1,
+            SubjectHealth.FAILED: 2,
+        }
+        self._obs.gauge_set(
+            "supervisor_subject_health_level",
+            health_levels[new],
+            labels={"subject": subject.name},
+            help_text="Coarse subject health (0 healthy, 1 degraded, "
+            "2 failed).",
+        )

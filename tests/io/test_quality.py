@@ -59,6 +59,35 @@ class TestAssessTimestamps:
         assert report.issues(max_loss_fraction=0.6, max_gap_s=0.01) == ["data-gap"]
 
 
+class TestSummary:
+    def test_clean_stream_one_line(self):
+        t = np.arange(1000) / 100.0
+        line = assess_timestamps(t, 100.0).summary()
+        assert "\n" not in line
+        assert line == (
+            "1000 pkts over 10.0s (effective 100.0/100 Hz, "
+            "loss 0%, max gap 10 ms)"
+        )
+
+    def test_lossy_stream_reports_loss_and_gap(self):
+        t = np.arange(1000) / 100.0
+        keep = np.ones(1000, dtype=bool)
+        keep[200:300] = False  # a 1 s hole
+        line = assess_timestamps(t[keep], 100.0).summary()
+        assert "900 pkts" in line
+        assert "loss 10%" in line
+        assert "max gap 1010 ms" in line
+
+    def test_summary_is_json_safe_detail(self):
+        # The chaos harness embeds the summary in event details and the
+        # ChaosReport JSON; it must stay a plain printable string.
+        t = np.array([0.0, 0.01, 0.005, np.nan, 0.03])
+        line = assess_timestamps(t, 100.0).summary()
+        assert isinstance(line, str)
+        assert line == line.strip()
+        assert line.isprintable()
+
+
 class TestTraceValidate:
     def test_clean_trace_passes(self):
         trace = make_trace(np.arange(500) / 100.0)

@@ -1,0 +1,13 @@
+"""Make ``tools/phaselint`` importable for the naming cross-check test.
+
+The metric-name unit-suffix vocabulary must stay equal to phaselint's
+PL003 ``unit-suffixes`` defaults; the cross-check imports the linter's
+config, which lives outside the installed package.
+"""
+
+import sys
+from pathlib import Path
+
+_TOOLS = Path(__file__).resolve().parents[2] / "tools"
+if str(_TOOLS) not in sys.path:
+    sys.path.insert(0, str(_TOOLS))

@@ -1,0 +1,30 @@
+"""Clock protocol: the wall clock ticks, the simulated clock satisfies it."""
+
+import pytest
+
+from repro.obs import Clock, WallClock
+from repro.service.clock import SimulatedClock
+
+
+class TestWallClock:
+    def test_is_monotone_nondecreasing(self):
+        clock = WallClock()
+        readings = [clock.now_s for _ in range(5)]
+        assert all(b >= a for a, b in zip(readings, readings[1:]))
+
+    def test_satisfies_protocol(self):
+        assert isinstance(WallClock(), Clock)
+
+
+class TestSimulatedClockInterop:
+    """The service's SimulatedClock is a valid obs clock — the property
+    the deterministic-trace acceptance test rests on."""
+
+    def test_satisfies_protocol(self):
+        assert isinstance(SimulatedClock(), Clock)
+
+    def test_reads_simulated_time(self):
+        clock = SimulatedClock(10.0)
+        assert clock.now_s == pytest.approx(10.0)
+        clock.advance(2.5)
+        assert clock.now_s == pytest.approx(12.5)

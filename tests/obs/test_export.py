@@ -1,0 +1,120 @@
+"""Exporters: canonical JSON, Prometheus text, table, and diff."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    MetricsRegistry,
+    canonical_json,
+    diff_snapshots,
+    load_snapshot,
+    render_prometheus,
+    render_table,
+)
+
+
+def _sample_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter(
+        "reads_total", help_text="Reads.", labels={"subject": "s1"}
+    ).inc(3.0)
+    reg.gauge("depth_packets").set(7.0)
+    hist = reg.histogram("latency_s", bucket_bounds=(0.1, 1.0))
+    hist.observe(0.05)
+    hist.observe(0.5)
+    hist.observe(9.0)
+    return reg
+
+
+class TestCanonicalJson:
+    def test_round_trips_through_load(self):
+        snap = _sample_registry().snapshot()
+        assert load_snapshot(canonical_json(snap)) == snap
+
+    def test_equal_registries_serialize_byte_identically(self):
+        a = canonical_json(_sample_registry().snapshot())
+        b = canonical_json(_sample_registry().snapshot())
+        assert a == b
+
+    def test_ends_with_single_newline(self):
+        text = canonical_json(MetricsRegistry().snapshot())
+        assert text.endswith("\n") and not text.endswith("\n\n")
+
+
+class TestLoadSnapshot:
+    def test_rejects_non_json(self):
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            load_snapshot("{nope")
+
+    def test_rejects_missing_schema_marker(self):
+        with pytest.raises(ConfigurationError, match="schema marker"):
+            load_snapshot('{"metrics": []}')
+
+
+class TestRenderPrometheus:
+    def test_headers_series_and_cumulative_buckets(self):
+        text = render_prometheus(_sample_registry().snapshot())
+        assert "# TYPE reads_total counter" in text
+        assert "# HELP reads_total Reads." in text
+        assert 'reads_total{subject="s1"} 3.0' in text
+        assert "# TYPE depth_packets gauge" in text
+        assert "depth_packets 7.0" in text
+        # Buckets are cumulative: 1 under 0.1, 2 under 1.0, 3 under +Inf.
+        assert 'latency_s_bucket{le="0.1"} 1' in text
+        assert 'latency_s_bucket{le="1.0"} 2' in text
+        assert 'latency_s_bucket{le="+Inf"} 3' in text
+        assert "latency_s_count 3" in text
+
+    def test_header_emitted_once_per_family(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", labels={"k": "1"})
+        reg.counter("x_total", labels={"k": "2"})
+        text = render_prometheus(reg.snapshot())
+        assert text.count("# TYPE x_total counter") == 1
+
+
+class TestRenderTable:
+    def test_rows_and_histogram_summary(self):
+        text = render_table(_sample_registry().snapshot())
+        assert "reads_total" in text
+        assert "subject=s1" in text
+        assert "count=3" in text  # histogram summarized, not dumped
+
+    def test_empty_snapshot(self):
+        assert render_table(MetricsRegistry().snapshot()) == (
+            "(no metrics recorded)\n"
+        )
+
+
+class TestDiffSnapshots:
+    def test_equal_snapshots_diff_empty(self):
+        a = _sample_registry().snapshot()
+        b = _sample_registry().snapshot()
+        assert diff_snapshots(a, b) == []
+
+    def test_added_removed_changed(self):
+        old_reg = MetricsRegistry()
+        old_reg.counter("kept_total").inc()
+        old_reg.counter("gone_total").inc()
+        new_reg = MetricsRegistry()
+        new_reg.counter("kept_total").inc(5.0)
+        new_reg.counter("fresh_total").inc()
+        changes = {
+            (c["name"], c["change"])
+            for c in diff_snapshots(old_reg.snapshot(), new_reg.snapshot())
+        }
+        assert changes == {
+            ("kept_total", "changed"),
+            ("gone_total", "removed"),
+            ("fresh_total", "added"),
+        }
+
+    def test_label_fork_is_added_not_changed(self):
+        old_reg = MetricsRegistry()
+        old_reg.counter("x_total", labels={"k": "1"}).inc()
+        new_reg = MetricsRegistry()
+        new_reg.counter("x_total", labels={"k": "1"}).inc()
+        new_reg.counter("x_total", labels={"k": "2"}).inc()
+        (change,) = diff_snapshots(old_reg.snapshot(), new_reg.snapshot())
+        assert change["change"] == "added"
+        assert change["labels"] == {"k": "2"}

@@ -1,0 +1,66 @@
+"""Metric/label naming discipline and its link to phaselint PL003."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    METRIC_UNIT_SUFFIXES,
+    validate_label_name,
+    validate_metric_name,
+)
+
+
+class TestValidateMetricName:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "pipeline_stage_duration_s",
+            "monitor_rejected_windows_total",
+            "supervisor_checkpoint_size_packets",
+            "supervisor_fallback_level",
+            "dsp_reclock_gap_fraction",
+            "heart_rate_bpm",
+        ],
+    )
+    def test_accepts_unit_suffixed_names(self, name):
+        assert validate_metric_name(name) == name
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "pipeline_errors",       # no unit suffix
+            "window_latency",        # no unit suffix
+            "Duration_s",            # not snake_case
+            "monitor.stage.s",       # dots are not legal
+            "",
+            "_s",
+        ],
+    )
+    def test_rejects_bad_names(self, name):
+        with pytest.raises(ConfigurationError):
+            validate_metric_name(name)
+
+    def test_error_names_the_offending_metric(self):
+        with pytest.raises(ConfigurationError, match="window_latency"):
+            validate_metric_name("window_latency")
+
+
+class TestValidateLabelName:
+    def test_accepts_snake_case(self):
+        assert validate_label_name("stage") == "stage"
+        assert validate_label_name("from_state") == "from_state"
+
+    @pytest.mark.parametrize("name", ["Stage", "le bad", "", "9lives"])
+    def test_rejects_bad_label_names(self, name):
+        with pytest.raises(ConfigurationError):
+            validate_label_name(name)
+
+
+class TestVocabularyMatchesPhaselint:
+    """METRIC_UNIT_SUFFIXES and phaselint's PL003 defaults are the same
+    vocabulary — a suffix added to one side must be added to the other."""
+
+    def test_sets_are_equal(self):
+        from phaselint.config import LintConfig
+
+        assert METRIC_UNIT_SUFFIXES == frozenset(LintConfig().unit_suffixes)

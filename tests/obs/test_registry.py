@@ -1,0 +1,124 @@
+"""Registry semantics: get-or-create, unit discipline, determinism."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    DEFAULT_SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("reads_total")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == pytest.approx(3.5)
+
+    def test_rejects_decrease(self):
+        c = MetricsRegistry().counter("reads_total")
+        with pytest.raises(ConfigurationError, match="cannot decrease"):
+            c.inc(-1.0)
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        g = MetricsRegistry().gauge("depth_packets")
+        g.set(7.0)
+        g.inc(-2.0)
+        assert g.value == pytest.approx(5.0)
+
+
+class TestHistogram:
+    def test_buckets_are_upper_bounds_with_overflow(self):
+        h = MetricsRegistry().histogram(
+            "read_duration_s", bucket_bounds=(1.0, 10.0)
+        )
+        h.observe(0.5)   # <= 1.0
+        h.observe(1.0)   # <= 1.0 (bounds are inclusive)
+        h.observe(5.0)   # <= 10.0
+        h.observe(99.0)  # overflow
+        assert h.bucket_counts == [2, 1, 1]
+        assert h.count == 4
+        assert h.sum == pytest.approx(105.5)
+
+    def test_rejects_empty_or_descending_bounds(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            reg.histogram("a_s", bucket_bounds=())
+        with pytest.raises(ConfigurationError):
+            reg.histogram("b_s", bucket_bounds=(2.0, 1.0))
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_series(self):
+        reg = MetricsRegistry()
+        a = reg.counter("reads_total", labels={"subject": "s1"})
+        b = reg.counter("reads_total", labels={"subject": "s1"})
+        assert a is b
+        assert len(reg) == 1
+
+    def test_label_order_does_not_fork_series(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", labels={"a": "1", "b": "2"})
+        b = reg.counter("x_total", labels={"b": "2", "a": "1"})
+        assert a is b
+
+    def test_distinct_labels_make_distinct_series(self):
+        reg = MetricsRegistry()
+        a = reg.counter("reads_total", labels={"subject": "s1"})
+        b = reg.counter("reads_total", labels={"subject": "s2"})
+        assert a is not b
+        assert len(reg) == 2
+
+    def test_name_without_unit_suffix_is_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            reg.counter("pipeline_errors")
+
+    def test_kind_conflict_is_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("reads_total")
+        with pytest.raises(ConfigurationError, match="already registered"):
+            reg.gauge("reads_total")
+
+    def test_histogram_bound_conflict_is_rejected(self):
+        reg = MetricsRegistry()
+        reg.histogram("size_packets", bucket_bounds=DEFAULT_SIZE_BUCKETS)
+        with pytest.raises(ConfigurationError, match="already registered"):
+            reg.histogram("size_packets", bucket_bounds=(1.0, 2.0))
+
+    def test_iteration_is_sorted_regardless_of_creation_order(self):
+        reg = MetricsRegistry()
+        reg.counter("z_total")
+        reg.gauge("a_level")
+        reg.counter("m_total", labels={"k": "2"})
+        reg.counter("m_total", labels={"k": "1"})
+        names = [(s.name, s.labels) for s in reg]
+        assert names == sorted(names)
+
+    def test_snapshot_is_creation_order_independent(self):
+        reg1 = MetricsRegistry()
+        reg1.counter("a_total").inc()
+        reg1.gauge("b_level").set(2.0)
+        reg2 = MetricsRegistry()
+        reg2.gauge("b_level").set(2.0)
+        reg2.counter("a_total").inc()
+        assert reg1.snapshot() == reg2.snapshot()
+
+    def test_snapshot_carries_schema_marker(self):
+        snap = MetricsRegistry().snapshot()
+        assert snap["schema"] == "repro.obs/v1"
+        assert snap["metrics"] == []
+
+    def test_instrument_classes_are_exported(self):
+        reg = MetricsRegistry()
+        assert isinstance(reg.counter("a_total"), Counter)
+        assert isinstance(reg.gauge("b_level"), Gauge)
+        assert isinstance(reg.histogram("c_s"), Histogram)

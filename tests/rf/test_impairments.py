@@ -13,6 +13,7 @@ from repro.rf.impairments import (
     DropoutGap,
     GilbertElliottLoss,
     ImpulsiveCorruption,
+    SegmentImpairment,
     SubcarrierNulls,
     TimestampJitter,
     apply_impairments,
@@ -135,6 +136,85 @@ class TestCsiFaults:
     def test_null_indices_validated(self, lab_trace):
         with pytest.raises(ConfigurationError):
             SubcarrierNulls(indices=(99,))(lab_trace, seed=0)
+
+
+class TestSegmentImpairment:
+    def test_zero_length_window_rejected(self):
+        with pytest.raises(ConfigurationError, match="empty"):
+            SegmentImpairment(
+                inner=BernoulliLoss(0.3), start_s=5.0, end_s=5.0
+            )
+
+    def test_inverted_window_rejected(self):
+        with pytest.raises(ConfigurationError, match="empty"):
+            SegmentImpairment(
+                inner=BernoulliLoss(0.3), start_s=5.0, end_s=2.0
+            )
+
+    def test_needs_an_inner_impairment(self):
+        with pytest.raises(ConfigurationError, match="inner"):
+            SegmentImpairment(inner=None, start_s=0.0, end_s=1.0)
+
+    def test_whole_trace_window_matches_bare_inner(self, short_lab_trace):
+        # A window covering every packet must degrade exactly as the inner
+        # impairment would applied bare (same derived seed => same draw).
+        duration = float(
+            short_lab_trace.timestamps_s[-1] - short_lab_trace.timestamps_s[0]
+        )
+        whole = apply_impairments(
+            short_lab_trace,
+            [
+                SegmentImpairment(
+                    inner=BernoulliLoss(0.3),
+                    start_s=0.0,
+                    end_s=duration + 1.0,
+                )
+            ],
+            seed=7,
+        )
+        bare = apply_impairments(
+            short_lab_trace, [BernoulliLoss(0.3)], seed=7
+        )
+        assert np.array_equal(whole.timestamps_s, bare.timestamps_s)
+        assert np.array_equal(whole.csi, bare.csi)
+
+    def test_outside_window_untouched(self, short_lab_trace):
+        t0 = float(short_lab_trace.timestamps_s[0])
+        out = apply_impairments(
+            short_lab_trace,
+            [
+                SegmentImpairment(
+                    inner=BernoulliLoss(0.6), start_s=4.0, end_s=6.0
+                )
+            ],
+            seed=3,
+        )
+        offsets_in = short_lab_trace.timestamps_s - t0
+        offsets_out = out.timestamps_s - t0
+        clean_in = offsets_in[(offsets_in < 4.0) | (offsets_in >= 6.0)]
+        clean_out = offsets_out[(offsets_out < 4.0) | (offsets_out >= 6.0)]
+        assert np.array_equal(clean_in, clean_out)
+        # Inside the window packets were actually lost.
+        n_window_in = int(((offsets_in >= 4.0) & (offsets_in < 6.0)).sum())
+        n_window_out = int(((offsets_out >= 4.0) & (offsets_out < 6.0)).sum())
+        assert n_window_out < n_window_in
+
+    def test_tiny_window_with_fewer_than_two_packets_is_a_noop(
+        self, short_lab_trace
+    ):
+        # 200 Hz capture: a 1 ms window holds at most one packet; the
+        # splice degenerates to "nothing to degrade" rather than crashing.
+        out = apply_impairments(
+            short_lab_trace,
+            [
+                SegmentImpairment(
+                    inner=BernoulliLoss(0.9), start_s=2.0, end_s=2.001
+                )
+            ],
+            seed=0,
+        )
+        assert np.array_equal(out.timestamps_s, short_lab_trace.timestamps_s)
+        assert out.meta["impairments"][-1]["inner_record"] is None
 
 
 class TestComposition:

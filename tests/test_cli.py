@@ -191,3 +191,109 @@ class TestMonitorCommand:
         output = capsys.readouterr().out
         assert "scenario one-crash" in output
         assert "source-crash" in output
+
+
+class TestMonitorObservabilityOutputs:
+    def test_metrics_and_events_written(self, tmp_path, capsys):
+        import json
+
+        metrics = tmp_path / "metrics.json"
+        events = tmp_path / "events.jsonl"
+        code = main(
+            [
+                "monitor",
+                "--duration", "40",
+                "--seed", "0",
+                "--metrics-out", str(metrics),
+                "--events-out", str(events),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"wrote {metrics}" in out
+        assert f"wrote {events}" in out
+
+        snapshot = json.loads(metrics.read_text())
+        assert snapshot["schema"] == "repro.obs/v1"
+        names = {sample["name"] for sample in snapshot["metrics"]}
+        assert "pipeline_stage_duration_s" in names
+
+        lines = events.read_text().splitlines()
+        assert lines  # the supervisor always checkpoints at least once
+        for line in lines:
+            event = json.loads(line)
+            assert {"time_s", "subject", "kind", "detail"} <= set(event)
+
+
+class TestMetricsCommand:
+    @pytest.fixture(scope="class")
+    def snapshot_path(self, tmp_path_factory):
+        """One real --metrics-out file shared by the render/diff tests."""
+        path = tmp_path_factory.mktemp("metrics") / "metrics.json"
+        assert (
+            main(
+                [
+                    "monitor",
+                    "--duration", "40",
+                    "--seed", "0",
+                    "--metrics-out", str(path),
+                ]
+            )
+            == 0
+        )
+        return path
+
+    def test_render_table(self, snapshot_path, capsys):
+        assert main(["metrics", "render", str(snapshot_path)]) == 0
+        out = capsys.readouterr().out
+        assert "metric" in out and "pipeline_stage_duration_s" in out
+
+    def test_render_prometheus(self, snapshot_path, capsys):
+        code = main(
+            ["metrics", "render", str(snapshot_path), "--format", "prometheus"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# TYPE pipeline_stage_duration_s histogram" in out
+        assert 'le="+Inf"' in out
+
+    def test_render_json_round_trips_bytes(self, snapshot_path, capsys):
+        code = main(
+            ["metrics", "render", str(snapshot_path), "--format", "json"]
+        )
+        assert code == 0
+        assert capsys.readouterr().out == snapshot_path.read_text()
+
+    def test_diff_identical(self, snapshot_path, capsys):
+        code = main(
+            ["metrics", "diff", str(snapshot_path), str(snapshot_path)]
+        )
+        assert code == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_diff_reports_changes(self, snapshot_path, tmp_path, capsys):
+        import json
+
+        data = json.loads(snapshot_path.read_text())
+        data["metrics"] = [
+            s
+            for s in data["metrics"]
+            if s["name"] != "monitor_fresh_windows_total"
+        ]
+        other = tmp_path / "edited.json"
+        other.write_text(json.dumps(data))
+        code = main(["metrics", "diff", str(snapshot_path), str(other)])
+        assert code == 1
+        assert "- monitor_fresh_windows_total" in capsys.readouterr().out
+
+    def test_render_rejects_non_snapshot_file(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text('{"metrics": []}')
+        code = main(["metrics", "render", str(bogus)])
+        assert code == 2
+        assert "schema marker" in capsys.readouterr().err
+
+    def test_missing_snapshot_is_a_clean_error(self, tmp_path, capsys):
+        code = main(["metrics", "render", str(tmp_path / "missing.json")])
+        assert code == 2
+        assert "cannot read snapshot" in capsys.readouterr().err

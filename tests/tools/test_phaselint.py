@@ -77,6 +77,92 @@ class TestPL001Randomness:
         assert found == []
 
 
+class TestPL001WallClockShim:
+    """The `time` module ban inside wall-clock-scope, shim files excepted."""
+
+    def _config(self, tmp_path, **overrides):
+        settings = {
+            "select": ("PL001",),
+            "wall_clock_scope": (tmp_path.as_posix(),),
+            "wall_clock_shims": ("*/clock.py",),
+        }
+        settings.update(overrides)
+        return LintConfig(**settings)
+
+    def test_denies_import_time_in_scope(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "import time\n\nT0 = time.perf_counter()\n",
+            self._config(tmp_path),
+        )
+        assert codes(found) == ["PL001"]
+        assert "wall-clock shim" in found[0].message
+
+    def test_denies_from_time_import_in_scope(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "from time import perf_counter\n\nT0 = perf_counter()\n",
+            self._config(tmp_path),
+        )
+        assert codes(found) == ["PL001"]
+
+    def test_from_time_import_time_yields_single_finding(self, tmp_path):
+        # `from time import time` trips both the shim ban and the legacy
+        # wall-clock check; the shim ban must supersede, not stack.
+        found = lint_snippet(
+            tmp_path,
+            "from time import time\n\nseed = int(time())\n",
+            self._config(tmp_path),
+        )
+        assert codes(found) == ["PL001"]
+
+    def test_allows_sanctioned_shim_file(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "import time\n\n\ndef now_s() -> float:\n"
+            '    """Monotonic seconds."""\n'
+            "    return time.perf_counter()\n",
+            self._config(tmp_path),
+            name="clock.py",
+        )
+        assert found == []
+
+    def test_perf_counter_stays_legal_outside_scope(self, tmp_path):
+        # Without a scope the historical behaviour holds: perf_counter is
+        # a duration read, not a wall-clock read.
+        found = lint_snippet(
+            tmp_path,
+            "import time\n\nT0 = time.perf_counter()\n",
+            self._config(tmp_path, wall_clock_scope=()),
+        )
+        assert found == []
+
+    def test_allow_unseeded_does_not_bypass_shim_ban(self, tmp_path):
+        # An entry-point exemption covers entropy/wall-clock *reads*, not
+        # the structural ban on importing `time` inside the scope.
+        config = self._config(tmp_path, allow_unseeded=("*cli.py",))
+        found = lint_snippet(
+            tmp_path,
+            "import time\nimport numpy as np\n\n"
+            "rng = np.random.default_rng()\nT0 = time.perf_counter()\n",
+            config,
+            name="cli.py",
+        )
+        assert codes(found) == ["PL001"]
+        assert found[0].line == 1
+
+    def test_shim_config_loads_from_pyproject(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(
+            "[tool.phaselint]\n"
+            'wall-clock-scope = ["src"]\n'
+            'wall-clock-shims = ["src/repro/obs/clock.py"]\n'
+        )
+        config = load_config(tmp_path)
+        assert config.wall_clock_banned("src/repro/core/pipeline.py")
+        assert not config.wall_clock_banned("src/repro/obs/clock.py")
+        assert not config.wall_clock_banned("tests/test_cli.py")
+
+
 class TestPL002Ndarray:
     def test_fires_on_bare_parameter_annotation(self, tmp_path):
         found = lint_snippet(

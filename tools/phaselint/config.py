@@ -38,6 +38,13 @@ class LintConfig:
         allow_unseeded: fnmatch patterns naming the entry points where
             PL001 permits wall-clock time and unseeded generators (CLIs,
             latency benchmarks).
+        wall_clock_shims: fnmatch patterns naming the *only* files allowed
+            to import the ``time`` module inside ``wall_clock_scope``
+            (the sanctioned clock shims).
+        wall_clock_scope: Path prefixes (same matching as ``rule_paths``)
+            where PL001 bans the ``time`` module outright — every clock
+            read there must flow through an injected Clock from a shim
+            file.  Empty scope disables the ban.
         unit_tokens: Parameter-name stems PL003 considers unit-ambiguous.
         unit_suffixes: Suffixes PL003 accepts as carrying a unit (matched
             against the final ``_``-separated token of the name).
@@ -47,6 +54,8 @@ class LintConfig:
     exclude: tuple[str, ...] = tuple(DEFAULT_EXCLUDE)
     rule_paths: dict[str, tuple[str, ...]] = field(default_factory=dict)
     allow_unseeded: tuple[str, ...] = ()
+    wall_clock_shims: tuple[str, ...] = ()
+    wall_clock_scope: tuple[str, ...] = ()
     unit_tokens: tuple[str, ...] = (
         "rate",
         "freq",
@@ -81,6 +90,9 @@ class LintConfig:
         "fraction",
         "ratio",
         "norm",
+        "level",
+        "total",
+        "count",
     )
     select: tuple[str, ...] = ()
 
@@ -103,6 +115,25 @@ class LintConfig:
     def unseeded_allowed(self, posix_path: str) -> bool:
         """True when PL001 gives ``posix_path`` an entry-point exemption."""
         return any(fnmatch.fnmatch(posix_path, pat) for pat in self.allow_unseeded)
+
+    def is_wall_clock_shim(self, posix_path: str) -> bool:
+        """True when ``posix_path`` is a sanctioned clock-shim file."""
+        return any(
+            fnmatch.fnmatch(posix_path, pat) for pat in self.wall_clock_shims
+        )
+
+    def wall_clock_banned(self, posix_path: str) -> bool:
+        """True when PL001 must ban the ``time`` module in ``posix_path``.
+
+        The ban applies inside ``wall_clock_scope`` to every file that is
+        not itself a ``wall_clock_shims`` match; an empty scope disables
+        it entirely.
+        """
+        in_scope = any(
+            posix_path == p or posix_path.startswith(p.rstrip("/") + "/")
+            for p in self.wall_clock_scope
+        )
+        return in_scope and not self.is_wall_clock_shim(posix_path)
 
 
 def load_config(root: Path | None = None) -> LintConfig:
@@ -134,6 +165,8 @@ def load_config(root: Path | None = None) -> LintConfig:
         exclude=tuple(table.get("exclude", list(defaults.exclude))),
         rule_paths=rule_paths,
         allow_unseeded=tuple(table.get("allow-unseeded", [])),
+        wall_clock_shims=tuple(table.get("wall-clock-shims", [])),
+        wall_clock_scope=tuple(table.get("wall-clock-scope", [])),
         unit_tokens=tuple(table.get("unit-tokens", list(defaults.unit_tokens))),
         unit_suffixes=tuple(
             table.get("unit-suffixes", list(defaults.unit_suffixes))

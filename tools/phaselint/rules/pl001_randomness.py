@@ -13,6 +13,13 @@ therefore bans the three ways nondeterminism leaks in:
 Entry points that legitimately need fresh entropy or real timestamps (CLIs,
 latency benchmarks) are exempted via ``allow-unseeded`` globs in
 ``[tool.phaselint]``.
+
+Separately, inside ``wall-clock-scope`` (the library tree) the ``time``
+module is banned *outright* — even ``perf_counter`` — except in the
+sanctioned ``wall-clock-shims`` files: durations there must be measured
+through an injected ``repro.obs.clock.Clock`` so simulated-time runs stay
+deterministic.  This ban is independent of ``allow-unseeded``: a CLI may
+seed from the OS yet still must not import ``time`` directly.
 """
 
 from __future__ import annotations
@@ -73,13 +80,41 @@ class UnseededRandomnessRule(Rule):
 
     def check(self, ctx: RuleContext) -> Iterator[Finding]:
         """Yield a finding per nondeterministic call or import."""
-        if ctx.config.unseeded_allowed(ctx.posix_path):
+        shim_banned = ctx.config.wall_clock_banned(ctx.posix_path)
+        exempt = ctx.config.unseeded_allowed(ctx.posix_path)
+        if exempt and not shim_banned:
             return
         for node in ast.walk(ctx.tree):
-            if isinstance(node, ast.ImportFrom):
-                yield from self._check_import_from(ctx, node)
-            elif isinstance(node, ast.Call):
+            if isinstance(node, ast.Import):
+                if shim_banned:
+                    yield from self._check_time_import(ctx, node)
+            elif isinstance(node, ast.ImportFrom):
+                if shim_banned and node.module == "time":
+                    yield self._shim_finding(ctx, node, "'from time import ...'")
+                    continue
+                if not exempt:
+                    yield from self._check_import_from(ctx, node)
+            elif isinstance(node, ast.Call) and not exempt:
                 yield from self._check_call(ctx, node)
+
+    def _shim_finding(
+        self, ctx: RuleContext, node: ast.AST, what: str
+    ) -> Finding:
+        return self.finding(
+            ctx,
+            node,
+            f"{what} outside the sanctioned wall-clock shim files "
+            "(wall-clock-shims in [tool.phaselint]); measure time through "
+            "an injected Clock (repro.obs.clock) so simulated-clock runs "
+            "stay deterministic",
+        )
+
+    def _check_time_import(
+        self, ctx: RuleContext, node: ast.Import
+    ) -> Iterator[Finding]:
+        for alias in node.names:
+            if alias.name == "time" or alias.name.startswith("time."):
+                yield self._shim_finding(ctx, node, f"'import {alias.name}'")
 
     def _check_import_from(
         self, ctx: RuleContext, node: ast.ImportFrom
