@@ -1,20 +1,49 @@
-"""Capability — realtime headroom of the processing pipeline.
+"""Capability — realtime headroom of the processing and streaming paths.
 
 The paper downsamples 400 Hz packets to 20 Hz precisely so estimation runs
-in realtime.  This bench times the *processing* path (phase difference →
-calibration → selection → DWT → estimators) on a pre-simulated 30 s
-capture and reports the realtime factor: how many seconds of CSI the
-pipeline digests per second of compute.
+in realtime.  Two benches pin that story:
+
+* **one-shot** — the batch pipeline (phase difference → calibration →
+  selection → DWT → estimators) over a pre-simulated 30 s capture; reports
+  the realtime factor: seconds of CSI digested per second of compute.
+* **streaming before/after** — the hopped :class:`StreamingMonitor` over a
+  60 s capture, once with ``incremental=False`` (every hop recomputes the
+  whole window from scratch — the seed behaviour) and once with the
+  incremental trailing-calibration engine.  The improvement factor is the
+  headline number of the incremental-kernels work and is gated here at a
+  conservative in-test floor; the committed ``BENCH_throughput.json`` at
+  the repo root records the reference run (see ``docs/performance.md``).
+
+Set ``THROUGHPUT_BENCH_JSON=path`` to write the machine-readable report
+(CI uploads it as an artifact).  Set ``THROUGHPUT_REGRESSION_GATE=1`` to
+additionally fail if the measured improvement factor regresses more than
+20 % below the committed baseline.
 """
 
+import json
+import os
 import time
+from pathlib import Path
 
 from conftest import banner
 
 from repro import PhaseBeat, PhaseBeatConfig, capture_trace, laboratory_scenario
+from repro.core.streaming import StreamingConfig, StreamingMonitor
 from repro.eval.reporting import format_table
+from repro.obs import Instrumentation, MetricsRegistry
 
 _TRACE = None
+_STREAM_TRACE = None
+
+_STREAM_DURATION_S = 60.0
+_STREAM_WINDOW_S = 30.0
+_STREAM_HOP_S = 1.0
+# Conservative in-test floor for the incremental speed-up.  The committed
+# reference run shows well above this; the floor only has to catch "the
+# incremental path silently stopped being incremental", not defend the
+# exact factor against shared-runner noise.
+_MIN_IMPROVEMENT_FACTOR = 3.0
+_BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
 
 
 def _get_trace():
@@ -24,6 +53,17 @@ def _get_trace():
             laboratory_scenario(clutter_seed=1), duration_s=30.0, seed=1
         )
     return _TRACE
+
+
+def _get_stream_trace():
+    global _STREAM_TRACE
+    if _STREAM_TRACE is None:
+        _STREAM_TRACE = capture_trace(
+            laboratory_scenario(clutter_seed=1),
+            duration_s=_STREAM_DURATION_S,
+            seed=1,
+        )
+    return _STREAM_TRACE
 
 
 def test_capability_throughput(benchmark):
@@ -59,3 +99,106 @@ def test_capability_throughput(benchmark):
     assert result.breathing_rates_bpm
     # Realtime with an order of magnitude of headroom.
     assert realtime_factor > 10.0
+
+
+def _run_streaming(trace, *, incremental: bool) -> dict:
+    """Push the whole trace through a fresh monitor and time it."""
+    registry = MetricsRegistry()
+    monitor = StreamingMonitor(
+        trace.sample_rate_hz,
+        StreamingConfig(
+            window_s=_STREAM_WINDOW_S,
+            hop_s=_STREAM_HOP_S,
+            incremental=incremental,
+        ),
+        instrumentation=Instrumentation(registry=registry),
+    )
+    timestamps = trace.timestamps_s
+    csi = trace.csi
+    n_windows = 0
+    start = time.perf_counter()
+    for i in range(trace.n_packets):
+        if monitor.push_packet(csi[i], float(timestamps[i])) is not None:
+            n_windows += 1
+    processing_s = time.perf_counter() - start
+    incremental_windows = registry.counter("monitor_incremental_windows_total").value
+    return {
+        "mode": "incremental" if incremental else "batch",
+        "processing_s": processing_s,
+        "realtime_factor": trace.duration_s / processing_s,
+        "packets_per_s": trace.n_packets / processing_s,
+        "windows_per_s": n_windows / processing_s,
+        "n_windows": n_windows,
+        "incremental_windows": incremental_windows,
+    }
+
+
+def test_streaming_throughput_incremental_vs_batch():
+    trace = _get_stream_trace()
+
+    # Warm FFT plans and allocator caches so the first measured mode does
+    # not pay one-time costs the second mode skips.
+    PhaseBeat(PhaseBeatConfig(enforce_stationarity=False)).process(
+        trace, estimate_heart=False
+    )
+
+    before = _run_streaming(trace, incremental=False)
+    after = _run_streaming(trace, incremental=True)
+    improvement = before["processing_s"] / after["processing_s"]
+
+    report = {
+        "config": {
+            "duration_s": _STREAM_DURATION_S,
+            "sample_rate_hz": trace.sample_rate_hz,
+            "n_packets": trace.n_packets,
+            "window_s": _STREAM_WINDOW_S,
+            "hop_s": _STREAM_HOP_S,
+        },
+        "before": before,
+        "after": after,
+        "improvement_factor": improvement,
+    }
+
+    banner("Capability — streaming throughput (60 s capture, 30 s / 1 s hop)")
+    rows = []
+    for side in (before, after):
+        rows.extend(
+            [
+                [f"{side['mode']}: processing time (s)", side["processing_s"]],
+                [f"{side['mode']}: realtime factor", side["realtime_factor"]],
+                [f"{side['mode']}: packets / second", side["packets_per_s"]],
+                [f"{side['mode']}: windows / second", side["windows_per_s"]],
+            ]
+        )
+    rows.append(["improvement factor", improvement])
+    print(format_table(["metric", "value"], rows))
+
+    out_path = os.environ.get("THROUGHPUT_BENCH_JSON")
+    if out_path:
+        with open(out_path, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {out_path}")
+
+    # Both modes saw the same stream and must emit the same cadence.
+    assert after["n_windows"] == before["n_windows"] > 0
+    # The incremental run actually used the engine — a 1.0x "no regression"
+    # result because every window silently fell back to the batch path must
+    # fail loudly, not pass quietly.
+    assert after["incremental_windows"] == after["n_windows"]
+    assert before["incremental_windows"] == 0
+    assert after["realtime_factor"] > 1.0
+    assert improvement >= _MIN_IMPROVEMENT_FACTOR, (
+        f"incremental mode is only {improvement:.2f}x the batch monitor "
+        f"(floor {_MIN_IMPROVEMENT_FACTOR}x)"
+    )
+
+    if os.environ.get("THROUGHPUT_REGRESSION_GATE") == "1":
+        with open(_BASELINE_PATH, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        floor = 0.8 * baseline["improvement_factor"]
+        assert improvement >= floor, (
+            f"improvement factor {improvement:.2f}x regressed more than 20% "
+            f"below the committed baseline "
+            f"{baseline['improvement_factor']:.2f}x (floor {floor:.2f}x)"
+        )

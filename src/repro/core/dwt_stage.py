@@ -21,7 +21,7 @@ from ..dsp.wavelet import (
 )
 from ..errors import ConfigurationError
 
-__all__ = ["DWTConfig", "DWTBands", "decompose"]
+__all__ = ["DWTConfig", "DWTBands", "decompose", "decompose_matrix"]
 
 
 @dataclass(frozen=True)
@@ -94,9 +94,49 @@ def decompose(
             f"DWT stage expects the single selected series, got {series.shape}"
         )
     decomposition = wavedec(series, config.wavelet, level=config.level)
+    return _bands_from_decomposition(decomposition, sample_rate_hz, config)
+
+
+def decompose_matrix(
+    matrix: FloatArray,
+    sample_rate_hz: float,
+    config: DWTConfig | None = None,
+) -> DWTBands:
+    """Batched DWT stage over every column of a series matrix.
+
+    The band reconstructions of :func:`decompose`, computed for all columns
+    in one vectorized multilevel transform — the heart stage uses this to
+    band-split its top-MAD candidate columns in a single call instead of a
+    Python loop.  ``bands.breathing[:, i]`` / ``bands.heart[:, i]`` match
+    ``decompose(matrix[:, i], ...)`` on that column.
+
+    Args:
+        matrix: ``[n_samples × n_series]`` calibrated series matrix.
+        sample_rate_hz: Common sample rate of the columns.
+        config: Stage parameters.
+
+    Returns:
+        :class:`DWTBands` whose ``breathing``/``heart`` entries are
+        ``[n_samples × n_series]`` matrices.
+    """
+    config = config if config is not None else DWTConfig()
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2:
+        raise ConfigurationError(
+            f"decompose_matrix expects an [n_samples x n_series] matrix, "
+            f"got {matrix.shape}"
+        )
+    decomposition = wavedec(matrix, config.wavelet, level=config.level)
+    return _bands_from_decomposition(decomposition, sample_rate_hz, config)
+
+
+def _bands_from_decomposition(
+    decomposition: WaveletDecomposition,
+    sample_rate_hz: float,
+    config: DWTConfig,
+) -> DWTBands:
     breathing = reconstruct_band(decomposition, keep_approx=True)
     heart = reconstruct_band(decomposition, keep_details=config.heart_detail_levels)
-
     lo_heart = min(
         coefficient_band(sample_rate_hz, lv, is_approx=False)[0]
         for lv in config.heart_detail_levels

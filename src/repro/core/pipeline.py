@@ -22,6 +22,7 @@ Typical use::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -38,7 +39,7 @@ from .breathing import (
     PeakBreathingEstimator,
 )
 from .calibration import CalibrationConfig, calibrate
-from .dwt_stage import DWTConfig, decompose
+from .dwt_stage import DWTConfig, decompose, decompose_matrix
 from .environment import (
     EnvironmentConfig,
     EnvironmentDetector,
@@ -46,7 +47,7 @@ from .environment import (
     windowed_v,
 )
 from .heart import FFTHeartEstimator
-from .phase_difference import phase_difference
+from .phase_difference import wrapped_pair_matrix
 from .results import PhaseBeatResult, PipelineDiagnostics, VitalSignEstimate
 from .subcarrier_selection import (
     SelectionConfig,
@@ -54,16 +55,30 @@ from .subcarrier_selection import (
     select_subcarrier,
 )
 
-__all__ = ["PhaseBeatConfig", "PhaseBeat", "prepare_calibrated_matrix"]
+__all__ = [
+    "PhaseBeatConfig",
+    "PhaseBeat",
+    "pair_difference_matrix",
+    "prepare_calibrated_matrix",
+]
 
 
-def _pair_series(
+@check_trace()
+def pair_difference_matrix(
     trace: CSITrace,
-    pair: tuple[int, int],
-    needs_reclock: bool,
+    antenna_pairs: Sequence[tuple[int, int]],
+    *,
+    needs_reclock: bool = False,
     instrumentation: Instrumentation | None = None,
 ) -> FloatArray:
-    """Phase-difference series for one pair, on a guaranteed-uniform grid.
+    """Unwrapped phase differences for several pairs, on a uniform grid.
+
+    The batched front door of the pipeline: one conjugate product, one
+    unwrap, and (when the capture is non-uniform) one reclock for all pairs
+    together, replacing the per-pair extraction loop.  Column block ``p``
+    holds pair ``antenna_pairs[p]``'s ``n_subcarriers`` series, bitwise
+    equal to the per-pair path — unwrap and interpolation both act
+    per column.
 
     Every downstream stage (Hampel windows in seconds, decimation, DWT,
     FFT) assumes uniform sampling at ``trace.sample_rate_hz``.  A clean
@@ -71,8 +86,18 @@ def _pair_series(
     does not, so its series is interpolated onto the nominal-rate grid
     first (dropping clock-glitch victims) instead of silently treating
     packet index as time.
+
+    Args:
+        trace: The capture.
+        antenna_pairs: Pairs ``(a, b)`` of receive-chain indices.
+        needs_reclock: Interpolate onto the nominal-rate grid (callers pass
+            ``not trace.quality_report().is_uniform``).
+        instrumentation: Forwarded to :func:`repro.dsp.resample.reclock`.
+
+    Returns:
+        ``[n_packets × n_pairs·n_subcarriers]`` unwrapped differences.
     """
-    diff = phase_difference(trace, pair)
+    diff = np.unwrap(wrapped_pair_matrix(trace.csi, antenna_pairs), axis=0)
     if not needs_reclock:
         return diff
     return reclock(
@@ -95,6 +120,7 @@ def prepare_calibrated_matrix(
     The shared front half of the pipeline, exposed for experiments and
     ablations that want the same calibrated, quality-gated subcarrier
     matrix the estimator stages see (including antenna-pair diversity).
+    Extraction and calibration run batched over all pairs' columns at once.
 
     Args:
         trace: The capture.
@@ -111,17 +137,13 @@ def prepare_calibrated_matrix(
         antenna_pairs = [(0, 1)]
         if trace.n_rx >= 3:
             antenna_pairs.append((1, 2))
-    columns = []
-    masks = []
-    sample_rate = trace.sample_rate_hz
     needs_reclock = not trace.quality_report().is_uniform
-    for pair in antenna_pairs:
-        diff = _pair_series(trace, pair, needs_reclock)
-        calibrated = calibrate(diff, trace.sample_rate_hz, calibration)
-        columns.append(calibrated.series)
-        masks.append(amplitude_quality_mask(trace, pair))
-        sample_rate = calibrated.sample_rate_hz
-    return np.hstack(columns), np.concatenate(masks), sample_rate
+    diff = pair_difference_matrix(
+        trace, antenna_pairs, needs_reclock=needs_reclock
+    )
+    calibrated = calibrate(diff, trace.sample_rate_hz, calibration)
+    masks = [amplitude_quality_mask(trace, pair) for pair in antenna_pairs]
+    return calibrated.series, np.concatenate(masks), calibrated.sample_rate_hz
 
 
 @dataclass(frozen=True)
@@ -225,32 +247,19 @@ class PhaseBeat:
         """
         cfg = self.config
         obs = self._obs
-        pairs = self._antenna_pairs(trace)
+        pairs = self._antenna_pairs(trace.n_rx)
         quality_report = trace.quality_report()
         needs_reclock = not quality_report.is_uniform
+        n_sub = trace.n_subcarriers
         with obs.stage("phase_difference"):
-            diff = _pair_series(trace, pairs[0], needs_reclock, obs)
+            diff = pair_difference_matrix(
+                trace, pairs, needs_reclock=needs_reclock, instrumentation=obs
+            )
 
         with obs.stage("environment_detection"):
-            v = v_statistic(diff)
-            lo, hi = cfg.environment.stationary_band
-            if v < lo:
-                state = ActivityState.NO_PERSON
-            elif v > hi:
-                state = ActivityState.WALKING
-            else:
-                state = ActivityState.SITTING
-                # A motion burst occupying only part of the segment can leave
-                # the whole-segment V inside the band while corrupting the
-                # estimate; any single sliding window above the band flags it.
-                window = int(round(cfg.environment.window_s * trace.sample_rate_hz))
-                if diff.shape[0] >= 2 * window:
-                    _, windowed = windowed_v(
-                        diff, trace.sample_rate_hz, cfg.environment
-                    )
-                    if windowed.max() > hi:
-                        state = ActivityState.WALKING
-                        v = float(windowed.max())
+            v, state = self.classify_environment(
+                diff[:, :n_sub], trace.sample_rate_hz
+            )
         if cfg.enforce_stationarity and state is not ActivityState.SITTING:
             obs.count(
                 "pipeline_not_stationary_total",
@@ -258,42 +267,121 @@ class PhaseBeat:
             )
             raise NotStationaryError(v, state.value)
 
-        # Calibrate every pair's series and stack them column-wise: the
-        # selection and multi-person stages then draw on the diversity of
-        # both baselines.
-        columns = []
-        masks = []
-        sample_rate = None
+        # Calibrate every pair's columns in one batched call; selection and
+        # the multi-person stages then draw on the diversity of both
+        # baselines.
         with obs.stage("calibration"):
-            for pair in pairs:
-                pair_diff = (
-                    diff
-                    if pair == pairs[0]
-                    else _pair_series(trace, pair, needs_reclock, obs)
-                )
-                calibrated = calibrate(
-                    pair_diff, trace.sample_rate_hz, cfg.calibration
-                )
-                columns.append(calibrated.series)
-                masks.append(self._subcarrier_quality_mask(trace, pair))
-                sample_rate = calibrated.sample_rate_hz
-        stacked = np.hstack(columns)
-        quality = np.concatenate(masks)
-        n_sub = trace.n_subcarriers
+            calibrated = calibrate(diff, trace.sample_rate_hz, cfg.calibration)
+            quality = np.concatenate(
+                [self._subcarrier_quality_mask(trace, pair) for pair in pairs]
+            )
+        return self.estimate_from_matrix(
+            calibrated.series,
+            quality,
+            calibrated.sample_rate_hz,
+            antenna_pairs=pairs,
+            n_subcarriers=n_sub,
+            v_statistic_value=v,
+            environment_state=state,
+            n_persons=n_persons,
+            estimate_heart=estimate_heart,
+            breathing_method=breathing_method,
+            reclocked=needs_reclock,
+            input_loss_fraction=quality_report.loss_fraction,
+        )
 
+    def classify_environment(
+        self, diff: FloatArray, sample_rate_hz: float
+    ) -> tuple[float, ActivityState]:
+        """Environment detection on an unwrapped phase-difference matrix.
+
+        Computes the segment V statistic and classifies it against the
+        configured stationary band; a borderline SITTING verdict is
+        re-checked with sliding windows so a motion burst occupying only
+        part of the segment (whole-segment V inside the band, estimate
+        corrupted anyway) is still flagged as WALKING.
+
+        Args:
+            diff: ``[n_samples × n_subcarriers]`` unwrapped differences of
+                a single antenna pair.
+            sample_rate_hz: Their sample rate.
+
+        Returns:
+            ``(v, state)`` — the deciding V statistic (the max windowed V
+            when escalated) and the activity classification.
+        """
+        cfg = self.config
+        v = v_statistic(diff)
+        lo, hi = cfg.environment.stationary_band
+        if v < lo:
+            return v, ActivityState.NO_PERSON
+        if v > hi:
+            return v, ActivityState.WALKING
+        window = int(round(cfg.environment.window_s * sample_rate_hz))
+        if diff.shape[0] >= 2 * window:
+            _, windowed = windowed_v(diff, sample_rate_hz, cfg.environment)
+            if windowed.max() > hi:
+                return float(windowed.max()), ActivityState.WALKING
+        return v, ActivityState.SITTING
+
+    def estimate_from_matrix(
+        self,
+        matrix: FloatArray,
+        quality: BoolArray,
+        sample_rate_hz: float,
+        *,
+        antenna_pairs: Sequence[tuple[int, int]],
+        n_subcarriers: int,
+        v_statistic_value: float,
+        environment_state: ActivityState,
+        n_persons: int = 1,
+        estimate_heart: bool = True,
+        breathing_method: str | None = None,
+        reclocked: bool = False,
+        input_loss_fraction: float = 0.0,
+    ) -> PhaseBeatResult:
+        """Estimation back half: selection → DWT → breathing → heart.
+
+        Everything downstream of calibration, operating on an
+        already-calibrated stacked matrix.  :meth:`process` calls this after
+        its batched front half; the incremental
+        :class:`repro.core.streaming.StreamingMonitor` calls it directly
+        with windows served by its running calibration engine, so both
+        paths share one implementation of the estimator stages.
+
+        Args:
+            matrix: ``[n_samples × n_pairs·n_subcarriers]`` calibrated
+                series (column blocks ordered as ``antenna_pairs``).
+            quality: Per-column eligibility mask.
+            sample_rate_hz: Post-calibration rate of ``matrix``.
+            antenna_pairs: The pairs behind each column block (diagnostics).
+            n_subcarriers: Columns per pair block.
+            v_statistic_value: Environment V statistic (diagnostics).
+            environment_state: Environment classification (diagnostics).
+            n_persons: As in :meth:`process`.
+            estimate_heart: As in :meth:`process`.
+            breathing_method: As in :meth:`process`.
+            reclocked: Whether the source series were reclocked.
+            input_loss_fraction: Capture loss fraction (diagnostics).
+
+        Returns:
+            :class:`PhaseBeatResult`.
+        """
+        cfg = self.config
+        obs = self._obs
         with obs.stage("subcarrier_selection"):
-            selection = select_subcarrier(stacked, cfg.selection, mask=quality)
-        selected_series = stacked[:, selection.selected]
-        selected_pair = pairs[selection.selected // n_sub]
+            selection = select_subcarrier(matrix, cfg.selection, mask=quality)
+        selected_series = matrix[:, selection.selected]
+        selected_pair = antenna_pairs[selection.selected // n_subcarriers]
         with obs.stage("dwt"):
-            bands = decompose(selected_series, sample_rate, cfg.dwt)
+            bands = decompose(selected_series, sample_rate_hz, cfg.dwt)
 
-        matrix = stacked[:, quality] if quality.any() else stacked
+        eligible = matrix[:, quality] if quality.any() else matrix
         method = breathing_method or ("peak" if n_persons == 1 else "music")
         with obs.stage("breathing_estimation"):
             breathing = self._estimate_breathing(
-                method, bands.breathing, matrix, selected_series,
-                sample_rate, n_persons,
+                method, bands.breathing, eligible, selected_series,
+                sample_rate_hz, n_persons,
             )
 
         heart = None
@@ -302,7 +390,7 @@ class PhaseBeat:
             with obs.stage("heart_estimation"):
                 f_breath = breathing[0].rate_bpm / 60.0
                 heart_signal = self._best_heart_signal(
-                    stacked, quality, selection.sensitivities, sample_rate,
+                    matrix, quality, selection.sensitivities, sample_rate_hz,
                     f_breath,
                 )
                 if heart_signal is None:
@@ -320,18 +408,20 @@ class PhaseBeat:
         )
 
         diagnostics = PipelineDiagnostics(
-            v_statistic=v,
-            environment_state=state,
-            selected_subcarrier=selection.selected % n_sub,
+            v_statistic=v_statistic_value,
+            environment_state=environment_state,
+            selected_subcarrier=selection.selected % n_subcarriers,
             selected_antenna_pair=selected_pair,
-            candidate_subcarriers=tuple(c % n_sub for c in selection.candidates),
+            candidate_subcarriers=tuple(
+                c % n_subcarriers for c in selection.candidates
+            ),
             sensitivities=selection.sensitivities,
-            calibrated_rate_hz=sample_rate,
-            n_calibrated_samples=stacked.shape[0],
+            calibrated_rate_hz=sample_rate_hz,
+            n_calibrated_samples=matrix.shape[0],
             breathing_band_hz=bands.breathing_band_hz,
             heart_band_hz=bands.heart_band_hz,
-            reclocked=needs_reclock,
-            input_loss_fraction=quality_report.loss_fraction,
+            reclocked=reclocked,
+            input_loss_fraction=input_loss_fraction,
         )
         return PhaseBeatResult(
             breathing=breathing,
@@ -341,7 +431,7 @@ class PhaseBeat:
             heart_signal=heart_signal,
         )
 
-    def _antenna_pairs(self, trace: CSITrace) -> list[tuple[int, int]]:
+    def _antenna_pairs(self, n_rx: int) -> list[tuple[int, int]]:
         """The antenna pairs to draw phase differences from.
 
         The configured pair first, then (with diversity enabled on a ≥3
@@ -351,7 +441,7 @@ class PhaseBeat:
         pairs = [cfg.antenna_pair]
         if cfg.use_pair_diversity:
             configured = tuple(sorted(cfg.antenna_pair))
-            for x in range(trace.n_rx - 1):
+            for x in range(n_rx - 1):
                 if (x, x + 1) != configured:
                     pairs.append((x, x + 1))
                     break
@@ -376,34 +466,41 @@ class PhaseBeat:
         plus harmonic comb, see :func:`subtract_cycle_template`) has been
         removed.  Returns ``None`` when no candidate can be cleansed.
         """
-        from ..dsp.fft_utils import band_mask, magnitude_spectrum
+        from ..dsp.fft_utils import band_mask, batched_magnitude_spectrum
 
         cfg = self.config
         eligible = np.flatnonzero(quality) if quality.any() else np.arange(
             stacked.shape[1]
         )
         order = eligible[np.argsort(sensitivities[eligible])[::-1]]
-        best_signal = None
-        best_snr = -np.inf
+        cleansed_columns = []
         for column in order[:n_candidates]:
             try:
-                cleansed = subtract_cycle_template(
-                    stacked[:, column], sample_rate_hz, f_breath
+                cleansed_columns.append(
+                    subtract_cycle_template(
+                        stacked[:, column], sample_rate_hz, f_breath
+                    )
                 )
-                candidate = decompose(cleansed, sample_rate_hz, cfg.dwt).heart
             except SignalTooShortError:
                 continue
-            freqs, mag = magnitude_spectrum(candidate, sample_rate_hz)
-            mask = band_mask(freqs, cfg.heart_estimator.band_hz)
-            if not mask.any():
-                continue
-            in_band = mag[mask]
-            floor = float(np.median(in_band))
-            snr = float(in_band.max()) / max(floor, 1e-12)
-            if snr > best_snr:
-                best_snr = snr
-                best_signal = candidate
-        return best_signal
+        if not cleansed_columns:
+            return None
+        # One batched DWT + one batched FFT over all surviving candidates
+        # replaces the per-candidate decompose/spectrum loop.
+        try:
+            candidates = decompose_matrix(
+                np.column_stack(cleansed_columns), sample_rate_hz, cfg.dwt
+            ).heart
+        except SignalTooShortError:
+            return None
+        freqs, mags = batched_magnitude_spectrum(candidates, sample_rate_hz)
+        mask = band_mask(freqs, cfg.heart_estimator.band_hz)
+        if not mask.any():
+            return None
+        in_band = mags[mask]
+        floors = np.maximum(np.median(in_band, axis=0), 1e-12)
+        best = int(np.argmax(in_band.max(axis=0) / floors))
+        return candidates[:, best]
 
     def _subcarrier_quality_mask(
         self, trace: CSITrace, pair: tuple[int, int] | None = None

@@ -35,6 +35,7 @@ from __future__ import annotations
 import copy
 from collections import deque
 from dataclasses import asdict, dataclass
+from itertools import islice
 from typing import Any
 
 import numpy as np
@@ -47,22 +48,34 @@ from ..errors import (
     SignalTooShortError,
     TraceFormatError,
 )
-from ..contracts import ComplexArray
+from ..contracts import ComplexArray, FloatArray, IntArray
+from ..dsp.streaming_kernels import StreamingCalibrator, trailing_window_samples
 from ..io_.quality import TraceQualityReport, assess_timestamps
 from ..io_.trace import CSITrace
 from ..obs import NULL_INSTRUMENTATION, Instrumentation
+from ..physio.motion import ActivityState
 from .pipeline import PhaseBeat, PhaseBeatConfig
+from .phase_difference import wrapped_pair_matrix
 from .results import PhaseBeatResult
+from .subcarrier_selection import amplitude_mask_from_mean
 
 __all__ = ["StreamingConfig", "StreamingEstimate", "StreamingMonitor"]
 
 # Checkpoint payload layout version; bumped whenever the monitor's internal
 # state gains/loses fields so stale checkpoints fail loudly on restore.
-_CHECKPOINT_VERSION = 1
+_CHECKPOINT_VERSION = 2
 
 # A window with fewer packets than this cannot support calibration + DWT
 # regardless of its nominal span; it is rejected as degraded input.
 _MIN_WINDOW_PACKETS = 16
+
+# Per-step timing-anomaly threshold of the incremental path: an interval
+# deviating from nominal by more than this fraction disqualifies the stream
+# for the trailing engine until the step leaves the retained buffer.  Must
+# match the ``uniform_tol`` default of
+# :func:`repro.io_.quality.assess_timestamps` — the window-level gate the
+# batch pipeline uses to decide reclocking.
+_UNIFORM_TOL = 0.25
 
 
 @dataclass(frozen=True)
@@ -82,6 +95,11 @@ class StreamingConfig:
         holdover_s: Staleness budget — how long a rejected window may
             re-emit the last good estimate (flagged ``held_over``) before
             the monitor reports no estimate at all.  Zero disables holdover.
+        incremental: Run clean (uniformly-timed) windows through the
+            incremental trailing-calibration engine instead of recomputing
+            the whole window from scratch each hop.  Windows that fail the
+            timing checks transparently fall back to the batch pipeline,
+            so fault handling is unchanged; see ``docs/performance.md``.
     """
 
     window_s: float = 30.0
@@ -91,6 +109,7 @@ class StreamingConfig:
     max_gap_s: float = 0.5
     max_loss_fraction: float = 0.25
     holdover_s: float = 30.0
+    incremental: bool = True
 
     def __post_init__(self) -> None:
         if self.window_s <= 0 or self.hop_s <= 0:
@@ -191,6 +210,38 @@ class StreamingMonitor:
         self._last_emit_time: float | None = None
         self._last_good_time: float | None = None
         self._last_good_result: PhaseBeatResult | None = None
+        # Incremental-mode state.  The trailing engine's caches stay in
+        # lockstep with the packet buffer (row i of each ↔ buffer[i]); the
+        # buffer additionally retains enough pre-window context that an
+        # engine rebuilt from it alone reproduces the running engine's
+        # values bitwise inside the analysis window (see
+        # StreamingCalibrator.rebuild_context_samples).
+        calibration = self._pipeline.config.calibration
+        self._incremental = bool(self.config.incremental)
+        self._decimation = calibration.decimation_factor(self.sample_rate_hz)
+        try:
+            trend_w = trailing_window_samples(
+                calibration.trend_window_s, self.sample_rate_hz
+            )
+            noise_w = trailing_window_samples(
+                calibration.noise_window_s, self.sample_rate_hz
+            )
+            if noise_w >= trend_w:
+                raise ConfigurationError(
+                    "denoise window must be shorter than the trend window"
+                )
+        except ConfigurationError:
+            # The calibration windows cannot be expressed as trailing
+            # kernels at this rate; run every window through the batch path.
+            self._incremental = False
+            trend_w = noise_w = 1
+        self._context_rows = 2 * (trend_w - 1) + 2 * (noise_w - 1)
+        self._engine: StreamingCalibrator | None = None
+        self._amps: FloatArray | None = None
+        self._pairs: list[tuple[int, int]] | None = None
+        self._win_start = 0
+        self._anomaly_time: float | None = None
+        self._restored_cycles: IntArray | None = None
         self.counters: dict[str, int] = {
             "packets_in": 0,
             "dropped_nonfinite_csi": 0,
@@ -262,19 +313,40 @@ class StreamingMonitor:
                 self._count_drop("backward-timestamp")
                 return None
 
+        if self._incremental and self._last_time is not None:
+            step = (timestamp_s - self._last_time) * self.sample_rate_hz
+            if abs(step - 1.0) > _UNIFORM_TOL:
+                # Timing anomaly: the trailing engine (which treats rows as
+                # uniform samples) is invalid until this step leaves the
+                # retained buffer; windows fall back to the batch path.
+                self._anomaly_time = timestamp_s
+                self._drop_engine()
         self._buffer.append(csi_packet)
         self._times.append(timestamp_s)
         self._last_time = timestamp_s
         # Time-based window: evict until the buffer spans at most window_s,
-        # so a lossy stream still analyzes a true window_s seconds.
-        while (
-            len(self._times) > 1
-            and self._times[-1] - self._times[0] > self.config.window_s + self._eps
-        ):
-            self._buffer.popleft()
-            self._times.popleft()
+        # so a lossy stream still analyzes a true window_s seconds.  The
+        # incremental mode retains pre-window context for the trailing
+        # engine instead (evicted in _evict_retained at emit time) and only
+        # advances the window-start pointer here — the pointed-to packet set
+        # is identical to the evicting loop's by construction.
+        if self._incremental:
+            while (
+                self._win_start < len(self._times) - 1
+                and self._times[-1] - self._times[self._win_start]
+                > self.config.window_s + self._eps
+            ):
+                self._win_start += 1
+        else:
+            while (
+                len(self._times) > 1
+                and self._times[-1] - self._times[0]
+                > self.config.window_s + self._eps
+            ):
+                self._buffer.popleft()
+                self._times.popleft()
 
-        span = self._times[-1] - self._times[0]
+        span = self._times[-1] - self._times[self._win_start]
         if span < self.config.window_s - self._eps:
             return None
         if (
@@ -306,11 +378,11 @@ class StreamingMonitor:
         fallback estimators in :mod:`repro.service` analyze exactly those
         windows.
         """
-        if len(self._buffer) < 2:
+        if len(self._buffer) - self._win_start < 2:
             return None
         return CSITrace(
-            csi=np.stack(self._buffer),
-            timestamps_s=np.asarray(self._times),
+            csi=np.stack(list(islice(self._buffer, self._win_start, None))),
+            timestamps_s=np.asarray(self._times)[self._win_start :],
             sample_rate_hz=self.sample_rate_hz,
             subcarrier_indices=self._subcarrier_indices,
             meta={"streaming_window": True},
@@ -343,6 +415,21 @@ class StreamingMonitor:
             "last_good_time": self._last_good_time,
             "last_good_result": copy.deepcopy(self._last_good_result),
             "counters": dict(self.counters),
+            # Incremental-engine state.  Only the integer unwrap anchor
+            # (cycle counts at the buffer's first packet) is serialized:
+            # every float cache is a pure function of the buffered packets
+            # and is rebuilt bit-identically from them on restore, but the
+            # anchor is path history a truncated buffer cannot reproduce.
+            "engine_cycles": (
+                self._engine.base_cycles
+                if self._engine is not None
+                else (
+                    None
+                    if self._restored_cycles is None
+                    else self._restored_cycles.copy()
+                )
+            ),
+            "anomaly_time": self._anomaly_time,
         }
 
     def restore(self, state: dict[str, Any]) -> None:
@@ -405,6 +492,29 @@ class StreamingMonitor:
             self._last_good_time = state["last_good_time"]
             self._last_good_result = copy.deepcopy(state["last_good_result"])
             self.counters = dict(state["counters"])
+            cycles = state["engine_cycles"]
+            self._anomaly_time = state["anomaly_time"]
+            # The engine itself is never serialized; it is rebuilt lazily
+            # from the buffer at the next clean emit, re-anchored on the
+            # checkpointed cycle counts so the restored run stays
+            # bit-identical to an uninterrupted one.
+            self._engine = None
+            self._amps = None
+            self._restored_cycles = (
+                None if cycles is None else np.asarray(cycles, dtype=np.int64)
+            )
+            # Replay the window-start pointer: with monotone buffered times
+            # the per-push advance is equivalent to this scan.
+            self._win_start = 0
+            if self._incremental and len(times) > 1:
+                # Same float expression as the per-push advance, so boundary
+                # packets resolve identically to the uninterrupted run.
+                while (
+                    self._win_start < len(times) - 1
+                    and times[-1] - times[self._win_start]
+                    > self.config.window_s + self._eps
+                ):
+                    self._win_start += 1
         except CheckpointError:
             raise
         except (KeyError, TypeError, ValueError) as exc:
@@ -428,6 +538,15 @@ class StreamingMonitor:
         self._last_emit_time = None
         self._last_good_time = None
         self._last_good_result = None
+        self._win_start = 0
+        self._anomaly_time = None
+        self._drop_engine()
+
+    def _drop_engine(self) -> None:
+        """Invalidate the trailing engine (and any restored unwrap anchor)."""
+        self._engine = None
+        self._amps = None
+        self._restored_cycles = None
 
     def _reject(
         self, t_end: float, reason: str, quality: TraceQualityReport | None
@@ -461,7 +580,10 @@ class StreamingMonitor:
 
     def _emit(self) -> StreamingEstimate:
         with self._obs.stage("window_emit", component="monitor"):
-            estimate = self._emit_window()
+            if self._incremental:
+                estimate = self._emit_incremental()
+            else:
+                estimate = self._emit_window()
         self._obs.gauge_set(
             "monitor_buffer_depth_packets",
             len(self._buffer),
@@ -469,20 +591,179 @@ class StreamingMonitor:
         )
         return estimate
 
-    def _emit_window(self) -> StreamingEstimate:
+    def _emit_incremental(self) -> StreamingEstimate:
+        """Dispatch one window to the trailing engine or the batch fallback.
+
+        The engine serves only windows with clean, uniform timing (the same
+        per-step tolerance the batch pipeline uses to decide reclocking —
+        and no anomaly anywhere in the retained context, since the engine
+        treats buffered rows as uniform samples).  Everything else takes
+        the exact batch path of the non-incremental monitor.  Either way
+        the buffer is trimmed afterwards to the analysis window plus the
+        engine's rebuild context.
+        """
         times = np.asarray(self._times)
+        t_end = float(times[-1])
+        if (
+            self._anomaly_time is not None
+            and float(times[0]) >= self._anomaly_time
+        ):
+            self._anomaly_time = None
+        window_times = times[self._win_start :]
+        quality = assess_timestamps(window_times, self.sample_rate_hz)
+        try:
+            gates_ok = (
+                quality.max_gap_s <= self.config.max_gap_s
+                and window_times.size >= _MIN_WINDOW_PACKETS
+                and quality.loss_fraction <= self.config.max_loss_fraction
+            )
+            if gates_ok and self._anomaly_time is None and quality.is_uniform:
+                self._obs.count(
+                    "monitor_incremental_windows_total",
+                    help_text="Windows served by the incremental engine.",
+                )
+                return self._emit_from_engine(t_end, quality)
+            if gates_ok:
+                self._obs.count(
+                    "monitor_fallback_windows_total",
+                    help_text="Clean-gate windows that required the batch "
+                    "path (degraded timing in the window or its context).",
+                )
+            return self._emit_window()
+        finally:
+            self._evict_retained()
+
+    def _emit_from_engine(
+        self, t_end: float, quality: TraceQualityReport
+    ) -> StreamingEstimate:
+        cfg = self.config
+        pipeline_cfg = self._pipeline.config
+        n_sub = self._packet_shape[1]
+        if self._pairs is None:
+            self._pairs = self._pipeline._antenna_pairs(self._packet_shape[0])
+        with self._obs.stage("incremental_advance", component="monitor"):
+            engine = self._engine
+            if engine is None:
+                engine = self._rebuild_engine(n_sub)
+                self._engine = engine
+            elif engine.n_rows < len(self._buffer):
+                block = np.stack(list(islice(self._buffer, engine.n_rows, None)))
+                engine.extend(wrapped_pair_matrix(block, self._pairs))
+                self._amps = np.concatenate([self._amps, np.abs(block)], axis=0)
+        idx0 = self._win_start
+        with self._obs.stage("incremental_estimate", component="monitor"):
+            unwrapped = engine.unwrapped_window(idx0)
+            v, state = self._pipeline.classify_environment(
+                unwrapped[:, :n_sub], self.sample_rate_hz
+            )
+            if (
+                pipeline_cfg.enforce_stationarity
+                and state is not ActivityState.SITTING
+            ):
+                self._obs.count(
+                    "pipeline_not_stationary_total",
+                    help_text="Traces rejected by environment detection.",
+                )
+                return self._reject(t_end, "not-stationary", quality)
+            amp_mean = self._amps[idx0:].mean(axis=0)
+            mask = np.concatenate(
+                [
+                    amplitude_mask_from_mean(amp_mean, pair)
+                    for pair in self._pairs
+                ]
+            )
+            try:
+                result = self._pipeline.estimate_from_matrix(
+                    engine.calibrated_window(idx0),
+                    mask,
+                    engine.calibrated_rate_hz,
+                    antenna_pairs=self._pairs,
+                    n_subcarriers=n_sub,
+                    v_statistic_value=v,
+                    environment_state=state,
+                    n_persons=cfg.n_persons,
+                    estimate_heart=cfg.estimate_heart,
+                    reclocked=False,
+                    input_loss_fraction=quality.loss_fraction,
+                )
+            except (EstimationError, SignalTooShortError):
+                return self._reject(t_end, "estimation-failed", quality)
+        self._last_good_time = t_end
+        self._last_good_result = result
+        self._obs.count(
+            "monitor_fresh_windows_total",
+            help_text="Windows analyzed successfully with a fresh estimate.",
+        )
+        return StreamingEstimate(t_end, result, quality=quality)
+
+    def _rebuild_engine(self, n_subcarriers: int) -> StreamingCalibrator:
+        """Fresh trailing engine over the whole retained buffer.
+
+        Deterministic given the buffer and the unwrap anchor, which is what
+        makes checkpoints restore-safe: the restored monitor rebuilds here
+        and lands on the exact caches of the engine it replaces.
+        """
+        calibration = self._pipeline.config.calibration
+        engine = StreamingCalibrator(
+            self.sample_rate_hz,
+            len(self._pairs) * n_subcarriers,
+            trend_window_s=calibration.trend_window_s,
+            noise_window_s=calibration.noise_window_s,
+            hampel_threshold=calibration.hampel_threshold,
+            decimation_factor=self._decimation,
+            initial_cycles=self._restored_cycles,
+        )
+        block = np.stack(self._buffer)
+        engine.extend(wrapped_pair_matrix(block, self._pairs))
+        self._amps = np.abs(block)
+        self._restored_cycles = None
+        self._obs.count(
+            "monitor_engine_rebuilds_total",
+            help_text="Trailing-engine rebuilds from the retained buffer.",
+        )
+        return engine
+
+    def _evict_retained(self) -> None:
+        """Trim rows no longer needed as engine rebuild context.
+
+        Keeps ``_context_rows`` rows ahead of the analysis window (so a
+        rebuild from the remaining buffer stays exact inside the window)
+        and evicts in decimation-factor multiples (so the engine's
+        decimation grid, anchored at row 0, keeps its phase); engine and
+        amplitude caches shrink in lockstep with the buffer.
+        """
+        limit = self._win_start - self._context_rows
+        if self._engine is not None:
+            limit = min(limit, self._engine.n_rows)
+        n_evict = (limit // self._decimation) * self._decimation
+        if n_evict <= 0:
+            return
+        for _ in range(n_evict):
+            self._buffer.popleft()
+            self._times.popleft()
+        self._win_start -= n_evict
+        if self._engine is not None:
+            self._engine.evict(n_evict)
+            self._amps = self._amps[n_evict:]
+        elif self._restored_cycles is not None:
+            # The anchor described the old buffer front; no retained row
+            # carries it any more.
+            self._restored_cycles = None
+
+    def _emit_window(self) -> StreamingEstimate:
+        times = np.asarray(self._times)[self._win_start :]
         t_end = float(times[-1])
         quality = assess_timestamps(times, self.sample_rate_hz)
         if quality.max_gap_s > self.config.max_gap_s:
             return self._reject(t_end, "data-gap", quality)
         if (
-            len(self._buffer) < _MIN_WINDOW_PACKETS
+            times.size < _MIN_WINDOW_PACKETS
             or quality.loss_fraction > self.config.max_loss_fraction
         ):
             return self._reject(t_end, "degraded-input", quality)
 
         window = CSITrace(
-            csi=np.stack(self._buffer),
+            csi=np.stack(list(islice(self._buffer, self._win_start, None))),
             timestamps_s=times,
             sample_rate_hz=self.sample_rate_hz,
             subcarrier_indices=self._subcarrier_indices,

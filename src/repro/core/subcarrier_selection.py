@@ -27,10 +27,39 @@ if TYPE_CHECKING:
 __all__ = [
     "SelectionConfig",
     "SelectionResult",
+    "amplitude_mask_from_mean",
     "amplitude_quality_mask",
     "select_subcarrier",
     "subcarrier_sensitivities",
 ]
+
+
+def amplitude_mask_from_mean(
+    mean_amplitude: FloatArray,
+    antenna_pair: tuple[int, int] = (0, 1),
+    *,
+    floor_ratio: float = 0.25,
+) -> BoolArray:
+    """Eligibility mask from precomputed window-mean amplitudes.
+
+    The trace-free core of :func:`amplitude_quality_mask`, for callers that
+    already hold the per-antenna mean ``|CSI|`` of the window (the streaming
+    monitor keeps a running amplitude cache instead of restacking its packet
+    buffer every hop).
+
+    Args:
+        mean_amplitude: ``[n_rx × n_subcarriers]`` mean ``|CSI|`` over the
+            window's packets.
+        antenna_pair: The two chains whose phase difference is used.
+        floor_ratio: Fraction of the median amplitude below which a
+            subcarrier is excluded.
+
+    Returns:
+        Boolean array of length ``n_subcarriers``.
+    """
+    a, b = antenna_pair
+    quality = np.minimum(mean_amplitude[a], mean_amplitude[b])
+    return quality >= floor_ratio * np.median(quality)
 
 
 @check_trace()
@@ -59,10 +88,9 @@ def amplitude_quality_mask(
     Returns:
         Boolean array of length ``trace.n_subcarriers``.
     """
-    a, b = antenna_pair
-    amp = np.abs(trace.csi[:, [a, b], :]).mean(axis=0)
-    quality = amp.min(axis=0)
-    return quality >= floor_ratio * np.median(quality)
+    return amplitude_mask_from_mean(
+        np.abs(trace.csi).mean(axis=0), antenna_pair, floor_ratio=floor_ratio
+    )
 
 
 @dataclass(frozen=True)

@@ -13,13 +13,19 @@ PhaseBeat uses the FFT three ways:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from functools import lru_cache
+
 import numpy as np
 
 from ..contracts import BoolArray, FloatArray
 from ..errors import ConfigurationError, EstimationError, SignalTooShortError
 
 __all__ = [
+    "RfftPlan",
+    "rfft_plan",
     "magnitude_spectrum",
+    "batched_magnitude_spectrum",
     "band_mask",
     "dominant_frequency",
     "fundamental_frequency",
@@ -27,6 +33,48 @@ __all__ = [
     "three_bin_phase_frequency",
     "spectral_peaks",
 ]
+
+
+@dataclass(frozen=True)
+class RfftPlan:
+    """Cached per-(length, rate) rFFT bookkeeping.
+
+    The streaming monitor computes a spectrum per hop over a fixed-length
+    window at a fixed rate; the frequency grid never changes, yet the
+    original path rebuilt it with ``np.fft.rfftfreq`` on every call.  A plan
+    freezes the grid (the array is marked read-only — treat it as shared)
+    and the derived constants.
+    """
+
+    n_fft: int
+    sample_rate_hz: float
+    freqs_hz: FloatArray
+
+    @property
+    def n_bins(self) -> int:
+        """Number of one-sided spectrum bins (``n_fft // 2 + 1``)."""
+        return self.freqs_hz.size
+
+    @property
+    def bin_width_hz(self) -> float:
+        """Frequency resolution of the grid."""
+        return self.sample_rate_hz / self.n_fft
+
+
+@lru_cache(maxsize=128)
+def rfft_plan(n_fft: int, sample_rate_hz: float) -> RfftPlan:
+    """The (cached) rFFT plan for ``n_fft`` samples at ``sample_rate_hz``.
+
+    Keyed by (window length, sample rate) so hopped-window spectra reuse the
+    frequency grid across hops instead of recomputing it.
+    """
+    if n_fft < 1:
+        raise ConfigurationError(f"nfft must be >= 1, got {n_fft}")
+    if sample_rate_hz <= 0:
+        raise ConfigurationError(f"sample rate must be positive, got {sample_rate_hz}")
+    freqs = np.fft.rfftfreq(n_fft, d=1.0 / sample_rate_hz)
+    freqs.flags.writeable = False
+    return RfftPlan(n_fft=n_fft, sample_rate_hz=float(sample_rate_hz), freqs_hz=freqs)
 
 
 def magnitude_spectrum(
@@ -57,7 +105,54 @@ def magnitude_spectrum(
     if n < x.size:
         raise ConfigurationError(f"nfft ({n}) shorter than the signal ({x.size})")
     spectrum = np.fft.rfft(x, n=n)
-    freqs = np.fft.rfftfreq(n, d=1.0 / sample_rate_hz)
+    freqs = rfft_plan(n, float(sample_rate_hz)).freqs_hz
+    return freqs, np.abs(spectrum)
+
+
+def batched_magnitude_spectrum(
+    matrix: FloatArray,
+    sample_rate_hz: float,
+    *,
+    nfft: int | None = None,
+    detrend: bool = True,
+) -> tuple[FloatArray, FloatArray]:
+    """One-sided magnitude spectra of every column of a real matrix.
+
+    The batched counterpart of :func:`magnitude_spectrum`: one
+    ``np.fft.rfft`` call over axis 0 replaces a Python loop over series, and
+    the frequency grid comes from the cached :func:`rfft_plan`.  Per-column
+    results equal :func:`magnitude_spectrum` on that column to float
+    rounding (the vectorized FFT takes a different code path than the 1-D
+    transform, so agreement is ulp-level rather than bitwise).
+
+    Args:
+        matrix: ``[n_samples × n_series]`` real matrix.
+        sample_rate_hz: Sample rate in Hz.
+        nfft: FFT length; defaults to ``n_samples``.
+        detrend: Subtract each column's mean first.
+
+    Returns:
+        ``(freqs, magnitude)`` with shapes ``[n_bins]`` and
+        ``[n_bins × n_series]``.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2:
+        raise ConfigurationError(
+            f"expected an [n_samples x n_series] matrix, got shape {matrix.shape}"
+        )
+    if matrix.shape[0] < 2:
+        raise SignalTooShortError(2, matrix.shape[0], "FFT input")
+    if sample_rate_hz <= 0:
+        raise ConfigurationError(f"sample rate must be positive, got {sample_rate_hz}")
+    if detrend:
+        matrix = matrix - matrix.mean(axis=0, keepdims=True)
+    n = int(nfft) if nfft is not None else matrix.shape[0]
+    if n < matrix.shape[0]:
+        raise ConfigurationError(
+            f"nfft ({n}) shorter than the signal ({matrix.shape[0]})"
+        )
+    spectrum = np.fft.rfft(matrix, n=n, axis=0)
+    freqs = rfft_plan(n, float(sample_rate_hz)).freqs_hz
     return freqs, np.abs(spectrum)
 
 

@@ -54,9 +54,24 @@ def rolling_median(x: FloatArray, window: int) -> FloatArray:
     return median_filter(x, size=window, mode="nearest")
 
 
-def rolling_mad(x: FloatArray, window: int) -> FloatArray:
-    """Centered rolling median absolute deviation (about the rolling median)."""
-    med = rolling_median(x, window)
+def rolling_mad(
+    x: FloatArray, window: int, *, median: FloatArray | None = None
+) -> FloatArray:
+    """Centered rolling median absolute deviation (about the rolling median).
+
+    Args:
+        x: 1-D input series.
+        window: Window length in samples.
+        median: The rolling median of ``x`` over the same window, when the
+            caller has already computed it (as :func:`hampel_filter` has);
+            omitted, it is recomputed here.
+
+    Returns:
+        The rolling MAD series, same shape as ``x``.
+    """
+    med = rolling_median(x, window) if median is None else np.asarray(
+        median, dtype=float
+    )
     return rolling_median(np.abs(np.asarray(x, dtype=float) - med), window)
 
 
@@ -89,7 +104,7 @@ def hampel_filter(
     if threshold < 0:
         raise ConfigurationError(f"threshold must be >= 0, got {threshold}")
     med = rolling_median(x, window)
-    mad = rolling_median(np.abs(x - med), min(window, x.size))
+    mad = rolling_mad(x, window, median=med)
     outlier = np.abs(x - med) > threshold * scale * mad
     out = x.copy()
     out[outlier] = med[outlier]

@@ -138,15 +138,20 @@ def _circular_correlate_downsample(x: FloatArray, f: FloatArray) -> FloatArray:
     """``y[k] = Σ_n f[n] · x[(2k + n) mod N]`` for k in [0, N/2).
 
     The signal is tiled as needed so filters longer than the (coarse-level)
-    signal still wrap correctly.
+    signal still wrap correctly.  2-D input (series along axis 1) is
+    correlated column-wise in one strided-window product.
     """
-    n = x.size
+    n = x.shape[0]
     if f.size > 1:
         reps = -(-(f.size - 1) // n)  # ceil division
-        extended = np.concatenate([x] + [x] * reps)[: n + f.size - 1]
+        extended = np.concatenate([x] * (1 + reps), axis=0)[: n + f.size - 1]
     else:
         extended = x
-    full = np.correlate(extended, f, mode="valid")
+    if x.ndim == 1:
+        full = np.correlate(extended, f, mode="valid")
+        return full[:n:2].copy()
+    windows = np.lib.stride_tricks.sliding_window_view(extended, f.size, axis=0)
+    full = windows @ f  # (n, n_series)
     return full[:n:2].copy()
 
 
@@ -154,15 +159,24 @@ def _upsample_circular_convolve(c: FloatArray, f: FloatArray, n: int) -> FloatAr
     """Zero-stuff ``c`` to length ``n`` and circularly convolve with ``f``.
 
     Convolution output beyond ``n`` is folded back modulo ``n``, possibly
-    over several wraps when the filter is longer than the signal.
+    over several wraps when the filter is longer than the signal.  2-D input
+    is convolved column-wise (one vectorized shift-accumulate per tap —
+    wavelet filters are short, so this beats per-column ``np.convolve``).
     """
-    up = np.zeros(n, dtype=float)
-    up[::2] = c
-    conv = np.convolve(up, f)
-    out = np.zeros(n, dtype=float)
-    for start in range(0, conv.size, n):
+    if c.ndim == 1:
+        up = np.zeros(n, dtype=float)
+        up[::2] = c
+        conv = np.convolve(up, f)
+    else:
+        up = np.zeros((n,) + c.shape[1:], dtype=float)
+        up[::2] = c
+        conv = np.zeros((n + f.size - 1,) + c.shape[1:], dtype=float)
+        for j in range(f.size):
+            conv[j : j + n] += f[j] * up
+    out = np.zeros((n,) + c.shape[1:], dtype=float)
+    for start in range(0, conv.shape[0], n):
         chunk = conv[start : start + n]
-        out[: chunk.size] += chunk
+        out[: chunk.shape[0]] += chunk
     return out
 
 
@@ -174,14 +188,17 @@ def dwt(x: FloatArray, wavelet: str | Wavelet = "db4") -> tuple[FloatArray, Floa
     ``len(x) / 2``.
     """
     x = np.asarray(x, dtype=float)
-    if x.ndim != 1:
-        raise ConfigurationError(f"dwt expects a 1-D series, got shape {x.shape}")
-    w = _as_wavelet(wavelet)
-    if x.size < 2:
-        raise SignalTooShortError(2, x.size, "DWT input")
-    if x.size % 2 != 0:
+    if x.ndim not in (1, 2):
         raise ConfigurationError(
-            f"periodized DWT needs an even length, got {x.size}"
+            f"dwt expects a 1-D series or [n_samples x n_series] matrix, "
+            f"got shape {x.shape}"
+        )
+    w = _as_wavelet(wavelet)
+    if x.shape[0] < 2:
+        raise SignalTooShortError(2, x.shape[0], "DWT input")
+    if x.shape[0] % 2 != 0:
+        raise ConfigurationError(
+            f"periodized DWT needs an even length, got {x.shape[0]}"
         )
     approx = _circular_correlate_downsample(x, w.dec_lo)
     detail = _circular_correlate_downsample(x, w.dec_hi)
@@ -194,13 +211,13 @@ def idwt(
     """Exact inverse of :func:`dwt` (synthesis by the transposed operator)."""
     approx = np.asarray(approx, dtype=float)
     detail = np.asarray(detail, dtype=float)
-    if approx.shape != detail.shape or approx.ndim != 1:
+    if approx.shape != detail.shape or approx.ndim not in (1, 2):
         raise ConfigurationError(
-            "idwt needs 1-D approximation and detail vectors of equal length; "
-            f"got {approx.shape} and {detail.shape}"
+            "idwt needs approximation and detail vectors of equal shape "
+            f"(1-D or samples x series); got {approx.shape} and {detail.shape}"
         )
     w = _as_wavelet(wavelet)
-    n = 2 * approx.size
+    n = 2 * approx.shape[0]
     return _upsample_circular_convolve(
         approx, w.dec_lo, n
     ) + _upsample_circular_convolve(detail, w.dec_hi, n)
@@ -260,7 +277,9 @@ def wavedec(
     original length.
 
     Args:
-        x: 1-D input series.
+        x: 1-D input series, or an ``[n_samples x n_series]`` matrix to
+            decompose every column in one vectorized pass (the batched
+            heart-candidate path of the pipeline).
         wavelet: Wavelet name or instance (the paper uses a Daubechies
             filter, db4 by default here).
         level: Number of analysis steps L (paper uses 4).
@@ -269,21 +288,24 @@ def wavedec(
         A :class:`WaveletDecomposition` holding α_L and β_L…β_1.
     """
     x = np.asarray(x, dtype=float)
-    if x.ndim != 1:
-        raise ConfigurationError(f"wavedec expects a 1-D series, got {x.shape}")
+    if x.ndim not in (1, 2):
+        raise ConfigurationError(
+            f"wavedec expects a 1-D series or [n_samples x n_series] matrix, "
+            f"got {x.shape}"
+        )
     w = _as_wavelet(wavelet)
     if level < 1:
         raise ConfigurationError(f"level must be >= 1, got {level}")
     min_len = 2**level
-    if x.size < min_len:
-        raise SignalTooShortError(min_len, x.size, f"level-{level} DWT input")
-    original_length = x.size
+    if x.shape[0] < min_len:
+        raise SignalTooShortError(min_len, x.shape[0], f"level-{level} DWT input")
+    original_length = x.shape[0]
 
     approx = x
     details: list[FloatArray] = []
     for _ in range(level):
-        if approx.size % 2 != 0:
-            approx = np.concatenate([approx, approx[-1:]])
+        if approx.shape[0] % 2 != 0:
+            approx = np.concatenate([approx, approx[-1:]], axis=0)
         approx, detail = dwt(approx, w)
         details.append(detail)
     return WaveletDecomposition(
@@ -298,10 +320,10 @@ def waverec(decomposition: WaveletDecomposition) -> FloatArray:
     """Invert :func:`wavedec`, trimming padding back to the input length."""
     approx = decomposition.approx
     for detail in decomposition.details:
-        if approx.size != detail.size:
+        if approx.shape[0] != detail.shape[0]:
             # The forward pass edge-padded this level; drop the extra sample
             # that padding introduced before combining.
-            approx = approx[: detail.size]
+            approx = approx[: detail.shape[0]]
         approx = idwt(approx, detail, decomposition.wavelet)
     return approx[: decomposition.original_length]
 

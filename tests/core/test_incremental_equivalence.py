@@ -1,0 +1,314 @@
+"""Incremental streaming vs from-scratch equivalence.
+
+The incremental monitor's contract has three layers, each pinned here:
+
+* **engine == from-scratch trailing pass** — the monitor's live engine
+  caches are bit-identical to :func:`trailing_calibrate` run over the same
+  buffered packets, and a monitor whose engine is dropped (and therefore
+  rebuilt from the buffer) before every window emits bit-identical
+  estimates to one whose engine ran uninterrupted;
+* **degraded windows == the batch monitor** — on impaired traces (loss,
+  gaps, jitter) the incremental monitor transparently takes the exact
+  batch path, so its estimate stream equals ``incremental=False`` bitwise;
+* **batched stages == per-series loops** — the vectorized pipeline stages
+  (multi-pair extraction, batched calibration, batched DWT) match their
+  per-series reference loops within the 1e-9 equivalence budget.
+
+Checkpoint/restore *after eviction has trimmed the buffer* (so the unwrap
+anchor is no longer zero) is covered by the long-trace round trip at the
+bottom — the case the plain checkpoint suite's short trace cannot reach.
+"""
+
+import numpy as np
+import pytest
+
+from repro import capture_trace, laboratory_scenario
+from repro.core.calibration import calibrate
+from repro.core.dwt_stage import decompose, decompose_matrix
+from repro.core.phase_difference import phase_difference, wrapped_pair_matrix
+from repro.core.pipeline import PhaseBeat, pair_difference_matrix
+from repro.core.streaming import StreamingConfig, StreamingMonitor
+from repro.core.subcarrier_selection import (
+    amplitude_mask_from_mean,
+    amplitude_quality_mask,
+)
+from repro.dsp.streaming_kernels import trailing_calibrate
+from repro.obs import Instrumentation
+from repro.rf.impairments import (
+    BernoulliLoss,
+    DropoutGap,
+    TimestampJitter,
+    apply_impairments,
+)
+
+CONFIG = StreamingConfig(window_s=8.0, hop_s=0.5)
+BATCH_CONFIG = StreamingConfig(window_s=8.0, hop_s=0.5, incremental=False)
+
+PAIRS = [(0, 1), (0, 2)]
+
+
+def assert_estimates_bitwise_equal(actual, expected):
+    """Two StreamingEstimate lists carry identical decisions and values."""
+    assert len(actual) == len(expected)
+    for a, e in zip(actual, expected):
+        assert a.time_s == e.time_s
+        assert a.rejected_reason == e.rejected_reason
+        assert a.held_over == e.held_over
+        assert a.staleness_s == e.staleness_s
+        if e.result is None:
+            assert a.result is None
+        else:
+            assert a.result.breathing_rates_bpm == e.result.breathing_rates_bpm
+            assert a.result.heart_rate_bpm == e.result.heart_rate_bpm
+
+
+def counter_value(instrumentation, name):
+    return instrumentation.registry.counter(name).value
+
+
+class TestEngineMatchesFromScratch:
+    def test_live_engine_caches_equal_trailing_calibrate(self, short_lab_trace):
+        monitor = StreamingMonitor(short_lab_trace.sample_rate_hz, CONFIG)
+        estimates = monitor.push_trace(short_lab_trace)
+        assert any(e.fresh for e in estimates)
+        engine = monitor._engine
+        assert engine is not None, "clean trace must engage the engine"
+        # The short trace never triggers eviction (the rebuild context
+        # exceeds the pre-window surplus), so the buffer still holds every
+        # packet and a from-scratch pass over it is directly comparable.
+        assert len(monitor._buffer) == short_lab_trace.n_packets
+        calibration = monitor._pipeline.config.calibration
+        # The engine advances at emit time, so it covers the buffer up to
+        # the last emitted window; packets pushed after that final hop are
+        # buffered but not yet calibrated.
+        n_rows = engine.n_rows
+        assert n_rows > 0
+        wrapped = wrapped_pair_matrix(
+            np.stack(monitor._buffer)[:n_rows], monitor._pairs
+        )
+        reference = trailing_calibrate(
+            wrapped,
+            short_lab_trace.sample_rate_hz,
+            trend_window_s=calibration.trend_window_s,
+            noise_window_s=calibration.noise_window_s,
+            hampel_threshold=calibration.hampel_threshold,
+            decimation_factor=monitor._decimation,
+        )
+        np.testing.assert_array_equal(
+            engine.unwrapped_window(0), reference.unwrapped
+        )
+        np.testing.assert_array_equal(
+            engine.calibrated_window(0), reference.series
+        )
+        np.testing.assert_array_equal(
+            engine.base_cycles, reference.cycles[0]
+        )
+
+    def test_rebuilding_every_window_is_bitwise_neutral(self, short_lab_trace):
+        trace = short_lab_trace
+        running = StreamingMonitor(trace.sample_rate_hz, CONFIG)
+        running_estimates = running.push_trace(trace)
+
+        rebuilt = StreamingMonitor(trace.sample_rate_hz, CONFIG)
+        rebuilt_estimates = []
+        for k in range(trace.n_packets):
+            # Forget the engine before every packet: each emitted window
+            # must rebuild from the retained buffer alone.
+            rebuilt._drop_engine()
+            out = rebuilt.push_packet(trace.csi[k], float(trace.timestamps_s[k]))
+            if out is not None:
+                rebuilt_estimates.append(out)
+
+        assert any(e.fresh for e in running_estimates)
+        assert_estimates_bitwise_equal(rebuilt_estimates, running_estimates)
+
+    def test_incremental_windows_actually_served_by_engine(self, short_lab_trace):
+        obs = Instrumentation()
+        monitor = StreamingMonitor(
+            short_lab_trace.sample_rate_hz, CONFIG, instrumentation=obs
+        )
+        estimates = monitor.push_trace(short_lab_trace)
+        fresh = sum(1 for e in estimates if e.fresh)
+        assert counter_value(obs, "monitor_incremental_windows_total") == len(
+            estimates
+        )
+        assert counter_value(obs, "monitor_fallback_windows_total") == 0
+        assert fresh > 0
+
+
+class TestImpairedWindowsMatchBatchMonitor:
+    @pytest.mark.parametrize(
+        "impairment",
+        [
+            BernoulliLoss(loss_fraction=0.1),
+            DropoutGap(duration_s=0.3, start_s=4.0),
+            TimestampJitter(std_s=0.004),
+        ],
+        ids=["bernoulli-loss", "dropout-gap", "timestamp-jitter"],
+    )
+    def test_fallback_estimates_bitwise_equal_batch_mode(
+        self, short_lab_trace, impairment
+    ):
+        impaired = apply_impairments(short_lab_trace, [impairment], seed=0)
+        obs = Instrumentation()
+        incremental = StreamingMonitor(
+            impaired.sample_rate_hz, CONFIG, instrumentation=obs
+        )
+        batch = StreamingMonitor(impaired.sample_rate_hz, BATCH_CONFIG)
+        inc_estimates = incremental.push_trace(impaired)
+        batch_estimates = batch.push_trace(impaired)
+        assert inc_estimates, "impaired trace produced no windows"
+        # Every one of these impairments breaks per-step timing inside the
+        # retained context, so the engine must never serve a window ...
+        assert counter_value(obs, "monitor_incremental_windows_total") == 0
+        # ... and the batch fallback must make the two modes coincide.
+        assert_estimates_bitwise_equal(inc_estimates, batch_estimates)
+
+    def test_clean_and_impaired_accuracy_parity(self, lab_trace, lab_person):
+        # Both modes, clean 30 s trace: every fresh estimate lands within
+        # the paper-level tolerance of the simulated ground truth.
+        truth_bpm = lab_person.breathing.frequency_hz * 60.0
+        config = StreamingConfig(window_s=20.0, hop_s=5.0)
+        batch_config = StreamingConfig(
+            window_s=20.0, hop_s=5.0, incremental=False
+        )
+        inc = StreamingMonitor(lab_trace.sample_rate_hz, config)
+        bat = StreamingMonitor(lab_trace.sample_rate_hz, batch_config)
+        inc_estimates = inc.push_trace(lab_trace)
+        bat_estimates = bat.push_trace(lab_trace)
+        assert [e.time_s for e in inc_estimates] == [
+            e.time_s for e in bat_estimates
+        ]
+        assert all(e.fresh for e in inc_estimates)
+        for estimate in inc_estimates + bat_estimates:
+            assert estimate.result.breathing_rates_bpm[0] == pytest.approx(
+                truth_bpm, abs=1.0
+            )
+
+
+class TestBatchedStagesMatchLoops:
+    def test_pair_matrix_equals_per_pair_extraction(self, short_lab_trace):
+        matrix = pair_difference_matrix(short_lab_trace, PAIRS)
+        per_pair = np.hstack(
+            [phase_difference(short_lab_trace, pair) for pair in PAIRS]
+        )
+        np.testing.assert_array_equal(matrix, per_pair)
+
+    def test_wrapped_pair_matrix_equals_unwrapped_false_path(
+        self, short_lab_trace
+    ):
+        wrapped = wrapped_pair_matrix(short_lab_trace.csi, PAIRS)
+        per_pair = np.hstack(
+            [
+                phase_difference(short_lab_trace, pair, unwrap=False)
+                for pair in PAIRS
+            ]
+        )
+        np.testing.assert_array_equal(wrapped, per_pair)
+
+    def test_wrapped_pair_matrix_is_extent_independent(self, rng):
+        # Regression guard: extracting a block from a long CSI array must
+        # equal extracting from that block alone, bitwise.  An expression
+        # like ``a * np.conj(b)`` is NOT extent-independent — numpy elides
+        # the large temporary into an in-place multiply with different
+        # rounding above a size threshold — and the streaming engine's
+        # blockwise-extend == rebuild-from-buffer bit-identity depends on
+        # this function never taking that path.
+        n = 4000
+        csi = rng.standard_normal((n, 3, 30)) + 1j * rng.standard_normal(
+            (n, 3, 30)
+        )
+        full = wrapped_pair_matrix(csi, PAIRS)
+        for start, stop in [(0, 100), (1600, 1700), (500, 3500), (0, n)]:
+            block = wrapped_pair_matrix(csi[start:stop], PAIRS)
+            np.testing.assert_array_equal(full[start:stop], block)
+
+    def test_batched_calibration_equals_per_column_loop(self, short_lab_trace):
+        diff = pair_difference_matrix(short_lab_trace, PAIRS)[:, :8]
+        rate = short_lab_trace.sample_rate_hz
+        batched = calibrate(diff, rate)
+        for col in range(diff.shape[1]):
+            single = calibrate(diff[:, col : col + 1], rate)
+            np.testing.assert_allclose(
+                batched.series[:, col], single.series[:, 0], rtol=0, atol=1e-9
+            )
+            assert single.sample_rate_hz == batched.sample_rate_hz
+
+    def test_batched_dwt_equals_per_column_loop(self, rng):
+        matrix = rng.normal(size=(400, 6))
+        bands = decompose_matrix(matrix, 20.0)
+        for col in range(6):
+            single = decompose(matrix[:, col], 20.0)
+            np.testing.assert_allclose(
+                bands.breathing[:, col], single.breathing, rtol=0, atol=1e-9
+            )
+            np.testing.assert_allclose(
+                bands.heart[:, col], single.heart, rtol=0, atol=1e-9
+            )
+        assert bands.breathing_band_hz == decompose(matrix[:, 0], 20.0).breathing_band_hz
+
+    def test_amplitude_mask_from_mean_equals_trace_path(self, short_lab_trace):
+        mean_amplitude = np.abs(short_lab_trace.csi).mean(axis=0)
+        for pair in PAIRS:
+            np.testing.assert_array_equal(
+                amplitude_mask_from_mean(mean_amplitude, pair),
+                amplitude_quality_mask(short_lab_trace, pair),
+            )
+
+    def test_batch_process_unchanged_by_refactor_wiring(self, short_lab_trace):
+        # The refactored process() (batched extraction + shared back half)
+        # must agree with itself across monitor and direct invocation.
+        pipeline = PhaseBeat()
+        direct = pipeline.process(short_lab_trace)
+        assert direct.breathing_rates_bpm[0] == pytest.approx(15.0, abs=1.5)
+
+
+@pytest.fixture(scope="module")
+def eviction_trace(lab_person):
+    """24 s / 200 Hz capture: long enough that the incremental monitor
+    evicts pre-window context (the unwrap anchor moves off zero)."""
+    scenario = laboratory_scenario([lab_person], clutter_seed=5)
+    return capture_trace(
+        scenario, duration_s=24.0, sample_rate_hz=200.0, seed=5
+    )
+
+
+class TestCheckpointAfterEviction:
+    CONFIG = StreamingConfig(window_s=8.0, hop_s=1.0)
+
+    def push_range(self, monitor, trace, start, stop):
+        out = []
+        for k in range(start, stop):
+            estimate = monitor.push_packet(
+                trace.csi[k], float(trace.timestamps_s[k])
+            )
+            if estimate is not None:
+                out.append(estimate)
+        return out
+
+    def test_restore_bit_identical_with_moved_anchor(self, eviction_trace):
+        trace = eviction_trace
+        cut = 4000  # t = 20 s: eviction has already trimmed the buffer
+
+        reference = StreamingMonitor(trace.sample_rate_hz, self.CONFIG)
+        ref_estimates = self.push_range(reference, trace, 0, trace.n_packets)
+        assert any(e.fresh for e in ref_estimates)
+        assert len(reference._buffer) < trace.n_packets, (
+            "trace too short to exercise eviction"
+        )
+
+        first = StreamingMonitor(trace.sample_rate_hz, self.CONFIG)
+        estimates_a = self.push_range(first, trace, 0, cut)
+        state = first.checkpoint()
+        assert state["engine_cycles"] is not None
+        assert len(state["buffer"]) < cut, (
+            "checkpoint taken before eviction started"
+        )
+
+        second = StreamingMonitor(trace.sample_rate_hz, self.CONFIG)
+        second.restore(state)
+        estimates_b = self.push_range(second, trace, cut, trace.n_packets)
+
+        assert estimates_b, "no estimates after restore"
+        assert_estimates_bitwise_equal(estimates_a + estimates_b, ref_estimates)
+        assert second.counters == reference.counters
