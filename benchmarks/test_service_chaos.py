@@ -33,6 +33,8 @@ EXPECTED_ORDER = {
     "transient-errors": ["breaker-open", "breaker-half-open",
                          "breaker-closed"],
     "degradation-burst": ["fallback-escalated", "fallback-recovered"],
+    "checkpoint-restore-loss": ["checkpoint", "monitor-crash",
+                                "monitor-restart"],
 }
 
 
@@ -72,6 +74,14 @@ def test_service_chaos(benchmark, name):
 
     assert report.violations(tolerance_bpm=TOLERANCE_BPM) == []
     _assert_ordered(report.events.kinds(), EXPECTED_ORDER[name])
+    if name == "checkpoint-restore-loss":
+        # The restart must come back from the periodic checkpoint, not
+        # cold — that is the incremental checkpoint→restore path this
+        # scenario exists to exercise.
+        restarts = [
+            e for e in report.events if e.kind == "monitor-restart"
+        ]
+        assert restarts and all(e.detail["restored"] for e in restarts)
     # The last breaker event, if any, must be a close — never leave the
     # service wedged open.
     breaker_kinds = [

@@ -1,12 +1,13 @@
 """Command-line interface: simulate, estimate, and reproduce from a shell.
 
-Six subcommands::
+Seven subcommands::
 
     repro-phasebeat simulate  --scenario lab --duration 30 --out trace.npz
     repro-phasebeat estimate  trace.npz --persons 1 --heart
     repro-phasebeat dataset   --out corpus/ --count 10 --duration 30
     repro-phasebeat experiment fig11 --trials 20
     repro-phasebeat monitor   --duration 90 --chaos-scenario faults.json
+    repro-phasebeat fleet     --sessions 50 --scenario shard-crash
     repro-phasebeat metrics   render metrics.json --format prometheus
 
 ``simulate`` builds one of the paper's three deployments and writes a CSI
@@ -17,8 +18,10 @@ against; ``monitor`` runs the supervised monitoring service over a
 simulated scene, optionally under a chaos scenario (a shipped name or a
 JSON fault-schedule file), and prints the event log and health summary —
 ``--metrics-out`` / ``--events-out`` additionally dump the run's metrics
-snapshot (canonical JSON) and event log (JSONL); ``metrics`` renders or
-diffs those snapshots offline.
+snapshot (canonical JSON) and event log (JSONL); ``fleet`` runs a whole
+fleet of sessions through the gateway under a fleet chaos scenario and
+checks the isolation / recovery / bounded-shedding invariants; ``metrics``
+renders or diffs those snapshots offline.
 """
 
 from __future__ import annotations
@@ -160,6 +163,44 @@ def build_parser() -> argparse.ArgumentParser:
     monitor.add_argument(
         "--events-out", default=None, metavar="PATH",
         help="write the faulted run's event log as JSON Lines",
+    )
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="run a session fleet through the gateway under fleet chaos",
+    )
+    fleet.add_argument(
+        "--sessions", type=int, default=20, help="fleet size"
+    )
+    fleet.add_argument(
+        "--duration", type=float, default=24.0,
+        help="simulated capture length per session (seconds)",
+    )
+    fleet.add_argument(
+        "--rate", type=float, default=50.0, help="packets per second"
+    )
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument(
+        "--scenario", default=None, metavar="NAME_OR_PATH",
+        help="a shipped fleet scenario name (e.g. shard-crash) or a JSON "
+        "fault-schedule file; omit for a fault-free run",
+    )
+    fleet.add_argument(
+        "--no-isolation-check", action="store_true",
+        help="skip the solo-baseline byte-compare (faster for large fleets)",
+    )
+    fleet.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the fleet chaos report as JSON",
+    )
+    fleet.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the fleet run's metrics snapshot as canonical JSON "
+        "(byte-identical across identical runs)",
+    )
+    fleet.add_argument(
+        "--events-out", default=None, metavar="PATH",
+        help="write the fleet event log as JSON Lines",
     )
 
     metrics = sub.add_parser(
@@ -356,6 +397,76 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     return 0 if not violations else 1
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from .obs import MetricsRegistry
+    from .service.fleet import (
+        FLEET_SCENARIOS,
+        FleetScenario,
+        run_fleet_chaos,
+    )
+
+    if args.scenario is None:
+        scenario = FleetScenario(
+            name="fault-free", faults=(), description="no faults injected"
+        )
+    elif args.scenario in FLEET_SCENARIOS:
+        scenario = FLEET_SCENARIOS[args.scenario]
+    elif Path(args.scenario).exists():
+        scenario = FleetScenario.from_json(Path(args.scenario).read_text())
+    else:
+        names = ", ".join(sorted(FLEET_SCENARIOS))
+        print(
+            f"error: {args.scenario!r} is neither a shipped fleet scenario "
+            f"({names}) nor a readable JSON file",
+            file=sys.stderr,
+        )
+        return 2
+
+    registry = MetricsRegistry() if args.metrics_out else None
+    report = run_fleet_chaos(
+        scenario,
+        n_sessions=args.sessions,
+        duration_s=args.duration,
+        sample_rate_hz=args.rate,
+        seed=args.seed,
+        registry=registry,
+        check_isolation=not args.no_isolation_check,
+    )
+
+    print(f"=== fleet: scenario {scenario.name} ===")
+    if scenario.description:
+        print(scenario.description)
+    summary = report.fleet_summary
+    print(
+        f"sessions: {summary['n_sessions']} on {summary['n_shards']} shards, "
+        f"{summary['rounds']} rounds"
+    )
+    print(f"  by status: {summary['by_status']}")
+    print(f"  by health: {summary['by_health']}")
+    print(
+        f"  shed: {len(report.shed_ids)}/{report.max_shed_sessions} budget, "
+        f"queue drops: {summary['n_queue_dropped']}, "
+        f"estimates: {report.n_estimates_total}"
+    )
+    if report.faulted_ids:
+        print(f"  faulted: {len(report.faulted_ids)} sessions")
+    violations = report.violations()
+    print(f"  fleet invariants: {'OK' if not violations else violations}")
+    if args.json:
+        Path(args.json).write_text(json.dumps(report.to_jsonable(), indent=2))
+        print(f"wrote {args.json}")
+    if registry is not None:
+        Path(args.metrics_out).write_text(report.metrics_json)
+        print(f"wrote {args.metrics_out}")
+    if args.events_out:
+        Path(args.events_out).write_text(report.events_jsonl)
+        print(f"wrote {args.events_out}")
+    return 0 if not violations else 1
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -460,6 +571,7 @@ def main(argv: list[str] | None = None) -> int:
         "dataset": _cmd_dataset,
         "experiment": _cmd_experiment,
         "monitor": _cmd_monitor,
+        "fleet": _cmd_fleet,
         "metrics": _cmd_metrics,
     }
     try:

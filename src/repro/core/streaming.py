@@ -242,6 +242,10 @@ class StreamingMonitor:
         self._win_start = 0
         self._anomaly_time: float | None = None
         self._restored_cycles: IntArray | None = None
+        # Operational (non-checkpointed) overload control: the effective
+        # hop is config.hop_s * _hop_stretch, so an overloaded service can
+        # emit less often without changing window geometry mid-stream.
+        self._hop_stretch = 1.0
         self.counters: dict[str, int] = {
             "packets_in": 0,
             "dropped_nonfinite_csi": 0,
@@ -349,9 +353,10 @@ class StreamingMonitor:
         span = self._times[-1] - self._times[self._win_start]
         if span < self.config.window_s - self._eps:
             return None
+        effective_hop_s = self.config.hop_s * self._hop_stretch
         if (
             self._last_emit_time is not None
-            and timestamp_s - self._last_emit_time < self.config.hop_s - self._eps
+            and timestamp_s - self._last_emit_time < effective_hop_s - self._eps
         ):
             return None
         self._last_emit_time = timestamp_s
@@ -369,6 +374,30 @@ class StreamingMonitor:
             if out is not None:
                 estimates.append(out)
         return estimates
+
+    @property
+    def hop_stretch(self) -> float:
+        """Current hop-widening factor (1.0 = the configured cadence)."""
+        return self._hop_stretch
+
+    def set_hop_stretch(self, stretch: float) -> None:
+        """Widen (or restore) the emission cadence without reconfiguring.
+
+        The effective hop becomes ``config.hop_s * stretch``; window
+        geometry, gating, and checkpoints are untouched, so overload
+        throttling can be applied and lifted mid-stream.  This is
+        operational state: it is deliberately *not* checkpointed — a
+        restored monitor starts back at the configured cadence unless its
+        supervisor re-applies the stretch.
+
+        Args:
+            stretch: Multiplier >= 1 applied to ``config.hop_s``.
+        """
+        if stretch < 1.0:
+            raise ConfigurationError(
+                f"hop stretch must be >= 1, got {stretch}"
+            )
+        self._hop_stretch = float(stretch)
 
     def window_trace(self) -> CSITrace | None:
         """The current buffer as a trace (``None`` with < 2 packets).

@@ -167,6 +167,30 @@ class CircuitOpenError(ServiceError):
         )
 
 
+class FleetAdmissionError(ServiceError):
+    """The fleet gateway refused to admit a session.
+
+    Admission control is the first line of overload protection: a gateway
+    that is already at its session ceiling (or whose every shard is at
+    capacity) rejects new sessions up front with this typed error instead
+    of accepting work it would immediately have to shed.
+
+    Attributes:
+        session_id: The session that was refused.
+        reason: Machine-readable refusal class — ``"fleet-full"``,
+            ``"shard-full"``, or ``"duplicate-session"``.
+    """
+
+    def __init__(self, session_id: str, reason: str, detail: str = ""):
+        self.session_id = str(session_id)
+        self.reason = str(reason)
+        suffix = f" ({detail})" if detail else ""
+        super().__init__(
+            f"session {self.session_id!r} refused admission: "
+            f"{self.reason}{suffix}"
+        )
+
+
 class CheckpointError(ReproError, RuntimeError):
     """A monitor checkpoint could not be taken or restored.
 

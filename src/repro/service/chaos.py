@@ -57,7 +57,14 @@ __all__ = [
     "run_chaos",
 ]
 
-_TIMED_FAULT_KINDS = ("crash", "stall", "hang", "transient-errors", "degrade")
+_TIMED_FAULT_KINDS = (
+    "crash",
+    "stall",
+    "hang",
+    "transient-errors",
+    "degrade",
+    "monitor-crash",
+)
 
 
 @dataclass(frozen=True)
@@ -66,8 +73,11 @@ class TimedFault:
 
     Attributes:
         kind: One of ``crash``, ``stall``, ``hang``, ``transient-errors``
-            (source-side, see :class:`~repro.service.sources.SourceFault`)
-            or ``degrade`` (capture-side burst of packet loss).
+            (source-side, see :class:`~repro.service.sources.SourceFault`),
+            ``degrade`` (capture-side burst of packet loss), or
+            ``monitor-crash`` (the monitor process itself dies and must be
+            rebuilt from its latest checkpoint, scheduled via
+            :meth:`MonitorSupervisor.schedule_monitor_crash`).
         at_s: Fault start, in simulated seconds.
         duration_s: Window length for windowed kinds.
         probability: Per-read error probability (``transient-errors``).
@@ -102,8 +112,8 @@ class TimedFault:
         return self.at_s + self.duration_s
 
     def to_source_fault(self) -> SourceFault | None:
-        """The source-side injection, or ``None`` for capture-side kinds."""
-        if self.kind == "degrade":
+        """The source-side injection, or ``None`` for non-source kinds."""
+        if self.kind in ("degrade", "monitor-crash"):
             return None
         return SourceFault(
             kind=self.kind,
@@ -181,6 +191,12 @@ class ChaosScenario:
     def degrade_faults(self) -> tuple[TimedFault, ...]:
         """The capture-side ``degrade`` entries."""
         return tuple(f for f in self.faults if f.kind == "degrade")
+
+    def monitor_crash_times_s(self) -> tuple[float, ...]:
+        """Scheduled ``monitor-crash`` times, sorted."""
+        return tuple(
+            sorted(f.at_s for f in self.faults if f.kind == "monitor-crash")
+        )
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-safe representation (the scenario-file schema)."""
@@ -262,6 +278,21 @@ SHIPPED_SCENARIOS: dict[str, ChaosScenario] = {
                 kind="transient-errors", at_s=30.0, duration_s=6.0,
                 probability=1.0,
             ),
+        ),
+    ),
+    "checkpoint-restore-loss": ChaosScenario(
+        name="checkpoint-restore-loss",
+        description=(
+            "The monitor process dies in the middle of a packet-loss "
+            "burst; the supervisor must restore the incremental engine "
+            "from its latest periodic checkpoint and ride out the rest of "
+            "the burst on the restored state, recovering once it clears."
+        ),
+        faults=(
+            TimedFault(
+                kind="degrade", at_s=28.0, duration_s=16.0, loss_fraction=0.5
+            ),
+            TimedFault(kind="monitor-crash", at_s=38.0),
         ),
     ),
     "degradation-burst": ChaosScenario(
@@ -414,6 +445,7 @@ def _run_supervised(
     seed: int,
     subject_name: str,
     registry: MetricsRegistry | None = None,
+    monitor_crash_times_s: tuple[float, ...] = (),
 ) -> tuple[MonitorSupervisor, list[ServiceEstimate]]:
     clock = SimulatedClock(float(trace.timestamps_s[0]))
     instrumentation = (
@@ -440,6 +472,9 @@ def _run_supervised(
         ),
         sample_rate_hz,
     )
+    t0_s = float(trace.timestamps_s[0])
+    for crash_at_s in monitor_crash_times_s:
+        supervisor.schedule_monitor_crash(subject_name, t0_s + crash_at_s)
     duration_s = float(trace.timestamps_s[-1] - trace.timestamps_s[0])
     # Budgeted well past the trace so exhaustion, not the budget, normally
     # ends the run — the budget only bounds pathological stall loops.
@@ -539,6 +574,7 @@ def run_chaos(
         seed=seed,
         subject_name="subject",
         registry=registry,
+        monitor_crash_times_s=scenario.monitor_crash_times_s(),
     )
     health = faulted.health_summary()["subject"]
 

@@ -1,0 +1,113 @@
+"""Admission control: the fleet's first line of overload protection.
+
+A gateway that accepts every session and sheds later does strictly worse
+than one that refuses up front: the refused session gets an immediate,
+typed :class:`~repro.errors.FleetAdmissionError` it can act on (retry
+elsewhere, back off), while an admitted-then-shed session wastes queue
+memory and scheduler rounds first.  The controller enforces two ceilings
+— fleet-wide ``max_sessions`` and per-shard ``shard_capacity`` — and
+assigns each admitted session to the least-loaded shard (lowest index on
+ties), which is deterministic given the admission order.
+"""
+
+from __future__ import annotations
+
+from ...errors import ConfigurationError, FleetAdmissionError
+from .config import FleetConfig
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Tracks shard occupancy and admits or refuses sessions.
+
+    Args:
+        config: The fleet configuration (ceilings and shard count).
+
+    Attributes:
+        n_admitted_total: Sessions ever admitted.
+        n_rejected_total: Sessions ever refused, by reason.
+    """
+
+    def __init__(self, config: FleetConfig):
+        self.config = config
+        self._assignments: dict[str, int] = {}
+        self._shard_loads = [0] * config.n_shards
+        self.n_admitted_total = 0
+        self.n_rejected_total: dict[str, int] = {
+            "duplicate-session": 0,
+            "fleet-full": 0,
+            "shard-full": 0,
+        }
+
+    @property
+    def n_active(self) -> int:
+        """Currently admitted (not yet released) sessions."""
+        return len(self._assignments)
+
+    def shard_of(self, session_id: str) -> int:
+        """The shard a session was assigned to.
+
+        Raises:
+            ConfigurationError: The session is not currently admitted.
+        """
+        try:
+            return self._assignments[session_id]
+        except KeyError:
+            raise ConfigurationError(
+                f"session {session_id!r} is not admitted"
+            ) from None
+
+    def shard_load(self, shard: int) -> int:
+        """Number of sessions currently assigned to a shard."""
+        return self._shard_loads[shard]
+
+    def admit(self, session_id: str) -> int:
+        """Admit a session, returning its shard assignment.
+
+        Raises:
+            FleetAdmissionError: With reason ``"duplicate-session"``,
+                ``"fleet-full"``, or ``"shard-full"`` when the session
+                cannot be admitted.
+        """
+        if session_id in self._assignments:
+            self.n_rejected_total["duplicate-session"] += 1
+            raise FleetAdmissionError(
+                session_id,
+                "duplicate-session",
+                f"already on shard {self._assignments[session_id]}",
+            )
+        if len(self._assignments) >= self.config.max_sessions:
+            self.n_rejected_total["fleet-full"] += 1
+            raise FleetAdmissionError(
+                session_id,
+                "fleet-full",
+                f"{len(self._assignments)}/{self.config.max_sessions} "
+                "sessions active",
+            )
+        shard = min(
+            range(len(self._shard_loads)), key=self._shard_loads.__getitem__
+        )
+        if self._shard_loads[shard] >= self.config.shard_capacity:
+            self.n_rejected_total["shard-full"] += 1
+            raise FleetAdmissionError(
+                session_id,
+                "shard-full",
+                f"all {self.config.n_shards} shards at capacity "
+                f"{self.config.shard_capacity}",
+            )
+        self._assignments[session_id] = shard
+        self._shard_loads[shard] += 1
+        self.n_admitted_total += 1
+        return shard
+
+    def release(self, session_id: str) -> int:
+        """Release a session's slot (shed or finished); returns its shard.
+
+        Raises:
+            ConfigurationError: The session is not currently admitted.
+        """
+        shard = self.shard_of(session_id)
+        del self._assignments[session_id]
+        self._shard_loads[shard] -= 1
+        return shard

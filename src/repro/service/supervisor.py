@@ -169,6 +169,25 @@ class ServiceEstimate:
         """Whether a usable rate is attached."""
         return not math.isnan(self.rate_bpm)
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe representation (``nan`` rates serialize as ``None``).
+
+        The canonical-JSON encoding of this dict is what the fleet chaos
+        harness byte-compares between a fleet run and a solo run, so every
+        field that could differ between the two must appear here.
+        """
+        return {
+            "subject": self.subject,
+            "time_s": self.time_s,
+            "rate_bpm": None if math.isnan(self.rate_bpm) else self.rate_bpm,
+            "method": self.method,
+            "fresh": self.fresh,
+            "held_over": self.held_over,
+            "rejected_reason": self.rejected_reason,
+            "fallback_level": self.fallback_level,
+            "health": self.health.value,
+        }
+
 
 class _Subject:
     """Mutable supervision state for one subject (internal)."""
@@ -187,9 +206,16 @@ class _Subject:
         self.interval_s = interval_s
         self.health = SubjectHealth.HEALTHY
         self.fallback_level = 0
+        # Floor the overload policy can pin the ladder at: recovery climbs
+        # back to this rung, never above it, until the pin is released.
+        self.min_fallback_level = 0
+        self.hop_stretch = 1.0
         self.consecutive_gated = 0
         self.consecutive_fresh = 0
         self.monitor_restarts = 0
+        # Scripted monitor-crash times (simulated seconds) not yet fired,
+        # kept sorted; consumed front-to-back by _fire_scheduled_crashes.
+        self.pending_crashes_s: list[float] = []
         self.failed = False
         self.last_progress_s = now_s
         self.last_checkpoint: dict[str, Any] | None = None
@@ -322,6 +348,122 @@ class MonitorSupervisor:
                 self._tick(subject)
         return {name: s.estimates for name, s in self._subjects.items()}
 
+    def tick(self, name: str) -> None:
+        """Run one scheduling tick for one subject (no-op once it is done).
+
+        This is the unit of work the fleet gateway schedules: one
+        supervised source read, fed to the monitor, with checkpointing,
+        watchdog, fallback-ladder, and health handling exactly as in
+        :meth:`run` — which is itself a loop of these ticks.
+        """
+        subject = self._subject(name)
+        if subject.done:
+            return
+        self._tick(subject)
+
+    def subject_done(self, name: str) -> bool:
+        """Whether a subject has permanently finished (failed or
+        exhausted)."""
+        return self._subject(name).done
+
+    def estimates_for(self, name: str) -> list[ServiceEstimate]:
+        """The subject's emissions so far, in emission order."""
+        return list(self._subject(name).estimates)
+
+    def crash_monitor(self, name: str, *, cause: str = "injected") -> None:
+        """Kill a subject's monitor as a crash would, and restart it.
+
+        The monitor object is discarded and rebuilt through the normal
+        restart path — restored from the latest periodic checkpoint when
+        one exists, cold otherwise — so callers (the fleet chaos harness's
+        shard-crash fault, the scripted ``monitor-crash`` chaos kind)
+        exercise exactly the code path a real in-monitor exception takes.
+        """
+        subject = self._subject(name)
+        if subject.done:
+            return
+        self._inject_crash(subject, cause)
+
+    def schedule_monitor_crash(self, name: str, at_s: float) -> None:
+        """Script a monitor crash at a simulated time.
+
+        The crash fires on the first tick at or after ``at_s`` via
+        :meth:`crash_monitor`.  Multiple schedules accumulate.
+        """
+        subject = self._subject(name)
+        subject.pending_crashes_s.append(float(at_s))
+        subject.pending_crashes_s.sort()
+
+    def set_hop_stretch(self, name: str, stretch: float) -> None:
+        """Throttle (or restore) a subject's emission cadence.
+
+        Applies :meth:`StreamingMonitor.set_hop_stretch` and remembers the
+        factor so a monitor rebuilt after a crash comes back with the same
+        throttle still in force.
+        """
+        subject = self._subject(name)
+        subject.hop_stretch = float(stretch)
+        subject.monitor.set_hop_stretch(subject.hop_stretch)
+
+    def set_min_fallback_level(
+        self, name: str, level: int, *, reason: str = "overload"
+    ) -> None:
+        """Pin a subject's estimator ladder at (or release it to) a floor.
+
+        Raising the floor above the subject's current rung walks the
+        ladder down immediately (recorded as ``fallback-escalated``
+        events); recovery cross-checks then climb back only as far as the
+        floor.  Lowering the floor releases the pin and lets the normal
+        recovery path climb the rest of the way.
+        """
+        if not 0 <= level < len(FALLBACK_METHODS):
+            raise ConfigurationError(
+                f"fallback level must be in [0, {len(FALLBACK_METHODS) - 1}], "
+                f"got {level}"
+            )
+        subject = self._subject(name)
+        subject.min_fallback_level = int(level)
+        while subject.fallback_level < subject.min_fallback_level:
+            subject.fallback_level += 1
+            subject.consecutive_gated = 0
+            self._obs.count(
+                "supervisor_fallback_escalations_total",
+                labels={"subject": subject.name},
+                help_text="Steps down the estimator fallback ladder.",
+            )
+            self._set_fallback_gauge(subject)
+            self.events.record(
+                self.clock.now_s,
+                subject.name,
+                "fallback-escalated",
+                to_method=FALLBACK_METHODS[subject.fallback_level],
+                level=subject.fallback_level,
+                reason=reason,
+            )
+        self._update_health(subject)
+
+    def _inject_crash(self, subject: _Subject, cause: str) -> None:
+        self.events.record(
+            self.clock.now_s,
+            subject.name,
+            "monitor-crash",
+            error="InjectedMonitorCrash",
+            message=cause,
+        )
+        self._restart_monitor(
+            subject, cause=RuntimeError(f"injected monitor crash: {cause}")
+        )
+        self._update_health(subject)
+
+    def _subject(self, name: str) -> _Subject:
+        try:
+            return self._subjects[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown subject {name!r}; registered: "
+                f"{sorted(self._subjects)}"
+            ) from None
+
     def health_summary(self) -> dict[str, dict[str, Any]]:
         """Per-subject health snapshot for reporting.
 
@@ -348,6 +490,15 @@ class MonitorSupervisor:
     # One scheduling tick for one subject.
 
     def _tick(self, subject: _Subject) -> None:
+        while (
+            subject.pending_crashes_s
+            and self.clock.now_s >= subject.pending_crashes_s[0]
+            and not subject.done
+        ):
+            at_s = subject.pending_crashes_s.pop(0)
+            self._inject_crash(subject, cause=f"scheduled at {at_s:g}s")
+        if subject.done:
+            return
         t_before = self.clock.now_s
         packet = None
         try:
@@ -470,6 +621,8 @@ class MonitorSupervisor:
                     "checkpoint-restore-failed",
                     error=str(exc),
                 )
+        if subject.hop_stretch != 1.0:  # phaselint: disable=PL004 -- exact 'no stretch' sentinel
+            monitor.set_hop_stretch(subject.hop_stretch)
         subject.monitor = monitor
         self.events.record(
             self.clock.now_s,
@@ -553,6 +706,24 @@ class MonitorSupervisor:
                 fresh=True,
             )
             return
+        if subject.fallback_level <= subject.min_fallback_level:
+            # Pinned at the overload floor: keep emitting the fallback
+            # value without attempting recovery — the pin exists because
+            # the fleet layer wants this session cheap, not because the
+            # primary path is distrusted.
+            alt_bpm = self._fallback_estimate(subject)
+            self._emit(
+                subject,
+                estimate,
+                rate_bpm=alt_bpm if alt_bpm is not None else primary_bpm,
+                method=(
+                    FALLBACK_METHODS[subject.fallback_level]
+                    if alt_bpm is not None
+                    else FALLBACK_METHODS[0]
+                ),
+                fresh=True,
+            )
+            return
         # In fallback: cross-check the recovered primary path against the
         # currently trusted estimator before switching back.
         alt_bpm = self._fallback_estimate(subject)
@@ -574,7 +745,8 @@ class MonitorSupervisor:
                 )
         if recovered:
             from_level = subject.fallback_level
-            subject.fallback_level = 0
+            # Recovery climbs back to the pinned floor, never above it.
+            subject.fallback_level = subject.min_fallback_level
             subject.consecutive_fresh = 0
             self._obs.count(
                 "supervisor_fallback_recoveries_total",
@@ -591,13 +763,29 @@ class MonitorSupervisor:
                 primary_bpm=primary_bpm,
                 fallback_bpm=alt_bpm,
             )
-            self._emit(
-                subject,
-                estimate,
-                rate_bpm=primary_bpm,
-                method=FALLBACK_METHODS[0],
-                fresh=True,
-            )
+            if subject.fallback_level == 0:
+                self._emit(
+                    subject,
+                    estimate,
+                    rate_bpm=primary_bpm,
+                    method=FALLBACK_METHODS[0],
+                    fresh=True,
+                )
+            else:
+                pinned_bpm = self._fallback_estimate(subject)
+                self._emit(
+                    subject,
+                    estimate,
+                    rate_bpm=(
+                        pinned_bpm if pinned_bpm is not None else primary_bpm
+                    ),
+                    method=(
+                        FALLBACK_METHODS[subject.fallback_level]
+                        if pinned_bpm is not None
+                        else FALLBACK_METHODS[0]
+                    ),
+                    fresh=True,
+                )
         else:
             # Still in fallback: trust the fallback estimator's value when
             # it has one, else report the (unconfirmed) primary value.

@@ -1,0 +1,25 @@
+"""Fleet-suite fixture: one short shared capture.
+
+Gateway tests run whole fleets, so the per-session stream is kept short
+(20 s at 50 Hz) and built once per session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Person, capture_trace, laboratory_scenario
+from repro.physio import SinusoidalBreathing
+
+
+@pytest.fixture(scope="session")
+def fleet_trace():
+    """20 s laboratory capture at 50 Hz (15 bpm ground truth)."""
+    person = Person(
+        position=(2.2, 3.0, 1.0),
+        breathing=SinusoidalBreathing(frequency_hz=0.25),
+    )
+    scenario = laboratory_scenario([person], clutter_seed=9)
+    return capture_trace(
+        scenario, duration_s=20.0, sample_rate_hz=50.0, seed=9
+    )

@@ -1,0 +1,66 @@
+"""Admission controller: ceilings, shard assignment, typed refusals."""
+
+import pytest
+
+from repro.errors import ConfigurationError, FleetAdmissionError
+from repro.service.fleet.admission import AdmissionController
+from repro.service.fleet.config import FleetConfig
+
+
+def _controller(**overrides) -> AdmissionController:
+    defaults = dict(max_sessions=8, n_shards=2, shard_capacity=4)
+    defaults.update(overrides)
+    return AdmissionController(FleetConfig(**defaults))
+
+
+class TestAssignment:
+    def test_least_loaded_lowest_index_wins(self):
+        controller = _controller()
+        assert controller.admit("a") == 0
+        assert controller.admit("b") == 1
+        assert controller.admit("c") == 0
+        assert controller.shard_load(0) == 2
+        assert controller.shard_load(1) == 1
+
+    def test_release_frees_the_slot_for_reuse(self):
+        controller = _controller(max_sessions=2, n_shards=1, shard_capacity=2)
+        controller.admit("a")
+        controller.admit("b")
+        assert controller.release("a") == 0
+        assert controller.n_active == 1
+        # The freed slot is admittable again.
+        assert controller.admit("c") == 0
+
+    def test_shard_of_unknown_session_raises(self):
+        with pytest.raises(ConfigurationError):
+            _controller().shard_of("ghost")
+
+
+class TestRefusals:
+    def test_duplicate_session(self):
+        controller = _controller()
+        controller.admit("a")
+        with pytest.raises(FleetAdmissionError) as excinfo:
+            controller.admit("a")
+        assert excinfo.value.reason == "duplicate-session"
+        assert excinfo.value.session_id == "a"
+        assert controller.n_rejected_total["duplicate-session"] == 1
+
+    def test_fleet_full(self):
+        controller = _controller(max_sessions=2)
+        controller.admit("a")
+        controller.admit("b")
+        with pytest.raises(FleetAdmissionError) as excinfo:
+            controller.admit("c")
+        assert excinfo.value.reason == "fleet-full"
+
+    def test_shard_full(self):
+        controller = _controller(
+            max_sessions=8, n_shards=2, shard_capacity=1
+        )
+        controller.admit("a")
+        controller.admit("b")
+        with pytest.raises(FleetAdmissionError) as excinfo:
+            controller.admit("c")
+        assert excinfo.value.reason == "shard-full"
+        assert controller.n_admitted_total == 2

@@ -1,0 +1,150 @@
+"""Fleet chaos harness: fault schema, validation, and small end-to-end."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import MetricsRegistry
+from repro.service.fleet import (
+    FLEET_SCENARIOS,
+    FleetFault,
+    FleetScenario,
+    run_fleet_chaos,
+)
+
+
+class TestFleetFault:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FleetFault(kind="meteor-strike", at_s=1.0)
+
+    def test_session_faults_need_targets_and_window(self):
+        with pytest.raises(ConfigurationError):
+            FleetFault(kind="ingest-burst", at_s=1.0, duration_s=2.0)
+        with pytest.raises(ConfigurationError):
+            FleetFault(kind="ingest-burst", at_s=1.0, n_sessions=2)
+
+    def test_factor_bounds(self):
+        with pytest.raises(ConfigurationError):
+            FleetFault(
+                kind="ingest-burst",
+                at_s=1.0,
+                duration_s=2.0,
+                n_sessions=1,
+                ingest_factor=0.5,
+            )
+        with pytest.raises(ConfigurationError):
+            FleetFault(
+                kind="slow-consumer",
+                at_s=1.0,
+                duration_s=2.0,
+                n_sessions=1,
+                drain_factor=1.5,
+            )
+
+    def test_dict_round_trip(self):
+        fault = FleetFault(
+            kind="slow-consumer",
+            at_s=4.0,
+            duration_s=6.0,
+            n_sessions=3,
+            drain_factor=0.5,
+        )
+        assert FleetFault.from_dict(fault.to_dict()) == fault
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ConfigurationError):
+            FleetFault.from_dict(
+                {"kind": "shard-crash", "at_s": 1.0, "blast_radius": 9}
+            )
+
+
+class TestFleetScenario:
+    def test_json_round_trip(self):
+        scenario = FLEET_SCENARIOS["overload-shed"]
+        assert FleetScenario.from_json(scenario.to_json()) == scenario
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FleetScenario.from_json("not json")
+        with pytest.raises(ConfigurationError):
+            FleetScenario.from_json("[1, 2]")
+
+    def test_schedule_metadata(self):
+        scenario = FLEET_SCENARIOS["overload-shed"]
+        assert scenario.last_fault_end_s == 11.0
+        assert scenario.max_targeted_sessions() == 6
+
+
+class TestRunValidation:
+    def test_scenario_needs_a_clean_tail(self):
+        late = FleetScenario(
+            name="too-late",
+            faults=(FleetFault(kind="shard-crash", at_s=20.0),),
+        )
+        with pytest.raises(ConfigurationError, match="clean tail"):
+            run_fleet_chaos(late, n_sessions=2, duration_s=24.0)
+
+    def test_fleet_must_cover_targeted_sessions(self):
+        wide = FleetScenario(
+            name="too-wide",
+            faults=(
+                FleetFault(
+                    kind="correlated-source-loss",
+                    at_s=4.0,
+                    duration_s=2.0,
+                    n_sessions=50,
+                ),
+            ),
+        )
+        with pytest.raises(ConfigurationError, match="targets"):
+            run_fleet_chaos(wide, n_sessions=2, duration_s=24.0)
+
+
+class TestEndToEnd:
+    def test_fault_free_fleet_holds_every_invariant(self):
+        scenario = FleetScenario(name="fault-free", faults=())
+        report = run_fleet_chaos(
+            scenario,
+            n_sessions=4,
+            duration_s=20.0,
+            seed=0,
+            trace_pool_size=2,
+            registry=MetricsRegistry(),
+        )
+        assert report.violations() == []
+        assert report.faulted_ids == ()
+        assert report.n_estimates_total > 0
+        assert report.fleet_summary["by_status"]["finished"] == 4
+        # The metrics snapshot is canonical JSON with fleet series.
+        assert '"fleet_sessions_active_count"' in report.metrics_json
+
+    def test_same_seed_reports_are_byte_identical(self):
+        scenario = FLEET_SCENARIOS["shard-crash"]
+        reports = [
+            run_fleet_chaos(
+                scenario,
+                n_sessions=6,
+                duration_s=24.0,
+                seed=11,
+                trace_pool_size=2,
+                registry=MetricsRegistry(),
+            )
+            for _ in range(2)
+        ]
+        assert reports[0].events_jsonl == reports[1].events_jsonl
+        assert reports[0].metrics_json == reports[1].metrics_json
+        assert reports[0].violations() == reports[1].violations() == []
+
+    def test_report_is_json_safe(self):
+        import json
+
+        scenario = FleetScenario(name="fault-free", faults=())
+        report = run_fleet_chaos(
+            scenario,
+            n_sessions=2,
+            duration_s=20.0,
+            trace_pool_size=1,
+        )
+        payload = json.loads(json.dumps(report.to_jsonable()))
+        assert payload["violations"] == []
+        assert payload["n_sessions"] == 2

@@ -1,0 +1,68 @@
+"""Bounded queue and queue-backed source semantics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.fleet.queue import BoundedPacketQueue, QueuedPacketSource
+from repro.service.sources import Packet
+
+
+def _packet(t: float) -> Packet:
+    return Packet(csi=np.zeros(2, dtype=complex), timestamp_s=t)
+
+
+class TestBoundedPacketQueue:
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ConfigurationError):
+            BoundedPacketQueue(0)
+
+    def test_fifo_order(self):
+        queue = BoundedPacketQueue(4)
+        for t in (1.0, 2.0, 3.0):
+            assert queue.offer(_packet(t))
+        assert [queue.pop().timestamp_s for _ in range(3)] == [1.0, 2.0, 3.0]
+        assert queue.pop() is None
+
+    def test_overflow_drops_oldest_and_counts(self):
+        queue = BoundedPacketQueue(2)
+        assert queue.offer(_packet(1.0))
+        assert queue.offer(_packet(2.0))
+        # Full: the oldest packet makes room for the newest.
+        assert not queue.offer(_packet(3.0))
+        assert queue.n_dropped_total == 1
+        assert [queue.pop().timestamp_s for _ in range(2)] == [2.0, 3.0]
+
+    def test_high_water_mark_tracks_peak_depth(self):
+        queue = BoundedPacketQueue(8)
+        for t in range(5):
+            queue.offer(_packet(float(t)))
+        for _ in range(5):
+            queue.pop()
+        assert queue.depth == 0
+        assert queue.max_depth_seen_packets == 5
+
+    def test_clear_reports_count_without_touching_drop_total(self):
+        queue = BoundedPacketQueue(4)
+        for t in range(3):
+            queue.offer(_packet(float(t)))
+        assert queue.clear() == 3
+        assert queue.depth == 0
+        assert queue.n_dropped_total == 0
+
+
+class TestQueuedPacketSource:
+    def test_not_exhausted_while_queue_holds_data(self):
+        queue = BoundedPacketQueue(4)
+        source = QueuedPacketSource(queue)
+        queue.offer(_packet(1.0))
+        source.mark_finished()
+        # Buffered packets must still reach the monitor.
+        assert not source.exhausted
+        assert source.next_packet().timestamp_s == 1.0
+        assert source.exhausted
+
+    def test_empty_but_unfinished_returns_none(self):
+        source = QueuedPacketSource(BoundedPacketQueue(4))
+        assert source.next_packet() is None
+        assert not source.exhausted

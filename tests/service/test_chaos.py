@@ -71,11 +71,12 @@ class TestChaosScenario:
         )
         assert scenario.last_fault_end_s == pytest.approx(25.0)
 
-    def test_shipped_library_covers_the_four_fault_domains(self):
+    def test_shipped_library_covers_the_fault_domains(self):
         assert set(SHIPPED_SCENARIOS) == {
             "source-crash",
             "sustained-stall",
             "transient-errors",
+            "checkpoint-restore-loss",
             "degradation-burst",
         }
         for name, scenario in SHIPPED_SCENARIOS.items():

@@ -1,0 +1,183 @@
+"""Resilience corner cases with their observability side effects.
+
+Two paths that earlier tests only brushed past:
+
+* retry exhaustion — a source that never stops failing transiently must
+  surface a chained :class:`~repro.errors.SourceUnavailableError` after
+  exactly the configured retry budget, with every attempt mirrored into
+  the ``source_transient_errors_total`` counter;
+* half-open re-trip — a breaker probe that fails must re-open the breaker
+  with a scaled-up cooldown and count both transitions, not silently
+  close or stay half-open.
+"""
+
+import pytest
+
+from repro.errors import (
+    CircuitOpenError,
+    SourceUnavailableError,
+    TransientSourceError,
+)
+from repro.obs import Instrumentation, MetricsRegistry
+from repro.service.breaker import BreakerConfig, BreakerState
+from repro.service.clock import SimulatedClock
+from repro.service.sources import Packet, ResilientSource, RetryConfig
+
+
+class _AlwaysFailingSource:
+    """A source whose every read raises a transient error."""
+
+    def __init__(self):
+        self.n_reads = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return False
+
+    def next_packet(self) -> Packet | None:
+        self.n_reads += 1
+        raise TransientSourceError("scripted permanent flakiness")
+
+
+def _resilient(clock, registry, *, max_retries, breaker=None, seed=0):
+    inner = _AlwaysFailingSource()
+    source = ResilientSource(
+        lambda start_at_s: inner,
+        clock,
+        subject="lab",
+        retry=RetryConfig(max_retries=max_retries, jitter_fraction=0.0),
+        breaker=breaker,
+        seed=seed,
+        instrumentation=Instrumentation(clock=clock, registry=registry),
+    )
+    return source, inner
+
+
+class TestRetryExhaustion:
+    def test_chains_last_transient_error_with_attempt_count(self):
+        clock = SimulatedClock()
+        registry = MetricsRegistry()
+        source, inner = _resilient(
+            clock,
+            registry,
+            max_retries=2,
+            # A roomy threshold so the breaker stays out of this test.
+            breaker=BreakerConfig(failure_threshold=100),
+        )
+
+        with pytest.raises(SourceUnavailableError) as excinfo:
+            source.next_packet()
+
+        # First attempt + two retries, then give up.
+        assert excinfo.value.attempts == 3
+        assert inner.n_reads == 3
+        assert isinstance(excinfo.value.__cause__, TransientSourceError)
+        assert source.counters["transient_errors"] == 3
+        assert source.counters["reads_ok"] == 0
+
+    def test_every_attempt_is_counted_in_obs(self):
+        clock = SimulatedClock()
+        registry = MetricsRegistry()
+        source, _ = _resilient(
+            clock,
+            registry,
+            max_retries=2,
+            breaker=BreakerConfig(failure_threshold=100),
+        )
+
+        with pytest.raises(SourceUnavailableError):
+            source.next_packet()
+
+        counter = registry.counter(
+            "source_transient_errors_total", labels={"subject": "lab"}
+        )
+        assert counter.value == 3.0
+
+    def test_backoff_consumes_simulated_time_between_attempts(self):
+        clock = SimulatedClock()
+        registry = MetricsRegistry()
+        source, _ = _resilient(
+            clock,
+            registry,
+            max_retries=2,
+            breaker=BreakerConfig(failure_threshold=100),
+        )
+
+        with pytest.raises(SourceUnavailableError):
+            source.next_packet()
+
+        # Two backoff sleeps (0.05 then 0.10 with jitter off); the final
+        # failing attempt raises without sleeping again.
+        assert clock.now_s == pytest.approx(0.15)
+
+
+class TestHalfOpenReTrip:
+    def test_failed_probe_reopens_with_scaled_cooldown(self):
+        clock = SimulatedClock()
+        registry = MetricsRegistry()
+        source, _ = _resilient(
+            clock,
+            registry,
+            max_retries=0,
+            breaker=BreakerConfig(
+                failure_threshold=2,
+                reset_timeout_s=5.0,
+                backoff_factor=2.0,
+                max_reset_timeout_s=60.0,
+            ),
+        )
+
+        # Two failing reads trip the breaker.
+        for _ in range(2):
+            with pytest.raises(SourceUnavailableError):
+                source.next_packet()
+        assert source.breaker.state is BreakerState.OPEN
+
+        # While open, calls are short-circuited without touching the
+        # source.
+        with pytest.raises(CircuitOpenError):
+            source.next_packet()
+        assert source.counters["circuit_rejections"] == 1
+
+        # Cooldown elapses; the half-open probe fails and must re-open
+        # the breaker with the cooldown doubled.
+        clock.advance(5.0)
+        with pytest.raises(SourceUnavailableError):
+            source.next_packet()
+        assert source.breaker.state is BreakerState.OPEN
+        assert source.breaker.retry_after_s() == pytest.approx(10.0)
+
+        # The event log shows trip -> probe -> re-trip, in order.
+        kinds = [k for k in source.events.kinds() if k.startswith("breaker-")]
+        assert kinds == ["breaker-open", "breaker-half-open", "breaker-open"]
+
+    def test_transitions_are_counted_by_state_pair(self):
+        clock = SimulatedClock()
+        registry = MetricsRegistry()
+        source, _ = _resilient(
+            clock,
+            registry,
+            max_retries=0,
+            breaker=BreakerConfig(failure_threshold=2, reset_timeout_s=5.0),
+        )
+
+        for _ in range(2):
+            with pytest.raises(SourceUnavailableError):
+                source.next_packet()
+        clock.advance(5.0)
+        with pytest.raises(SourceUnavailableError):
+            source.next_packet()
+
+        def transitions(from_state, to_state):
+            return registry.counter(
+                "breaker_transitions_total",
+                labels={"from_state": from_state, "to_state": to_state},
+            ).value
+
+        assert transitions("closed", "open") == 1.0
+        assert transitions("open", "half-open") == 1.0
+        assert transitions("half-open", "open") == 1.0
+        rejections = registry.counter(
+            "source_circuit_rejections_total", labels={"subject": "lab"}
+        )
+        assert rejections.value == 0.0

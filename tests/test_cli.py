@@ -225,6 +225,73 @@ class TestMonitorObservabilityOutputs:
             assert {"time_s", "subject", "kind", "detail"} <= set(event)
 
 
+class TestFleetCommand:
+    def test_fleet_defaults(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.sessions == 20
+        assert args.duration == 24.0
+        assert args.scenario is None
+        assert not args.no_isolation_check
+
+    def test_unknown_scenario_is_an_error(self, capsys):
+        code = main(["fleet", "--scenario", "nope"])
+        assert code == 2
+        assert "neither a shipped fleet scenario" in capsys.readouterr().err
+
+    def test_fault_free_fleet_reports_ok(self, tmp_path, capsys):
+        import json
+
+        report = tmp_path / "fleet.json"
+        events = tmp_path / "events.jsonl"
+        metrics = tmp_path / "metrics.json"
+        code = main(
+            [
+                "fleet",
+                "--sessions", "4",
+                "--duration", "20",
+                "--seed", "0",
+                "--json", str(report),
+                "--events-out", str(events),
+                "--metrics-out", str(metrics),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scenario fault-free" in out
+        assert "fleet invariants: OK" in out
+        data = json.loads(report.read_text())
+        assert data["violations"] == []
+        assert data["fleet_summary"]["by_status"]["finished"] == 4
+        snapshot = json.loads(metrics.read_text())
+        assert snapshot["schema"] == "repro.obs/v1"
+        names = {sample["name"] for sample in snapshot["metrics"]}
+        assert "fleet_sessions_active_count" in names
+        for line in events.read_text().splitlines():
+            event = json.loads(line)
+            assert {"time_s", "subject", "kind", "detail"} <= set(event)
+
+    def test_scenario_from_json_file(self, tmp_path, capsys):
+        from repro.service.fleet import FleetFault, FleetScenario
+
+        path = tmp_path / "fleet-faults.json"
+        scenario = FleetScenario(
+            name="one-shard-down",
+            faults=(FleetFault(kind="shard-crash", at_s=8.0, shard=0),),
+        )
+        path.write_text(scenario.to_json())
+        code = main(
+            [
+                "fleet",
+                "--sessions", "4",
+                "--duration", "24",
+                "--seed", "0",
+                "--scenario", str(path),
+            ]
+        )
+        assert code == 0
+        assert "scenario one-shard-down" in capsys.readouterr().out
+
+
 class TestMetricsCommand:
     @pytest.fixture(scope="class")
     def snapshot_path(self, tmp_path_factory):
