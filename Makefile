@@ -3,13 +3,19 @@
 # pipeline.
 PYTHON ?= python
 
-.PHONY: test lint phaselint typecheck check
+.PHONY: test lint phaselint sanitize typecheck check
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
 phaselint:
 	PYTHONPATH=tools $(PYTHON) -m phaselint src tests benchmarks
+
+# Run-twice byte-reproducibility check over one solo and one fleet chaos
+# scenario (see docs/static_analysis.md, "Determinism model").
+sanitize:
+	PYTHONPATH=src $(PYTHON) -m repro.cli sanitize --mode solo --scenario source-crash
+	PYTHONPATH=src $(PYTHON) -m repro.cli sanitize --mode fleet --scenario shard-crash
 
 lint: phaselint
 	ruff check src/ tests/ benchmarks/ examples/

@@ -1,6 +1,6 @@
 """Command-line interface: simulate, estimate, and reproduce from a shell.
 
-Seven subcommands::
+Eight subcommands::
 
     repro-phasebeat simulate  --scenario lab --duration 30 --out trace.npz
     repro-phasebeat estimate  trace.npz --persons 1 --heart
@@ -8,6 +8,7 @@ Seven subcommands::
     repro-phasebeat experiment fig11 --trials 20
     repro-phasebeat monitor   --duration 90 --chaos-scenario faults.json
     repro-phasebeat fleet     --sessions 50 --scenario shard-crash
+    repro-phasebeat sanitize  --mode fleet --scenario shard-crash
     repro-phasebeat metrics   render metrics.json --format prometheus
 
 ``simulate`` builds one of the paper's three deployments and writes a CSI
@@ -20,8 +21,11 @@ JSON fault-schedule file), and prints the event log and health summary —
 ``--metrics-out`` / ``--events-out`` additionally dump the run's metrics
 snapshot (canonical JSON) and event log (JSONL); ``fleet`` runs a whole
 fleet of sessions through the gateway under a fleet chaos scenario and
-checks the isolation / recovery / bounded-shedding invariants; ``metrics``
-renders or diffs those snapshots offline.
+checks the isolation / recovery / bounded-shedding invariants;
+``sanitize`` runs a seeded scenario (solo or fleet) twice in-process and
+byte-diffs the event log, metrics snapshot, and estimates — the runtime
+side of the phaselint determinism rules; ``metrics`` renders or diffs
+those snapshots offline.
 """
 
 from __future__ import annotations
@@ -201,6 +205,48 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument(
         "--events-out", default=None, metavar="PATH",
         help="write the fleet event log as JSON Lines",
+    )
+
+    sanitize = sub.add_parser(
+        "sanitize",
+        help=(
+            "run a seeded scenario twice in-process and byte-diff the "
+            "event log, metrics snapshot, and estimates"
+        ),
+    )
+    sanitize.add_argument(
+        "--mode",
+        choices=("solo", "fleet"),
+        default="solo",
+        help="solo chaos scenario or whole-fleet scenario (default: solo)",
+    )
+    sanitize.add_argument(
+        "--scenario",
+        default=None,
+        metavar="NAME",
+        help=(
+            "shipped scenario name (default: source-crash for solo, "
+            "shard-crash for fleet)"
+        ),
+    )
+    sanitize.add_argument(
+        "--duration", type=float, default=None, metavar="SECONDS",
+        help="simulated duration per run (default: 90 solo / 24 fleet)",
+    )
+    sanitize.add_argument(
+        "--sample-rate", type=float, default=None, metavar="HZ",
+        help="CSI sample rate (default: 100 solo / 50 fleet)",
+    )
+    sanitize.add_argument(
+        "--sessions", type=int, default=12, metavar="N",
+        help="fleet size in --mode fleet (default: 12)",
+    )
+    sanitize.add_argument(
+        "--seed", type=int, default=0, help="scenario seed for both runs"
+    )
+    sanitize.add_argument(
+        "--json", action="store_true",
+        help="emit the report as JSON instead of text",
     )
 
     metrics = sub.add_parser(
@@ -522,6 +568,37 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_sanitize(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from .sanitize import sanitize_fleet, sanitize_solo
+
+    if args.mode == "fleet":
+        report = sanitize_fleet(
+            args.scenario or "shard-crash",
+            n_sessions=args.sessions,
+            duration_s=args.duration if args.duration is not None else 24.0,
+            sample_rate_hz=(
+                args.sample_rate if args.sample_rate is not None else 50.0
+            ),
+            seed=args.seed,
+        )
+    else:
+        report = sanitize_solo(
+            args.scenario or "source-crash",
+            duration_s=args.duration if args.duration is not None else 90.0,
+            sample_rate_hz=(
+                args.sample_rate if args.sample_rate is not None else 100.0
+            ),
+            seed=args.seed,
+        )
+    if args.json:
+        print(json_module.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.format_text())
+    return 0 if report.clean else 1
+
+
 def _jsonable(value):
     """Recursively convert an experiment result to JSON-safe types."""
     if isinstance(value, dict):
@@ -572,6 +649,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiment": _cmd_experiment,
         "monitor": _cmd_monitor,
         "fleet": _cmd_fleet,
+        "sanitize": _cmd_sanitize,
         "metrics": _cmd_metrics,
     }
     try:

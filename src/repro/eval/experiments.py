@@ -504,7 +504,7 @@ def fig14_num_persons(
             truth = 60.0 * np.asarray(
                 [p.breathing.frequency_hz for p in cohort]
             )
-            for label, method in methods.items():
+            for label, method in methods.items():  # phaselint: insertion-order -- methods dict is the declared presentation order
                 try:
                     result = pipeline.process(
                         trace,

@@ -725,5 +725,5 @@ def run_fleet_chaos(
             if registry is not None
             else None
         ),
-        n_estimates_total=sum(len(v) for v in results.values()),
+        n_estimates_total=sum(len(v) for v in results.values()),  # phaselint: insertion-order -- integer count, order-independent
     )

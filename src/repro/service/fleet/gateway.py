@@ -319,7 +319,7 @@ class FleetGateway:
         """JSON-safe roll-up of fleet state (counts by status/health)."""
         by_status = {s.value: 0 for s in SessionStatus}
         by_health = {h.value: 0 for h in SubjectHealth}
-        for session in self._sessions.values():
+        for session in self._sessions.values():  # phaselint: insertion-order -- counts only; every session is visited exactly once
             by_status[session.status.value] += 1
             summary = session.supervisor.health_summary()[session.session_id]
             by_health[summary["health"]] += 1
@@ -330,7 +330,7 @@ class FleetGateway:
             "by_status": by_status,
             "by_health": by_health,
             "n_shed": self.n_shed_total,
-            "n_queue_dropped": sum(
+            "n_queue_dropped": sum(  # phaselint: insertion-order -- integer sum, order-independent
                 s.queue.n_dropped_total for s in self._sessions.values()
             ),
             "n_rejected": dict(self.admission.n_rejected_total),
@@ -487,7 +487,7 @@ class FleetGateway:
                         "sampled every round.",
                         bucket_bounds=DEFAULT_SIZE_BUCKETS,
                     )
-        for session in self._sessions.values():
+        for session in self._sessions.values():  # phaselint: insertion-order -- admission order is the scheduling contract (see docs/fleet.md)
             if session.active:
                 self._update_pressure(session)
         self._shed_pass()
@@ -754,7 +754,7 @@ class FleetGateway:
         n_active = 0
         n_degraded = 0
         n_throttled = 0
-        for session in self._sessions.values():
+        for session in self._sessions.values():  # phaselint: insertion-order -- counts only; every session is visited exactly once
             if not session.active:
                 continue
             n_active += 1

@@ -44,15 +44,19 @@ def test_hampel_output_within_input_range(x, window, threshold):
 
 @given(x=signals, window=st.integers(min_value=3, max_value=31))
 @settings(max_examples=80, deadline=None)
-def test_hampel_idempotent_at_tiny_threshold_fixed_points(x, window):
-    # Applying the degenerate (rolling-median) filter twice equals once on
-    # signals that are already medians — a weak but real invariant: second
-    # application changes strictly fewer samples or none.
+def test_hampel_threshold_zero_collapses_to_rolling_median(x, window):
+    # With threshold 0 the outlier test is |x - med| > 0, so every sample
+    # that differs from its local median is replaced and the filter is
+    # exactly the rolling median — the degenerate regime PhaseBeat's
+    # threshold=0.01 approximates.  (Repeated median filtering is *not*
+    # change-count monotone — x=[3,2,0,1,0], window=4 changes 2 samples on
+    # the first pass and 3 on the second — so idempotence-style bounds on
+    # pass-to-pass change counts are not an invariant and are not asserted.)
     once = hampel_filter(x, window, 0.0)
-    twice = hampel_filter(once, window, 0.0)
-    changed_once = np.sum(once != x)
-    changed_twice = np.sum(twice != once)
-    assert changed_twice <= max(changed_once, x.size // 2)
+    assert np.array_equal(once, rolling_median(x, window))
+    # Constant signals are genuine fixed points at any threshold.
+    const = np.full_like(x, x[0])
+    assert np.array_equal(hampel_filter(const, window, 0.0), const)
 
 
 @given(x=signals, factor=st.integers(min_value=1, max_value=10))

@@ -9,9 +9,10 @@ import json
 
 
 
+from phaselint.baseline import Baseline
 from phaselint.cli import main
 from phaselint.config import LintConfig, load_config
-from phaselint.engine import lint_file, lint_paths
+from phaselint.engine import lint_file, lint_paths, lint_paths_detailed
 
 def lint_snippet(tmp_path, source, config=None, *, select=(), name="snippet.py"):
     # Rule tests isolate their rule with ``select`` so an unrelated rule
@@ -445,6 +446,7 @@ class TestCli:
         out = capsys.readouterr().out
         for code in (
             "PL001", "PL002", "PL003", "PL004", "PL005", "PL006", "PL007",
+            "PL008", "PL009", "PL010", "PL011",
         ):
             assert code in out
 
@@ -525,6 +527,464 @@ class TestPL007BroadExcept:
         assert found == []
 
 
+class TestPL008UnorderedIteration:
+    def test_fires_on_dict_view_loop_with_append(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "def collect(table):\n"
+            "    out = []\n"
+            "    for value in table.values():\n"
+            "        out.append(value)\n"
+            "    return out\n",
+            select=("PL008",),
+        )
+        assert codes(found) == ["PL008"]
+        assert found[0].line == 3
+        assert ".values()" in found[0].message
+
+    def test_fires_on_set_loop_with_accumulation(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "def total(names):\n"
+            "    items = set(names)\n"
+            "    acc = ''\n"
+            "    for item in items:\n"
+            "        acc += item\n"
+            "    return acc\n",
+            select=("PL008",),
+        )
+        assert codes(found) == ["PL008"]
+        assert "hash-dependent" in found[0].message
+
+    def test_fires_transitively_through_local_helper(self, tmp_path):
+        # The loop body has no sink of its own; the helper it calls does.
+        found = lint_snippet(
+            tmp_path,
+            "log = []\n\n\n"
+            "def emit(x):\n"
+            "    log.append(x)\n\n\n"
+            "def run(table):\n"
+            "    for key in table.keys():\n"
+            "        emit(key)\n",
+            select=("PL008",),
+        )
+        assert codes(found) == ["PL008"]
+        assert "transitive" in found[0].message
+
+    def test_fires_transitively_across_modules(self, tmp_path):
+        (tmp_path / "sink_mod.py").write_text(
+            "log = []\n\n\ndef emit(x):\n    log.append(x)\n"
+        )
+        (tmp_path / "loop_mod.py").write_text(
+            "from sink_mod import emit\n\n\n"
+            "def run(table):\n"
+            "    for key in table.values():\n"
+            "        emit(key)\n"
+        )
+        found = lint_paths([tmp_path], LintConfig(select=("PL008",)))
+        assert [(f.rule, f.path.endswith("loop_mod.py")) for f in found] == [
+            ("PL008", True)
+        ]
+
+    def test_fires_on_set_in_list_comprehension(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "def freeze(names):\n"
+            "    tags = {n.strip() for n in names}\n"
+            "    return [t.upper() for t in tags]\n",
+            select=("PL008",),
+        )
+        assert codes(found) == ["PL008"]
+
+    def test_fires_on_set_into_list_call(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "def freeze(tags: set) -> list:\n"
+            '    """Doc."""\n'
+            "    return list(tags)\n",
+            select=("PL008",),
+        )
+        assert codes(found) == ["PL008"]
+
+    def test_silent_on_sorted_iteration(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "def collect(table):\n"
+            "    out = []\n"
+            "    for value in sorted(table.values()):\n"
+            "        out.append(value)\n"
+            "    return out\n",
+            select=("PL008",),
+        )
+        assert found == []
+
+    def test_silent_on_order_insensitive_consumption(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "def stats(table, tags: set):\n"
+            "    n = len(tags)\n"
+            "    alive = any(v.ok for v in table.values())\n"
+            "    return n, alive, sorted(tags)\n",
+            select=("PL008",),
+        )
+        assert found == []
+
+    def test_silent_on_loop_without_sink(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "def validate(table):\n"
+            "    for value in table.values():\n"
+            "        value.check()\n",
+            select=("PL008",),
+        )
+        assert found == []
+
+    def test_insertion_order_directive_with_reason_suppresses(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "def collect(table):\n"
+            "    out = []\n"
+            "    for v in table.values():  "
+            "# phaselint: insertion-order -- admission order is the contract\n"
+            "        out.append(v)\n"
+            "    return out\n",
+            select=("PL008",),
+        )
+        assert found == []
+
+    def test_insertion_order_directive_without_reason_is_inert(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "def collect(table):\n"
+            "    out = []\n"
+            "    for v in table.values():  # phaselint: insertion-order\n"
+            "        out.append(v)\n"
+            "    return out\n",
+            select=("PL008",),
+        )
+        assert codes(found) == ["PL008"]
+
+
+class TestPL009RngFlow:
+    def test_fires_on_legacy_global_call(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "import numpy as np\n\n\n"
+            "def jitter(n):\n"
+            "    return np.random.rand(n)\n",
+            select=("PL009",),
+        )
+        assert codes(found) == ["PL009"]
+        assert "numpy.random.rand" in found[0].message
+
+    def test_fires_on_legacy_seed_call(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "import numpy as np\nnp.random.seed(0)\n",
+            select=("PL009",),
+        )
+        assert codes(found) == ["PL009"]
+
+    def test_fires_on_module_level_generator(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "import numpy as np\n\n_rng = np.random.default_rng(42)\n",
+            select=("PL009",),
+        )
+        assert codes(found) == ["PL009"]
+        assert "module-level Generator" in found[0].message
+
+    def test_fires_on_class_level_generator(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "import numpy as np\n\n\n"
+            "class Source:\n"
+            '    """Doc."""\n\n'
+            "    rng = np.random.default_rng(7)\n",
+            select=("PL009",),
+        )
+        assert codes(found) == ["PL009"]
+
+    def test_fires_on_cross_module_generator_import(self, tmp_path):
+        (tmp_path / "rng_owner.py").write_text(
+            "import numpy as np\n\nshared_rng = np.random.default_rng(1)\n"
+        )
+        (tmp_path / "rng_user.py").write_text(
+            "from rng_owner import shared_rng\n\n\n"
+            "def draw():\n    return shared_rng.normal()\n"
+        )
+        found = lint_paths([tmp_path], LintConfig(select=("PL009",)))
+        by_file = sorted(
+            (f.path.rpartition("/")[2], f.rule) for f in found
+        )
+        assert by_file == [
+            ("rng_owner.py", "PL009"),
+            ("rng_user.py", "PL009"),
+        ]
+
+    def test_silent_on_scoped_seeded_generator(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "import numpy as np\n\n\n"
+            "def sample(seed):\n"
+            "    rng = np.random.default_rng(seed)\n"
+            "    return rng.normal(size=3)\n",
+            select=("PL009",),
+        )
+        assert found == []
+
+
+class TestPL010SharedState:
+    def test_fires_on_module_level_dict(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "_cache = {}\n\n\n"
+            "def lookup(key):\n    return _cache.get(key)\n",
+            select=("PL010",),
+        )
+        assert codes(found) == ["PL010"]
+        assert "module-level mutable dict" in found[0].message
+
+    def test_fires_on_class_level_list(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "class Session:\n"
+            '    """Doc."""\n\n'
+            "    history = []\n",
+            select=("PL010",),
+        )
+        assert codes(found) == ["PL010"]
+        assert "class-level mutable list" in found[0].message
+
+    def test_silent_on_constant_convention_names(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "SCENARIOS = {'a': 1}\n_DEFAULTS = [1, 2]\n",
+            select=("PL010",),
+        )
+        assert found == []
+
+    def test_silent_on_dataclass_fields(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "from dataclasses import dataclass, field\n\n\n"
+            "@dataclass\nclass Report:\n"
+            '    """Doc."""\n\n'
+            "    items: list = field(default_factory=list)\n",
+            select=("PL010",),
+        )
+        assert found == []
+
+    def test_justify_directive_suppresses(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "_registry = {}  "
+            "# phaselint: justify=PL010 -- populated only at import time\n",
+            select=("PL010",),
+        )
+        assert found == []
+
+    def test_justify_without_reason_is_inert(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "_registry = {}  # phaselint: justify=PL010\n",
+            select=("PL010",),
+        )
+        assert codes(found) == ["PL010"]
+
+    def test_shared_state_roots_scope_the_closure(self, tmp_path):
+        # root_mod imports helper_mod; loner_mod is unreachable from the
+        # configured root, so its cache is out of scope.
+        (tmp_path / "root_mod.py").write_text(
+            "import helper_mod\n\n\ndef run():\n    return helper_mod.cache\n"
+        )
+        (tmp_path / "helper_mod.py").write_text("cache = {}\n")
+        (tmp_path / "loner_mod.py").write_text("stash = {}\n")
+        config = LintConfig(
+            select=("PL010",), shared_state_roots=("root_mod",)
+        )
+        found = lint_paths([tmp_path], config)
+        assert [f.path.rpartition("/")[2] for f in found] == ["helper_mod.py"]
+
+
+class TestPL011FloatReduction:
+    def test_fires_on_sum_over_set(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "def total(weights: set) -> float:\n"
+            '    """Doc."""\n'
+            "    return sum(weights)\n",
+            select=("PL011",),
+        )
+        assert codes(found) == ["PL011"]
+        assert "hash order" in found[0].message
+
+    def test_fires_on_sum_genexp_over_dict_view(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "def total(sessions):\n"
+            "    return sum(s.weight for s in sessions.values())\n",
+            select=("PL011",),
+        )
+        assert codes(found) == ["PL011"]
+        assert ".values()" in found[0].message
+
+    def test_fires_on_fsum_over_set(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "import math\n\n\n"
+            "def total(weights: set) -> float:\n"
+            '    """Doc."""\n'
+            "    return math.fsum(weights)\n",
+            select=("PL011",),
+        )
+        assert codes(found) == ["PL011"]
+
+    def test_silent_on_fsum_over_dict_view(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "import math\n\n\n"
+            "def total(table):\n"
+            "    return math.fsum(table.values())\n",
+            select=("PL011",),
+        )
+        assert found == []
+
+    def test_silent_on_sum_over_sorted(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "def total(weights: set) -> float:\n"
+            '    """Doc."""\n'
+            "    return sum(sorted(weights))\n",
+            select=("PL011",),
+        )
+        assert found == []
+
+    def test_silent_on_sum_over_ordered_sequence(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "def total(values: list) -> float:\n"
+            '    """Doc."""\n'
+            "    return sum(values)\n",
+            select=("PL011",),
+        )
+        assert found == []
+
+    def test_insertion_order_directive_suppresses(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "def count(table):\n"
+            "    return sum(len(v) for v in table.values())  "
+            "# phaselint: insertion-order -- integer sum, order-independent\n",
+            select=("PL011",),
+        )
+        assert found == []
+
+
+class TestBaseline:
+    _BAD = (
+        "def collect(table):\n"
+        "    out = []\n"
+        "    for value in table.values():\n"
+        "        out.append(value)\n"
+        "    return out\n"
+    )
+
+    def _write_tree(self, tmp_path, source=None):
+        (tmp_path / "mod.py").write_text(source or self._BAD)
+
+    def test_update_baseline_then_clean(self, tmp_path, capsys):
+        self._write_tree(tmp_path)
+        args = [str(tmp_path / "mod.py"), "--config-root", str(tmp_path)]
+        assert main([*args, "--select", "PL008"]) == 1
+        assert main([*args, "--select", "PL008", "--update-baseline"]) == 0
+        assert (tmp_path / "phaselint-baseline.json").is_file()
+        capsys.readouterr()
+        assert main([*args, "--select", "PL008"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_baseline_survives_line_drift(self, tmp_path):
+        self._write_tree(tmp_path)
+        args = [str(tmp_path / "mod.py"), "--config-root", str(tmp_path),
+                "--select", "PL008"]
+        assert main([*args, "--update-baseline"]) == 0
+        # Insert lines above the finding: the content hash still matches.
+        self._write_tree(tmp_path, "X = 1\nY = 2\n" + self._BAD)
+        assert main(args) == 0
+
+    def test_editing_flagged_line_invalidates_entry(self, tmp_path):
+        self._write_tree(tmp_path)
+        args = [str(tmp_path / "mod.py"), "--config-root", str(tmp_path),
+                "--select", "PL008"]
+        assert main([*args, "--update-baseline"]) == 0
+        edited = self._BAD.replace(
+            "for value in table.values():", "for val in table.values():"
+        )
+        self._write_tree(tmp_path, edited)
+        assert main(args) == 1
+
+    def test_new_duplicate_of_grandfathered_line_still_fires(self, tmp_path):
+        self._write_tree(tmp_path)
+        args = [str(tmp_path / "mod.py"), "--config-root", str(tmp_path),
+                "--select", "PL008"]
+        assert main([*args, "--update-baseline"]) == 0
+        self._write_tree(
+            tmp_path, self._BAD + "\n\n" + self._BAD.replace("collect", "gather")
+        )
+        assert main(args) == 1
+
+    def test_no_baseline_flag_reports_everything(self, tmp_path, capsys):
+        self._write_tree(tmp_path)
+        args = [str(tmp_path / "mod.py"), "--config-root", str(tmp_path),
+                "--select", "PL008"]
+        assert main([*args, "--update-baseline"]) == 0
+        capsys.readouterr()
+        assert main([*args, "--no-baseline"]) == 1
+        assert "PL008" in capsys.readouterr().out
+
+    def test_roundtrip_via_api(self, tmp_path):
+        self._write_tree(tmp_path)
+        run = lint_paths_detailed(
+            [tmp_path], LintConfig(select=("PL008",))
+        )
+        assert run.findings
+        baseline = Baseline.from_findings(run.findings, run.line_text)
+        baseline.save(tmp_path / "baseline.json")
+        reloaded = Baseline.load(tmp_path / "baseline.json")
+        assert reloaded.filter(run.findings, run.line_text) == []
+
+
+class TestSarif:
+    def test_sarif_output_shape(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text(TestBaseline._BAD)
+        code = main(
+            [str(tmp_path / "mod.py"), "--config-root", str(tmp_path),
+             "--select", "PL008", "--format", "sarif"]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == "2.1.0"
+        run = payload["runs"][0]
+        assert run["tool"]["driver"]["name"] == "phaselint"
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {"PL001", "PL008", "PL009", "PL010", "PL011"} <= rule_ids
+        result = run["results"][0]
+        assert result["ruleId"] == "PL008"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith("mod.py")
+        assert location["region"]["startLine"] == 3
+
+    def test_output_alias_and_clean_run(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        code = main(
+            [str(tmp_path / "ok.py"), "--config-root", str(tmp_path),
+             "--output", "sarif"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["runs"][0]["results"] == []
+
+
 class TestRepoIsClean:
     def test_shipping_tree_has_no_findings(self, monkeypatch):
         from pathlib import Path
@@ -533,5 +993,20 @@ class TestRepoIsClean:
         # Relative paths, as CI invokes it: [tool.phaselint] scoping and
         # allowlists are expressed relative to the repo root.
         monkeypatch.chdir(root)
-        findings = lint_paths(["src", "tests", "benchmarks"], load_config(root))
+        run = lint_paths_detailed(
+            ["src", "tests", "benchmarks"], load_config(root)
+        )
+        baseline = Baseline.load(root / "phaselint-baseline.json")
+        findings = baseline.filter(run.findings, run.line_text)
         assert findings == [], "\n".join(f.format_text() for f in findings)
+
+    def test_baseline_is_small_and_audited(self):
+        # The baseline is for grandfathered display-order sites only; a
+        # growing baseline means new determinism findings are being
+        # buried instead of fixed or annotated.
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[2]
+        baseline = Baseline.load(root / "phaselint-baseline.json")
+        assert sum(baseline.entries.values()) <= 4
+        assert all(rule == "PL008" for _, rule, _ in baseline.entries)

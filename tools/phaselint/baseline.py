@@ -1,0 +1,133 @@
+"""Baseline suppressions: grandfather audited findings, stay strict on new code.
+
+A new rule landing on a mature tree faces a choice: fix every historical
+finding in the same PR (usually untestable churn) or weaken the rule
+(defeats the point).  The baseline is the third option — a committed
+inventory of *audited, accepted* findings that the CLI subtracts from a
+run, so the exit code stays green for the grandfathered set while any
+**new** finding still fails the build.
+
+Entries are keyed by ``(path, rule, hash-of-stripped-line-text)`` with a
+count, **not** by line number: inserting code above a grandfathered site
+does not invalidate the baseline, while *editing the flagged line itself*
+does — exactly the moment a human should re-judge it.  Counts handle
+several identical lines in one file (each occurrence consumes one).
+
+Workflow: ``python -m phaselint --update-baseline <paths>`` rewrites
+``phaselint-baseline.json`` from the current findings; review the diff
+like code, because every added entry is a suppression someone must have
+audited.  Fixing a finding leaves a stale entry behind; regenerate to
+shrink the file (stale entries are harmless — nothing consumes them).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Callable, Iterable
+
+from .findings import Finding
+
+__all__ = ["Baseline", "DEFAULT_BASELINE_NAME", "line_fingerprint"]
+
+DEFAULT_BASELINE_NAME = "phaselint-baseline.json"
+
+_VERSION = 1
+
+# Signature: (posix path, 1-based line) -> raw source line text ("" when
+# unavailable; the fingerprint of "" still matches consistently).
+LineText = Callable[[str, int], str]
+
+
+def line_fingerprint(text: str) -> str:
+    """Stable short hash of a source line, whitespace-insensitive."""
+    return hashlib.sha256(text.strip().encode("utf-8")).hexdigest()[:16]
+
+
+class Baseline:
+    """A committed set of accepted findings, keyed content-addressably."""
+
+    def __init__(
+        self, entries: dict[tuple[str, str, str], int] | None = None
+    ) -> None:
+        self.entries: dict[tuple[str, str, str], int] = dict(entries or {})
+
+    # ------------------------------------------------------------------
+    # Persistence.
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Read a baseline file; raises ``ValueError`` on a bad payload."""
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        if not isinstance(payload, dict) or payload.get("version") != _VERSION:
+            raise ValueError(
+                f"{path}: not a phaselint baseline (expected version {_VERSION})"
+            )
+        entries: dict[tuple[str, str, str], int] = {}
+        for item in payload.get("entries", []):
+            key = (
+                str(item["path"]),
+                str(item["rule"]),
+                str(item["line_hash"]),
+            )
+            entries[key] = entries.get(key, 0) + int(item.get("count", 1))
+        return cls(entries)
+
+    def save(self, path: str | Path) -> None:
+        """Write the baseline as stable, diff-friendly JSON."""
+        items = [
+            {
+                "path": key[0],
+                "rule": key[1],
+                "line_hash": key[2],
+                "count": count,
+            }
+            for key, count in sorted(self.entries.items())
+        ]
+        payload = {"version": _VERSION, "entries": items}
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    # ------------------------------------------------------------------
+    # Application.
+
+    @classmethod
+    def from_findings(
+        cls, findings: Iterable[Finding], line_text: LineText
+    ) -> "Baseline":
+        """Build the baseline that would suppress exactly ``findings``."""
+        baseline = cls()
+        for finding in findings:
+            key = _key(finding, line_text)
+            baseline.entries[key] = baseline.entries.get(key, 0) + 1
+        return baseline
+
+    def filter(
+        self, findings: Iterable[Finding], line_text: LineText
+    ) -> list[Finding]:
+        """Findings not covered by the baseline, in input order.
+
+        Each entry's count is consumed at most that many times, so a
+        *new* duplicate of a grandfathered line still surfaces.
+        """
+        remaining = dict(self.entries)
+        kept: list[Finding] = []
+        for finding in findings:
+            key = _key(finding, line_text)
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+            else:
+                kept.append(finding)
+        return kept
+
+
+def _key(finding: Finding, line_text: LineText) -> tuple[str, str, str]:
+    posix = Path(finding.path).as_posix()
+    return (
+        posix,
+        finding.rule,
+        line_fingerprint(line_text(posix, finding.line)),
+    )

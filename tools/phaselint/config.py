@@ -48,6 +48,10 @@ class LintConfig:
         unit_tokens: Parameter-name stems PL003 considers unit-ambiguous.
         unit_suffixes: Suffixes PL003 accepts as carrying a unit (matched
             against the final ``_``-separated token of the name).
+        shared_state_roots: Dotted module prefixes whose import closure
+            PL010 patrols for shared mutable state (the multi-session
+            service surface).  Empty means every linted module is in
+            scope — the strict default.
         select: When non-empty, only these rule codes run.
     """
 
@@ -94,6 +98,7 @@ class LintConfig:
         "total",
         "count",
     )
+    shared_state_roots: tuple[str, ...] = ()
     select: tuple[str, ...] = ()
 
     def is_excluded(self, posix_path: str) -> bool:
@@ -171,5 +176,6 @@ def load_config(root: Path | None = None) -> LintConfig:
         unit_suffixes=tuple(
             table.get("unit-suffixes", list(defaults.unit_suffixes))
         ),
+        shared_state_roots=tuple(table.get("shared-state-roots", [])),
         select=tuple(table.get("select", [])),
     )

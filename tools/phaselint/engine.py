@@ -1,4 +1,26 @@
-"""File discovery, suppression handling, and rule dispatch."""
+"""File discovery, suppression handling, and two-pass rule dispatch.
+
+The engine runs in two passes.  Pass 1 parses every file once and runs
+the per-file rules (PL001–PL007), exactly as the original engine did.
+Pass 2 builds a :class:`~phaselint.project.ProjectIndex` over *all*
+parsed files — symbol table, import resolution, call graph — and runs the
+cross-module determinism rules (PL008–PL011) over it.  Both passes share
+one parse and one suppression scan per file.
+
+Suppression directives (all comments):
+
+* ``# phaselint: disable=PL001,PL004`` — silence those rules on the line;
+  bare ``disable`` silences every rule on the line.
+* ``# phaselint: disable-file=PL003`` — silence a rule file-wide.
+* ``# phaselint: insertion-order -- <reason>`` — assert that this line's
+  iteration order is an intentional, documented contract; silences the
+  ordering rules (PL008/PL010/PL011) on the line.  The reason is
+  **required**: a bare ``insertion-order`` is ignored, so every
+  suppression carries its audit trail.
+* ``# phaselint: justify=PL010 -- <reason>`` — silence named rules on the
+  line with a mandatory recorded reason; the auditable alternative to
+  ``disable`` for the determinism rules.
+"""
 
 from __future__ import annotations
 
@@ -6,18 +28,32 @@ import ast
 import io
 import re
 import tokenize
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
 
 from .config import LintConfig
 from .findings import Finding
-from .rules import ALL_RULES, Rule, RuleContext
+from .project import ParsedFile, ProjectIndex
+from .rules import ALL_RULES, PROJECT_RULES, ProjectRule, Rule, RuleContext
 
-__all__ = ["lint_file", "lint_paths", "discover_files", "Suppressions"]
+__all__ = [
+    "lint_file",
+    "lint_paths",
+    "lint_paths_detailed",
+    "discover_files",
+    "Suppressions",
+    "LintRun",
+]
 
 _DIRECTIVE = re.compile(
-    r"#\s*phaselint:\s*(?P<kind>disable(?:-file)?)\s*(?:=\s*(?P<codes>[A-Z0-9,\s]+))?"
+    r"#\s*phaselint:\s*(?P<kind>disable-file|disable|insertion-order|justify)"
+    r"\s*(?:=\s*(?P<codes>[A-Z0-9,\s]+))?"
+    r"(?:\s*--\s*(?P<reason>\S.*))?"
 )
+
+# The ordering rules an `insertion-order` annotation vouches for.
+_ORDERING_RULES = frozenset({"PL008", "PL010", "PL011"})
 
 
 class Suppressions:
@@ -26,7 +62,9 @@ class Suppressions:
     ``# phaselint: disable=PL001,PL004`` silences those rules on its own
     line; ``# phaselint: disable`` silences every rule on the line;
     ``# phaselint: disable-file=PL003`` (anywhere in the file) silences a
-    rule for the whole file.
+    rule for the whole file.  ``insertion-order -- <reason>`` and
+    ``justify=CODES -- <reason>`` are line-scoped like ``disable`` but
+    *require* a justification text — without one they are inert.
     """
 
     def __init__(self, source: str) -> None:
@@ -40,17 +78,30 @@ class Suppressions:
                 match = _DIRECTIVE.search(tok.string)
                 if not match:
                     continue
-                codes = (
-                    {c.strip() for c in match["codes"].split(",") if c.strip()}
-                    if match["codes"]
-                    else {"*"}
-                )
-                if match["kind"] == "disable-file":
-                    self.file_codes |= codes
-                else:
-                    self.line_codes.setdefault(tok.start[0], set()).update(codes)
+                self._apply(match, tok.start[0])
         except tokenize.TokenError:
             pass  # partial/odd files: no suppressions, findings still flow
+
+    def _apply(self, match: re.Match[str], line: int) -> None:
+        kind = match["kind"]
+        codes = (
+            {c.strip() for c in match["codes"].split(",") if c.strip()}
+            if match["codes"]
+            else set()
+        )
+        reason = (match["reason"] or "").strip()
+        if kind == "disable-file":
+            self.file_codes |= codes or {"*"}
+        elif kind == "disable":
+            self.line_codes.setdefault(line, set()).update(codes or {"*"})
+        elif kind == "insertion-order":
+            if reason:  # justification is the point; bare form is inert
+                self.line_codes.setdefault(line, set()).update(
+                    _ORDERING_RULES
+                )
+        elif kind == "justify":
+            if reason and codes:
+                self.line_codes.setdefault(line, set()).update(codes)
 
     def is_suppressed(self, finding: Finding) -> bool:
         """True when an in-source directive covers ``finding``."""
@@ -58,6 +109,26 @@ class Suppressions:
             return True
         codes = self.line_codes.get(finding.line, ())
         return "*" in codes or finding.rule in codes
+
+
+@dataclass
+class LintRun:
+    """Findings plus the source context needed downstream.
+
+    Attributes:
+        findings: Sorted, unsuppressed findings from both passes.
+        sources: Posix path → source lines, for baseline fingerprinting.
+    """
+
+    findings: list[Finding]
+    sources: dict[str, list[str]] = field(default_factory=dict)
+
+    def line_text(self, posix_path: str, line: int) -> str:
+        """Raw text of ``line`` (1-based) in ``posix_path``, or ``""``."""
+        lines = self.sources.get(posix_path, [])
+        if 1 <= line <= len(lines):
+            return lines[line - 1]
+        return ""
 
 
 def discover_files(
@@ -74,41 +145,102 @@ def discover_files(
     return [f for f in files if not config.is_excluded(f.as_posix())]
 
 
-def lint_file(
-    path: str | Path,
-    config: LintConfig | None = None,
-    rules: Iterable[Rule] = ALL_RULES,
-) -> list[Finding]:
-    """Lint one file and return its unsuppressed findings, sorted.
-
-    A syntax error is itself reported as a ``PL000`` finding rather than
-    crashing the run, so one broken file cannot hide findings in others.
-    """
-    config = config if config is not None else LintConfig()
-    path = Path(path)
-    posix = path.as_posix()
+def _parse(path: Path) -> ParsedFile | Finding:
+    """Parse one file; a ``SyntaxError`` becomes a ``PL000`` finding."""
     source = path.read_text(encoding="utf-8")
     try:
         tree = ast.parse(source, filename=str(path))
     except SyntaxError as exc:
-        return [
-            Finding(
-                path=str(path),
-                line=exc.lineno or 1,
-                col=(exc.offset or 1) - 1,
-                rule="PL000",
-                message=f"file does not parse: {exc.msg}",
-            )
-        ]
-    suppressions = Suppressions(source)
-    ctx = RuleContext(path=str(path), posix_path=posix, tree=tree, config=config)
+        return Finding(
+            path=str(path),
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            rule="PL000",
+            message=f"file does not parse: {exc.msg}",
+        )
+    return ParsedFile(
+        path=str(path),
+        posix_path=path.as_posix(),
+        source=source,
+        tree=tree,
+    )
+
+
+def _file_pass(
+    parsed: ParsedFile,
+    suppressions: Suppressions,
+    config: LintConfig,
+    rules: Iterable[Rule],
+) -> list[Finding]:
+    ctx = RuleContext(
+        path=parsed.path,
+        posix_path=parsed.posix_path,
+        tree=parsed.tree,
+        config=config,
+    )
     findings: list[Finding] = []
     for rule in rules:
-        if not config.rule_applies(rule.code, posix):
+        if not config.rule_applies(rule.code, parsed.posix_path):
             continue
         findings.extend(
             f for f in rule.check(ctx) if not suppressions.is_suppressed(f)
         )
+    return findings
+
+
+def _project_pass(
+    parsed_files: Sequence[ParsedFile],
+    suppressions_by_path: dict[str, Suppressions],
+    posix_by_path: dict[str, str],
+    config: LintConfig,
+    project_rules: Iterable[ProjectRule],
+) -> list[Finding]:
+    if not parsed_files:
+        return []
+    index = ProjectIndex.build(parsed_files)
+    findings: list[Finding] = []
+    for rule in project_rules:
+        for finding in rule.check_project(index, config):
+            posix = posix_by_path.get(finding.path, finding.path)
+            if not config.rule_applies(finding.rule, posix):
+                continue
+            suppressions = suppressions_by_path.get(finding.path)
+            if suppressions is not None and suppressions.is_suppressed(
+                finding
+            ):
+                continue
+            findings.append(finding)
+    return findings
+
+
+def lint_file(
+    path: str | Path,
+    config: LintConfig | None = None,
+    rules: Iterable[Rule] = ALL_RULES,
+    project_rules: Iterable[ProjectRule] = PROJECT_RULES,
+) -> list[Finding]:
+    """Lint one file (both passes) and return unsuppressed findings.
+
+    The cross-module rules see a single-file project here — import-edge
+    findings need :func:`lint_paths` over the whole tree.  A syntax error
+    is itself reported as a ``PL000`` finding rather than crashing the
+    run, so one broken file cannot hide findings in others.
+    """
+    config = config if config is not None else LintConfig()
+    parsed = _parse(Path(path))
+    if isinstance(parsed, Finding):
+        return [parsed]
+    suppressions = Suppressions(parsed.source)
+    findings = _file_pass(parsed, suppressions, config, rules)
+    findings.extend(
+        _project_pass(
+            [parsed],
+            {parsed.path: suppressions},
+            {parsed.path: parsed.posix_path},
+            config,
+            project_rules,
+        )
+    )
     return sorted(findings)
 
 
@@ -116,10 +248,43 @@ def lint_paths(
     paths: Sequence[str | Path],
     config: LintConfig | None = None,
     rules: Iterable[Rule] = ALL_RULES,
+    project_rules: Iterable[ProjectRule] = PROJECT_RULES,
 ) -> list[Finding]:
     """Lint every file under ``paths`` and return all findings, sorted."""
+    return lint_paths_detailed(paths, config, rules, project_rules).findings
+
+
+def lint_paths_detailed(
+    paths: Sequence[str | Path],
+    config: LintConfig | None = None,
+    rules: Iterable[Rule] = ALL_RULES,
+    project_rules: Iterable[ProjectRule] = PROJECT_RULES,
+) -> LintRun:
+    """Both passes over ``paths``, keeping source context for baselines."""
     config = config if config is not None else LintConfig()
     findings: list[Finding] = []
+    parsed_files: list[ParsedFile] = []
+    suppressions_by_path: dict[str, Suppressions] = {}
+    posix_by_path: dict[str, str] = {}
+    sources: dict[str, list[str]] = {}
     for file in discover_files(paths, config):
-        findings.extend(lint_file(file, config, rules))
-    return sorted(findings)
+        parsed = _parse(file)
+        if isinstance(parsed, Finding):
+            findings.append(parsed)
+            continue
+        suppressions = Suppressions(parsed.source)
+        parsed_files.append(parsed)
+        suppressions_by_path[parsed.path] = suppressions
+        posix_by_path[parsed.path] = parsed.posix_path
+        sources[parsed.posix_path] = parsed.source.splitlines()
+        findings.extend(_file_pass(parsed, suppressions, config, rules))
+    findings.extend(
+        _project_pass(
+            parsed_files,
+            suppressions_by_path,
+            posix_by_path,
+            config,
+            project_rules,
+        )
+    )
+    return LintRun(findings=sorted(findings), sources=sources)

@@ -1,0 +1,672 @@
+"""Pass 1 of the cross-module engine: project symbol table and call graph.
+
+The per-file rules (PL001–PL007) can judge a line in isolation; the
+determinism rules (PL008–PL011) cannot.  Whether an iteration order leaks
+into an ordered artifact may depend on a helper defined two modules away,
+and whether a module-level cache is dangerous depends on who can reach it.
+:class:`ProjectIndex` is the shared substrate those rules run over:
+
+* one :class:`ModuleInfo` per linted file — its resolved module name,
+  import aliases, module-level bindings (mutable containers, seeded
+  ``Generator`` objects, set-typed names), and class-level attributes;
+* one :class:`FunctionInfo` per function/method — its qualified name, the
+  project-resolvable calls it makes, and whether its body contains an
+  *ordered sink* (event/metric emission, list building, serialization);
+* the call graph over those functions, with a fixpoint that propagates
+  "emits ordered output" through intra-project call edges, so a loop that
+  fans out to ``self._update_pressure`` is judged by what the callee does.
+
+Module names are derived from the package structure on disk (walking up
+while ``__init__.py`` exists), so ``src/repro/service/fleet/gateway.py``
+indexes as ``repro.service.fleet.gateway`` and a bare fixture file indexes
+as its stem.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "ParsedFile",
+    "FunctionInfo",
+    "ModuleInfo",
+    "ProjectIndex",
+    "module_name_for",
+    "MUTABLE_CONSTRUCTORS",
+]
+
+# Calls that build a mutable container, by constructor name.
+MUTABLE_CONSTRUCTORS = {
+    "dict": "dict",
+    "list": "list",
+    "set": "set",
+    "defaultdict": "dict",
+    "OrderedDict": "dict",
+    "Counter": "dict",
+    "deque": "list",
+    "bytearray": "list",
+}
+
+# Attribute-call names whose invocation emits into an ordered artifact:
+# sequence building, event/metric emission, and serialization.  Used both
+# directly (a sink inside a loop body) and transitively (a function whose
+# body contains one is an ordered sink for every caller).
+_ORDERED_SINK_METHODS = {
+    "append",
+    "extend",
+    "insert",
+    "appendleft",
+    "record",
+    "count",
+    "observe",
+    "gauge_set",
+    "emit",
+    "write",
+    "writelines",
+    "writerow",
+    "put",
+}
+_ORDERED_SINK_CALLS = {
+    "print",
+    "json.dump",
+    "json.dumps",
+}
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name for ``path``, derived from package structure.
+
+    Walks up from the file while the parent directory is a package
+    (contains ``__init__.py``), so names are independent of how the lint
+    paths were spelled on the command line.
+    """
+    path = Path(path)
+    parts = [] if path.stem == "__init__" else [path.stem]
+    directory = path.parent
+    while (directory / "__init__.py").is_file():
+        parts.insert(0, directory.name)
+        parent = directory.parent
+        if parent == directory:
+            break
+        directory = parent
+    return ".".join(parts) if parts else path.stem
+
+
+@dataclass(frozen=True)
+class ParsedFile:
+    """One successfully parsed source file.
+
+    Attributes:
+        path: Path as given on the command line (used in findings).
+        posix_path: Normalized forward-slash path used for scoping.
+        source: Raw file text.
+        tree: Parsed module AST.
+    """
+
+    path: str
+    posix_path: str
+    source: str
+    tree: ast.Module
+
+    @property
+    def lines(self) -> list[str]:
+        """Source split into lines (1-based access via ``lines[n-1]``)."""
+        return self.source.splitlines()
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method in the project.
+
+    Attributes:
+        qualname: ``module:Class.method`` or ``module:name``.
+        module: Owning module name.
+        node: The function's AST node.
+        calls: Dotted call names appearing in the body, as written
+            (``"self._drain"``, ``"json.dumps"``, ``"helper"``).
+        direct_sink: Whether the body itself contains an ordered sink.
+        emits_ordered: ``direct_sink`` or (after the fixpoint) calls a
+            project function that does.
+    """
+
+    qualname: str
+    module: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    calls: tuple[str, ...] = ()
+    direct_sink: bool = False
+    emits_ordered: bool = False
+
+
+@dataclass
+class ModuleInfo:
+    """Everything pass 1 knows about one module.
+
+    Attributes:
+        name: Dotted module name.
+        file: The parsed source file.
+        is_package: Whether the file is an ``__init__.py``.
+        import_aliases: Local name → imported *module* path
+            (``import a.b as c`` binds ``c`` → ``a.b``; ``import a.b``
+            binds ``a`` → ``a``).
+        from_imports: Local name → ``module.symbol`` dotted target.
+        module_mutables: Module-level ``name`` → (node, container kind)
+            for bindings whose value is a mutable container.
+        module_rng: Module-level names bound to ``default_rng(...)``.
+        class_mutables: ``(class, attr, node, kind)`` for mutable
+            class-body attributes of non-dataclass classes.
+        class_rng: ``(class, attr, node)`` for class-body Generators.
+        set_names: Module-level names inferred set-typed.
+        functions: Function qualname-in-module → :class:`FunctionInfo`
+            (methods keyed ``Class.method``).
+    """
+
+    name: str
+    file: ParsedFile
+    is_package: bool = False
+    import_aliases: dict[str, str] = field(default_factory=dict)
+    from_imports: dict[str, str] = field(default_factory=dict)
+    module_mutables: dict[str, tuple[ast.AST, str]] = field(
+        default_factory=dict
+    )
+    module_rng: dict[str, ast.AST] = field(default_factory=dict)
+    class_mutables: list[tuple[str, str, ast.AST, str]] = field(
+        default_factory=list
+    )
+    class_rng: list[tuple[str, str, ast.AST]] = field(default_factory=list)
+    set_names: set[str] = field(default_factory=set)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+
+    @property
+    def package(self) -> str:
+        """The package this module resolves relative imports against."""
+        if self.is_package:
+            return self.name
+        return self.name.rpartition(".")[0]
+
+
+def dotted_call_name(node: ast.AST) -> str | None:
+    """Flatten ``a.b.c`` chains to ``"a.b.c"``; ``None`` otherwise."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def is_rng_factory_call(node: ast.AST) -> bool:
+    """True for ``default_rng(...)`` / ``np.random.default_rng(...)``."""
+    if not isinstance(node, ast.Call):
+        return False
+    name = dotted_call_name(node.func)
+    return name is not None and (
+        name == "default_rng" or name.endswith(".default_rng")
+    )
+
+
+def classify_mutable_value(node: ast.AST) -> str | None:
+    """Container kind when ``node`` constructs a mutable container."""
+    if isinstance(node, ast.Dict) or isinstance(node, ast.DictComp):
+        return "dict"
+    if isinstance(node, (ast.List, ast.ListComp)):
+        return "list"
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "set"
+    if isinstance(node, ast.Call):
+        name = dotted_call_name(node.func)
+        if name is not None:
+            return MUTABLE_CONSTRUCTORS.get(name.rpartition(".")[2])
+    return None
+
+
+def is_set_constructor(node: ast.AST) -> bool:
+    """True when ``node`` syntactically builds a ``set``/``frozenset``."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_call_name(node.func)
+        if name is not None and name.rpartition(".")[2] in (
+            "set",
+            "frozenset",
+        ):
+            return True
+    return False
+
+
+def annotation_is_set(node: ast.AST | None) -> bool:
+    """True when an annotation names a set type (``set[str]``, ``Set``)."""
+    if node is None:
+        return False
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    name = dotted_call_name(node)
+    if name is None:
+        return False
+    return name.rpartition(".")[2] in (
+        "set",
+        "frozenset",
+        "Set",
+        "FrozenSet",
+        "AbstractSet",
+        "MutableSet",
+    )
+
+
+def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        name = dotted_call_name(target)
+        if name is not None and name.rpartition(".")[2] == "dataclass":
+            return True
+    return False
+
+
+def _is_enum_class(node: ast.ClassDef) -> bool:
+    for base in node.bases:
+        name = dotted_call_name(base)
+        if name is not None and "Enum" in name.rpartition(".")[2]:
+            return True
+    return False
+
+
+class _SinkScanner(ast.NodeVisitor):
+    """Detect ordered sinks and collect calls within one function body.
+
+    Nested function/class definitions are not descended into — their
+    sinks belong to *their* ``FunctionInfo``, not the enclosing one.
+    """
+
+    def __init__(self) -> None:
+        self.calls: list[str] = []
+        self.direct_sink = False
+
+    def scan(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            self.visit(stmt)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        return None
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        return None
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        return None
+
+    def visit_Yield(self, node: ast.Yield) -> None:
+        self.direct_sink = True
+        self.generic_visit(node)
+
+    def visit_YieldFrom(self, node: ast.YieldFrom) -> None:
+        self.direct_sink = True
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = dotted_call_name(node.func)
+        if name is not None:
+            self.calls.append(name)
+            leaf = name.rpartition(".")[2]
+            if name in _ORDERED_SINK_CALLS or (
+                "." in name and leaf in _ORDERED_SINK_METHODS
+            ):
+                self.direct_sink = True
+        self.generic_visit(node)
+
+
+class ProjectIndex:
+    """The pass-1 product: modules, symbols, and the call graph.
+
+    Build with :meth:`build`; rules consume the read-only accessors.
+    """
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+        self._by_stem: dict[str, list[str]] = {}
+        self.call_edges: dict[str, set[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction.
+
+    @classmethod
+    def build(cls, files: Iterable[ParsedFile]) -> "ProjectIndex":
+        """Index every parsed file, then resolve the call graph."""
+        index = cls()
+        for parsed in files:
+            info = index._index_module(parsed)
+            index.modules[info.name] = info
+            stem = info.name.rpartition(".")[2]
+            index._by_stem.setdefault(stem, []).append(info.name)
+        index._resolve_call_graph()
+        index._propagate_ordered_sinks()
+        return index
+
+    def _index_module(self, parsed: ParsedFile) -> ModuleInfo:
+        name = module_name_for(Path(parsed.path))
+        info = ModuleInfo(
+            name=name,
+            file=parsed,
+            is_package=Path(parsed.path).stem == "__init__",
+        )
+        self._collect_imports(info)
+        self._collect_module_bindings(info)
+        self._collect_functions(info)
+        return info
+
+    def _collect_imports(self, info: ModuleInfo) -> None:
+        for node in ast.walk(info.file.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        info.import_aliases[alias.asname] = alias.name
+                    else:
+                        root = alias.name.split(".", 1)[0]
+                        info.import_aliases[root] = root
+            elif isinstance(node, ast.ImportFrom):
+                base = node.module or ""
+                if node.level:
+                    package_parts = info.package.split(".") if info.package else []
+                    # level 1 = current package, each extra level strips one.
+                    strip = node.level - 1
+                    if strip:
+                        package_parts = package_parts[: -strip or None]
+                    base = ".".join(p for p in (*package_parts, base) if p)
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    info.from_imports[local] = (
+                        f"{base}.{alias.name}" if base else alias.name
+                    )
+
+    def _collect_module_bindings(self, info: ModuleInfo) -> None:
+        for stmt in info.file.tree.body:
+            self._collect_binding_stmt(info, stmt)
+            if isinstance(stmt, ast.ClassDef):
+                self._collect_class_bindings(info, stmt)
+
+    def _collect_binding_stmt(self, info: ModuleInfo, stmt: ast.stmt) -> None:
+        targets: list[ast.expr]
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            if isinstance(stmt.target, ast.Name) and annotation_is_set(
+                stmt.annotation
+            ):
+                info.set_names.add(stmt.target.id)
+            return
+        else:
+            return
+        kind = classify_mutable_value(value)
+        rng = is_rng_factory_call(value)
+        is_set = is_set_constructor(value) and not (
+            isinstance(value, ast.Call)
+            and dotted_call_name(value.func) is not None
+            and dotted_call_name(value.func).rpartition(".")[2] == "frozenset"
+        )
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            if rng:
+                info.module_rng[target.id] = stmt
+            elif kind is not None and target.id != "__all__":
+                info.module_mutables[target.id] = (stmt, kind)
+            if is_set or (
+                isinstance(stmt, ast.AnnAssign)
+                and annotation_is_set(stmt.annotation)
+            ):
+                info.set_names.add(target.id)
+
+    def _collect_class_bindings(
+        self, info: ModuleInfo, node: ast.ClassDef
+    ) -> None:
+        if _is_dataclass_decorated(node) or _is_enum_class(node):
+            # Dataclass "class attributes" are instance-field specs (and
+            # mutable defaults already fail at class-creation time); Enum
+            # members are value definitions, not shared state.
+            return
+        for stmt in node.body:
+            if isinstance(stmt, ast.Assign):
+                value = stmt.value
+                kind = classify_mutable_value(value)
+                rng = is_rng_factory_call(value)
+                for target in stmt.targets:
+                    if not isinstance(target, ast.Name):
+                        continue
+                    if rng:
+                        info.class_rng.append((node.name, target.id, stmt))
+                    elif kind is not None:
+                        info.class_mutables.append(
+                            (node.name, target.id, stmt, kind)
+                        )
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                kind = classify_mutable_value(stmt.value)
+                if kind is not None and isinstance(stmt.target, ast.Name):
+                    info.class_mutables.append(
+                        (node.name, stmt.target.id, stmt, kind)
+                    )
+
+    def _collect_functions(self, info: ModuleInfo) -> None:
+        def visit(
+            body: Sequence[ast.stmt], prefix: str
+        ) -> None:
+            for stmt in body:
+                if isinstance(
+                    stmt, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    local = f"{prefix}{stmt.name}"
+                    scanner = _SinkScanner()
+                    scanner.scan(stmt.body)
+                    qual = f"{info.name}:{local}"
+                    info.functions[local] = FunctionInfo(
+                        qualname=qual,
+                        module=info.name,
+                        node=stmt,
+                        calls=tuple(scanner.calls),
+                        direct_sink=scanner.direct_sink,
+                        emits_ordered=scanner.direct_sink,
+                    )
+                    visit(stmt.body, f"{local}.")
+                elif isinstance(stmt, ast.ClassDef):
+                    visit(stmt.body, f"{prefix}{stmt.name}.")
+
+        visit(info.file.tree.body, "")
+
+    # ------------------------------------------------------------------
+    # Resolution.
+
+    def resolve_module(self, from_module: str, local: str) -> str | None:
+        """Resolve a local name to a project module, or ``None``.
+
+        ``local`` may be an import alias (``np``), a from-imported module
+        (``from repro.service import fleet``), or a sibling stem (bare
+        fixture files importing each other by name).
+        """
+        info = self.modules.get(from_module)
+        if info is None:
+            return None
+        target = info.import_aliases.get(local) or info.from_imports.get(
+            local
+        )
+        if target is not None and target in self.modules:
+            return target
+        if target is None and local in self._by_stem:
+            candidates = self._by_stem[local]
+            if len(candidates) == 1:
+                return candidates[0]
+        return None
+
+    def resolve_symbol(
+        self, from_module: str, dotted: str
+    ) -> tuple[str, str] | None:
+        """Resolve ``dotted`` to ``(module, symbol)`` within the project.
+
+        Handles ``alias.symbol`` (module attribute access) and bare
+        from-imported names.  Returns ``None`` for anything that does not
+        land on an indexed module.
+        """
+        info = self.modules.get(from_module)
+        if info is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        if rest:
+            module = self.resolve_module(from_module, head)
+            if module is not None and "." not in rest:
+                return module, rest
+            # `alias.sub.symbol`: alias may name a package.
+            target = info.import_aliases.get(head)
+            if target is not None:
+                full = f"{target}.{rest}"
+                mod, _, sym = full.rpartition(".")
+                if mod in self.modules:
+                    return mod, sym
+            return None
+        target = info.from_imports.get(dotted)
+        if target is not None:
+            mod, _, sym = target.rpartition(".")
+            if mod in self.modules and sym:
+                return mod, sym
+        return None
+
+    def _resolve_call_graph(self) -> None:
+        for info in self.modules.values():
+            for local, fn in info.functions.items():
+                edges: set[str] = set()
+                class_prefix = (
+                    local.rpartition(".")[0] + "."
+                    if "." in local
+                    else ""
+                )
+                for call in fn.calls:
+                    target = self._resolve_call(info, class_prefix, call)
+                    if target is not None:
+                        edges.add(target)
+                if edges:
+                    self.call_edges[fn.qualname] = edges
+
+    def _resolve_call(
+        self, info: ModuleInfo, class_prefix: str, call: str
+    ) -> str | None:
+        if call.startswith("self.") or call.startswith("cls."):
+            method = call.split(".", 1)[1]
+            if "." in method:
+                return None
+            candidate = f"{class_prefix}{method}"
+            if candidate in info.functions:
+                return info.functions[candidate].qualname
+            return None
+        if "." not in call:
+            if call in info.functions:
+                return info.functions[call].qualname
+            resolved = self.resolve_symbol(info.name, call)
+        else:
+            resolved = self.resolve_symbol(info.name, call)
+        if resolved is None:
+            return None
+        module, symbol = resolved
+        target_info = self.modules.get(module)
+        if target_info is not None and symbol in target_info.functions:
+            return target_info.functions[symbol].qualname
+        return None
+
+    def _propagate_ordered_sinks(self) -> None:
+        by_qual = {
+            fn.qualname: fn
+            for info in self.modules.values()
+            for fn in info.functions.values()
+        }
+        changed = True
+        while changed:
+            changed = False
+            for qual, callees in self.call_edges.items():
+                fn = by_qual.get(qual)
+                if fn is None or fn.emits_ordered:
+                    continue
+                if any(
+                    by_qual[c].emits_ordered
+                    for c in callees
+                    if c in by_qual
+                ):
+                    fn.emits_ordered = True
+                    changed = True
+
+    # ------------------------------------------------------------------
+    # Queries.
+
+    def function(self, qualname: str) -> FunctionInfo | None:
+        """Look up a function by its ``module:qual`` name."""
+        module, _, local = qualname.partition(":")
+        info = self.modules.get(module)
+        if info is None:
+            return None
+        return info.functions.get(local)
+
+    def emits_ordered(
+        self, from_module: str, class_prefix: str, call: str
+    ) -> bool:
+        """Whether a call, resolved from ``from_module``, is an ordered sink."""
+        info = self.modules.get(from_module)
+        if info is None:
+            return False
+        target = self._resolve_call(info, class_prefix, call)
+        if target is None:
+            return False
+        fn = self.function(target)
+        return fn is not None and fn.emits_ordered
+
+    def import_edges(self) -> dict[str, set[str]]:
+        """Module → imported project modules (symbol imports included)."""
+        edges: dict[str, set[str]] = {}
+        for name, info in self.modules.items():
+            out: set[str] = set()
+            for target in info.import_aliases.values():
+                out.update(self._project_prefixes(target))
+            for target in info.from_imports.values():
+                out.update(self._project_prefixes(target))
+                mod = target.rpartition(".")[0]
+                if mod:
+                    out.update(self._project_prefixes(mod))
+            out.discard(name)
+            edges[name] = out
+        return edges
+
+    def _project_prefixes(self, dotted: str) -> Iterator[str]:
+        parts = dotted.split(".")
+        for k in range(len(parts), 0, -1):
+            candidate = ".".join(parts[:k])
+            if candidate in self.modules:
+                yield candidate
+                return
+
+    def reachable_modules(self, root_prefixes: Sequence[str]) -> set[str]:
+        """Modules reachable from any root prefix via project imports.
+
+        An empty ``root_prefixes`` means *every* indexed module is in
+        scope — the strict default for projects that have not narrowed
+        the shared-state surface in config.
+        """
+        if not root_prefixes:
+            return set(self.modules)
+        edges = self.import_edges()
+        frontier = [
+            name
+            for name in self.modules
+            if any(
+                name == p or name.startswith(p + ".")
+                for p in root_prefixes
+            )
+        ]
+        seen = set(frontier)
+        while frontier:
+            current = frontier.pop()
+            for neighbour in edges.get(current, ()):
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    frontier.append(neighbour)
+        return seen

@@ -1,15 +1,33 @@
-"""Rule protocol and the shared per-file context rules check against."""
+"""Rule protocols and the shared contexts rules check against.
+
+Two rule kinds coexist:
+
+* :class:`Rule` — the classic per-file kind; sees one parsed module at a
+  time and needs no cross-file knowledge.
+* :class:`ProjectRule` — the pass-2 kind; sees the whole
+  :class:`~phaselint.project.ProjectIndex` (symbol table + call graph)
+  and may attribute findings to any indexed file.
+"""
 
 from __future__ import annotations
 
 import ast
 from dataclasses import dataclass
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from ..config import LintConfig
 from ..findings import Finding
 
-__all__ = ["Rule", "RuleContext", "dotted_name", "is_public_name"]
+if TYPE_CHECKING:
+    from ..project import ModuleInfo, ProjectIndex
+
+__all__ = [
+    "Rule",
+    "RuleContext",
+    "ProjectRule",
+    "dotted_name",
+    "is_public_name",
+]
 
 
 @dataclass(frozen=True)
@@ -49,6 +67,37 @@ class Rule:
         """Build a :class:`Finding` for ``node`` with this rule's code."""
         return Finding(
             path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.code,
+            message=message,
+        )
+
+
+class ProjectRule:
+    """Base class for cross-module (pass-2) rules.
+
+    Subclasses set ``code``/``name``/``description`` and implement
+    :meth:`check_project`, yielding a :class:`Finding` per violation.
+    Rules are stateless: one instance is reused across runs.
+    """
+
+    code: str = "PL000"
+    name: str = "abstract-project-rule"
+    description: str = ""
+
+    def check_project(
+        self, index: "ProjectIndex", config: LintConfig
+    ) -> Iterator[Finding]:
+        """Yield findings over the whole project index."""
+        raise NotImplementedError
+
+    def finding(
+        self, info: "ModuleInfo", node: ast.AST, message: str
+    ) -> Finding:
+        """Build a :class:`Finding` for ``node`` inside module ``info``."""
+        return Finding(
+            path=info.file.path,
             line=getattr(node, "lineno", 1),
             col=getattr(node, "col_offset", 0),
             rule=self.code,

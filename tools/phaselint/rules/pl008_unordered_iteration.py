@@ -1,0 +1,315 @@
+"""PL008 — unordered-collection iteration must not feed an ordered sink.
+
+Byte-reproducible runs are this codebase's correctness substrate: event
+logs, metrics snapshots, and estimate streams are diffed byte-for-byte
+across seeded runs and across the fleet's solo-vs-fleet isolation checks.
+Any iteration whose order is not an explicit contract threatens that:
+
+* **sets** iterate in hash order — genuinely nondeterministic across
+  processes for strings (hash randomization) and across runs for objects
+  (id-based hashes);
+* **dict views** (``.values()`` / ``.keys()`` / ``.items()``) iterate in
+  insertion order — deterministic per-process, but the determinism then
+  hangs on an *implicit* invariant ("this dict is only ever populated in
+  admission order") that the next refactor silently breaks.
+
+The rule fires when such an iteration feeds an **ordered sink** — list
+building (``append``/``extend``), accumulation (augmented assignment),
+generation (``yield``), serialization (``json.dumps``, ``write``), or
+event/metric emission (``record``/``count``/``observe``/``gauge_set``) —
+including *transitively*: a loop body that calls a project function whose
+body (or whose callees' bodies, via the pass-1 call graph) emits into an
+ordered artifact is flagged too.
+
+Fixes, in order of preference: wrap the iterable in ``sorted(...)``; or,
+for dict views whose insertion order genuinely *is* the contract, make
+the invariant explicit and auditable on the line::
+
+    for s in self._sessions.values():  # phaselint: insertion-order -- admission order is the scheduling contract
+
+An ``insertion-order`` annotation without a justification is ignored.
+Order-insensitive consumption (``len``, ``any``, ``min``/``max``,
+``sorted`` itself, membership tests) never fires.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..config import LintConfig
+from ..findings import Finding
+from ..project import ModuleInfo, ProjectIndex, dotted_call_name
+from .base import ProjectRule
+from .scopes import (
+    ORDER_INSENSITIVE_CONSUMERS,
+    ScopeTypes,
+    classify_unordered,
+    iter_own_statements,
+    scope_for_function,
+)
+
+__all__ = ["UnorderedIterationRule"]
+
+_SET_LOOP_MSG = (
+    "iterating a set in a loop that feeds an ordered sink ({sink}); set "
+    "order is hash-dependent and changes across runs — iterate "
+    "sorted(...) instead"
+)
+_VIEW_LOOP_MSG = (
+    "iterating {view} in a loop that feeds an ordered sink ({sink}); the "
+    "output order silently depends on insertion order — iterate "
+    "sorted(...) or annotate the invariant with "
+    "'# phaselint: insertion-order -- <why the order is a contract>'"
+)
+_SET_EXPR_MSG = (
+    "{context} over a set fixes a hash-dependent order into an ordered "
+    "result; wrap the set in sorted(...)"
+)
+
+
+def _unwrap_sorted(expr: ast.expr) -> ast.expr | None:
+    """The argument of a ``sorted(...)`` / ``list(sorted(...))`` wrapper."""
+    if isinstance(expr, ast.Call):
+        name = dotted_call_name(expr.func)
+        if name is not None and name.rpartition(".")[2] == "sorted":
+            return expr
+    return None
+
+
+class _LoopSinkScanner(ast.NodeVisitor):
+    """Find the first ordered sink inside one loop body.
+
+    Direct sinks (emission/serialization calls, ``yield``, augmented
+    assignment) and transitive ones (calls into project functions the
+    pass-1 fixpoint marked as emitting ordered output) both count.
+    Nested function/class definitions are skipped — their bodies are not
+    executed by this loop.
+    """
+
+    _DIRECT_METHODS = {
+        "append",
+        "extend",
+        "insert",
+        "appendleft",
+        "record",
+        "count",
+        "observe",
+        "gauge_set",
+        "emit",
+        "write",
+        "writelines",
+        "writerow",
+        "put",
+    }
+    _DIRECT_CALLS = {"print", "json.dump", "json.dumps"}
+
+    def __init__(
+        self,
+        index: ProjectIndex,
+        module: str,
+        class_prefix: str,
+    ) -> None:
+        self._index = index
+        self._module = module
+        self._class_prefix = class_prefix
+        self.sink: str | None = None
+
+    def scan(self, body: list[ast.stmt]) -> str | None:
+        for stmt in body:
+            self.visit(stmt)
+            if self.sink is not None:
+                break
+        return self.sink
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        return None
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        return None
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        return None
+
+    def visit_Yield(self, node: ast.Yield) -> None:
+        self.sink = self.sink or "yield"
+
+    def visit_YieldFrom(self, node: ast.YieldFrom) -> None:
+        self.sink = self.sink or "yield"
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self.sink = self.sink or "accumulation"
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.sink is None:
+            name = dotted_call_name(node.func)
+            if name is not None:
+                leaf = name.rpartition(".")[2]
+                if name in self._DIRECT_CALLS or (
+                    "." in name and leaf in self._DIRECT_METHODS
+                ):
+                    self.sink = f"{leaf}()"
+                elif self._index.emits_ordered(
+                    self._module, self._class_prefix, name
+                ):
+                    self.sink = f"{name}() [transitive]"
+        self.generic_visit(node)
+
+
+class UnorderedIterationRule(ProjectRule):
+    """Flag unordered iteration that determines ordered output."""
+
+    code = "PL008"
+    name = "no-unordered-iteration-into-ordered-sink"
+    description = (
+        "set / dict-view iteration feeding an ordered sink (append, "
+        "accumulation, serialization, emission) must be sorted or carry "
+        "an insertion-order justification"
+    )
+
+    def check_project(
+        self, index: ProjectIndex, config: LintConfig
+    ) -> Iterator[Finding]:
+        """Yield one finding per offending iteration site."""
+        for name in sorted(index.modules):
+            info = index.modules[name]
+            yield from self._check_module(index, info)
+
+    # ------------------------------------------------------------------
+
+    def _check_module(
+        self, index: ProjectIndex, info: ModuleInfo
+    ) -> Iterator[Finding]:
+        # Module body first (loops at import time), then every function.
+        module_scope = scope_for_function(info, None, None)
+        yield from self._check_body(
+            index, info, info.file.tree.body, module_scope, ""
+        )
+        for local, fn in info.functions.items():
+            enclosing_class = self._enclosing_class(info, local)
+            scope = scope_for_function(info, fn.node, enclosing_class)
+            class_prefix = (
+                local.rpartition(".")[0] + "." if "." in local else ""
+            )
+            yield from self._check_body(
+                index, info, fn.node.body, scope, class_prefix
+            )
+
+    @staticmethod
+    def _enclosing_class(
+        info: ModuleInfo, local: str
+    ) -> ast.ClassDef | None:
+        if "." not in local:
+            return None
+        class_name = local.split(".")[0]
+        for stmt in info.file.tree.body:
+            if isinstance(stmt, ast.ClassDef) and stmt.name == class_name:
+                return stmt
+        return None
+
+    def _check_body(
+        self,
+        index: ProjectIndex,
+        info: ModuleInfo,
+        body: list[ast.stmt],
+        scope: ScopeTypes,
+        class_prefix: str,
+    ) -> Iterator[Finding]:
+        for stmt in iter_own_statements(body):
+            if isinstance(stmt, (ast.For, ast.AsyncFor)):
+                yield from self._check_loop(
+                    index, info, stmt, scope, class_prefix
+                )
+            for expr in ast.walk(stmt):
+                if isinstance(expr, ast.ListComp):
+                    yield from self._check_comprehension(info, expr, scope)
+                elif isinstance(expr, ast.Call):
+                    yield from self._check_consumer_call(info, expr, scope)
+
+    def _check_loop(
+        self,
+        index: ProjectIndex,
+        info: ModuleInfo,
+        loop: ast.For | ast.AsyncFor,
+        scope: ScopeTypes,
+        class_prefix: str,
+    ) -> Iterator[Finding]:
+        if _unwrap_sorted(loop.iter) is not None:
+            return
+        kind = classify_unordered(loop.iter, scope)
+        if kind is None:
+            return
+        scanner = _LoopSinkScanner(index, info.name, class_prefix)
+        sink = scanner.scan(loop.body)
+        if sink is None:
+            return
+        if kind == "set":
+            yield self.finding(info, loop, _SET_LOOP_MSG.format(sink=sink))
+        else:
+            view = self._view_name(loop.iter)
+            yield self.finding(
+                info, loop, _VIEW_LOOP_MSG.format(view=view, sink=sink)
+            )
+
+    @staticmethod
+    def _view_name(expr: ast.expr) -> str:
+        if isinstance(expr, ast.Call) and isinstance(
+            expr.func, ast.Attribute
+        ):
+            return f".{expr.func.attr}()"
+        return "a dict view"
+
+    def _check_comprehension(
+        self, info: ModuleInfo, comp: ast.ListComp, scope: ScopeTypes
+    ) -> Iterator[Finding]:
+        # A list literal freezes its element order; only genuinely
+        # hash-ordered sources (sets) are flagged here — dict views in a
+        # comprehension inherit insertion order, which stays a per-loop
+        # judgement (see the For handling) rather than a blanket ban.
+        for gen in comp.generators:
+            if classify_unordered(gen.iter, scope) == "set":
+                yield self.finding(
+                    info,
+                    comp,
+                    _SET_EXPR_MSG.format(context="a list comprehension"),
+                )
+                return
+
+    def _check_consumer_call(
+        self, info: ModuleInfo, call: ast.Call, scope: ScopeTypes
+    ) -> Iterator[Finding]:
+        name = dotted_call_name(call.func)
+        if name is None:
+            return
+        leaf = name.rpartition(".")[2]
+        if leaf in ORDER_INSENSITIVE_CONSUMERS:
+            return
+        if leaf in ("list", "tuple"):
+            contexts = {"list": "list(...)", "tuple": "tuple(...)"}
+            for arg in call.args[:1]:
+                if self._is_set_or_set_genexp(arg, scope):
+                    yield self.finding(
+                        info,
+                        call,
+                        _SET_EXPR_MSG.format(context=contexts[leaf]),
+                    )
+        elif leaf == "join" and isinstance(call.func, ast.Attribute):
+            for arg in call.args[:1]:
+                if self._is_set_or_set_genexp(arg, scope):
+                    yield self.finding(
+                        info,
+                        call,
+                        _SET_EXPR_MSG.format(context="str.join(...)"),
+                    )
+
+    @staticmethod
+    def _is_set_or_set_genexp(arg: ast.expr, scope: ScopeTypes) -> bool:
+        if classify_unordered(arg, scope) == "set":
+            return True
+        if isinstance(arg, ast.GeneratorExp):
+            return any(
+                classify_unordered(gen.iter, scope) == "set"
+                for gen in arg.generators
+            )
+        return False

@@ -1,0 +1,160 @@
+"""PL009 — RNG flow: no legacy globals, no Generators escaping their scope.
+
+Two ways randomness breaks seeded reproducibility, both invisible to the
+per-file PL001 check:
+
+* **Legacy global-state calls** — ``np.random.rand`` / ``np.random.seed``
+  and friends draw from one process-wide ``RandomState``.  Any two call
+  sites share a stream, so adding a draw in one module silently shifts
+  every draw after it in another; under the fleet gateway that couples
+  sessions that must stay bit-independent.  The modern API
+  (``np.random.default_rng(seed)`` returning a ``Generator``) has no
+  global state and is the only sanctioned form.
+* **Escaped Generators** — a seeded ``Generator`` bound at module level,
+  on a class body, or imported across module boundaries is shared state
+  with a consumption order: whichever caller draws first changes what the
+  next caller sees.  Generators must live on the object that owns the
+  stream (per session, per scenario) and be passed explicitly.
+
+The fix for both is the same shape: derive a child seed
+(``SeedSequence.spawn`` or the FNV-1a per-session scheme the fleet uses)
+and construct the ``Generator`` inside the scope that consumes it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..config import LintConfig
+from ..findings import Finding
+from ..project import ModuleInfo, ProjectIndex, dotted_call_name
+from .base import ProjectRule
+
+__all__ = ["RngFlowRule"]
+
+# numpy.random attributes that are part of the *modern* API surface and
+# fine to reference: factories, classes, and bit generators — not the
+# module-level convenience functions backed by the legacy global state.
+_NP_RANDOM_OK = {
+    "default_rng",
+    "Generator",
+    "BitGenerator",
+    "SeedSequence",
+    "RandomState",  # explicit instance; flagged only as np.random.<fn>()
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+
+_LEGACY_MSG = (
+    "legacy global-state call numpy.random.{leaf}(); this draws from the "
+    "shared process-wide RandomState and couples every call site in the "
+    "program — use a seeded np.random.default_rng(seed) Generator owned "
+    "by the consuming scope"
+)
+_MODULE_RNG_MSG = (
+    "module-level Generator '{name}' is shared mutable state: every "
+    "importer draws from one stream, so call order changes the values "
+    "each consumer sees — construct the Generator inside the session or "
+    "scenario that owns it (spawn child seeds if several are needed)"
+)
+_CLASS_RNG_MSG = (
+    "class-level Generator '{cls}.{name}' is shared by all instances; "
+    "move it to the instance (seeded in __init__) so each session owns "
+    "its stream"
+)
+_IMPORT_RNG_MSG = (
+    "importing Generator '{symbol}' from {module} shares one RNG stream "
+    "across module boundaries — import a seed (or a factory) and build "
+    "the Generator locally instead"
+)
+
+
+class RngFlowRule(ProjectRule):
+    """Flag legacy numpy RNG globals and Generators that escape scope."""
+
+    code = "PL009"
+    name = "rng-stays-in-scope"
+    description = (
+        "no legacy np.random.* global-state calls; seeded Generators must "
+        "not be bound at module/class level or imported across modules"
+    )
+
+    def check_project(
+        self, index: ProjectIndex, config: LintConfig
+    ) -> Iterator[Finding]:
+        """Yield findings over every indexed module."""
+        for name in sorted(index.modules):
+            info = index.modules[name]
+            yield from self._check_legacy_calls(info)
+            yield from self._check_escaped_generators(index, info)
+
+    # ------------------------------------------------------------------
+
+    def _check_legacy_calls(self, info: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(info.file.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            full = self._expand(info, dotted_call_name(node.func))
+            if full is None or not full.startswith("numpy.random."):
+                continue
+            leaf = full.rpartition(".")[2]
+            if leaf not in _NP_RANDOM_OK:
+                yield self.finding(
+                    info, node, _LEGACY_MSG.format(leaf=leaf)
+                )
+
+    @staticmethod
+    def _expand(info: ModuleInfo, dotted: str | None) -> str | None:
+        """Rewrite a call name's head through the module's import maps."""
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        target = info.import_aliases.get(head) or info.from_imports.get(
+            head
+        )
+        if target is None:
+            return dotted
+        return f"{target}.{rest}" if rest else target
+
+    def _check_escaped_generators(
+        self, index: ProjectIndex, info: ModuleInfo
+    ) -> Iterator[Finding]:
+        for name in sorted(info.module_rng):
+            yield self.finding(
+                info,
+                info.module_rng[name],
+                _MODULE_RNG_MSG.format(name=name),
+            )
+        for cls, attr, node in info.class_rng:
+            yield self.finding(
+                info, node, _CLASS_RNG_MSG.format(cls=cls, name=attr)
+            )
+        yield from self._check_rng_imports(index, info)
+
+    def _check_rng_imports(
+        self, index: ProjectIndex, info: ModuleInfo
+    ) -> Iterator[Finding]:
+        for node in ast.walk(info.file.tree):
+            if not isinstance(node, ast.ImportFrom):
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                target = info.from_imports.get(local)
+                if target is None:
+                    continue
+                module, _, symbol = target.rpartition(".")
+                origin = index.modules.get(module)
+                if origin is not None and symbol in origin.module_rng:
+                    yield self.finding(
+                        info,
+                        node,
+                        _IMPORT_RNG_MSG.format(
+                            symbol=symbol, module=module
+                        ),
+                    )

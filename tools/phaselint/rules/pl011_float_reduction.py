@@ -1,0 +1,166 @@
+"""PL011 — float reductions over unordered iterables are order hazards.
+
+Floating-point addition is not associative: ``sum`` over the same values
+in two different orders can differ in the last ulps, and those ulps feed
+breathing-rate estimates that the repo byte-compares across runs.  A
+``sum()`` (or ``prod()``) whose iterable is a set or dict view therefore
+ties a numeric result to an iteration order that nothing pins down.
+
+PL008 handles the loop-shaped version of this hazard (an accumulator
+``+=`` inside a ``for`` over an unordered iterable); this rule owns the
+reduction-call form so the two never double-fire on one site::
+
+    total = sum(s.weight for s in self._sessions.values())   # PL011
+    for s in self._sessions.values():                        # PL008
+        total += s.weight
+
+Fixes: ``sorted(...)`` the iterable (pins the order), use ``math.fsum``
+*with* a sorted iterable (pins the rounding too), or — for integer sums
+over a dict view, where order provably cannot matter — annotate::
+
+    n = sum(s.n_dropped for s in q.values())  # phaselint: insertion-order -- integer sum, order-independent
+
+``math.fsum`` alone is exempt only when its iterable is ordered;
+``fsum`` over a set is still flagged (correctly rounded, still
+order-defined input consumption for NaN/inf edge cases — and the set's
+contents reaching any other consumer stays hash-ordered).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..config import LintConfig
+from ..findings import Finding
+from ..project import ModuleInfo, ProjectIndex, dotted_call_name
+from .base import ProjectRule
+from .scopes import (
+    ScopeTypes,
+    classify_unordered,
+    iter_own_statements,
+    scope_for_function,
+)
+
+__all__ = ["FloatReductionRule"]
+
+_REDUCERS = {"sum", "prod", "fsum"}
+
+_SET_MSG = (
+    "{reducer}() over a set reduces in hash order; float reduction order "
+    "changes the result in the last ulps — reduce over sorted(...)"
+)
+_VIEW_MSG = (
+    "{reducer}() over {view} reduces in insertion order, an implicit "
+    "invariant; reduce over sorted(...) or annotate with "
+    "'# phaselint: insertion-order -- <why the order cannot matter>'"
+)
+
+
+class FloatReductionRule(ProjectRule):
+    """Flag ``sum``/``prod``/``fsum`` calls consuming unordered iterables."""
+
+    code = "PL011"
+    name = "no-unordered-float-reduction"
+    description = (
+        "sum()/prod() over sets or dict views ties a float result to an "
+        "unpinned iteration order; sort first or justify"
+    )
+
+    def check_project(
+        self, index: ProjectIndex, config: LintConfig
+    ) -> Iterator[Finding]:
+        """Yield one finding per unordered reduction call."""
+        for name in sorted(index.modules):
+            info = index.modules[name]
+            yield from self._check_module(info)
+
+    # ------------------------------------------------------------------
+
+    def _check_module(self, info: ModuleInfo) -> Iterator[Finding]:
+        module_scope = scope_for_function(info, None, None)
+        yield from self._check_body(
+            info, info.file.tree.body, module_scope
+        )
+        for local, fn in info.functions.items():
+            enclosing = self._enclosing_class(info, local)
+            scope = scope_for_function(info, fn.node, enclosing)
+            yield from self._check_body(info, fn.node.body, scope)
+
+    @staticmethod
+    def _enclosing_class(
+        info: ModuleInfo, local: str
+    ) -> ast.ClassDef | None:
+        if "." not in local:
+            return None
+        class_name = local.split(".")[0]
+        for stmt in info.file.tree.body:
+            if isinstance(stmt, ast.ClassDef) and stmt.name == class_name:
+                return stmt
+        return None
+
+    def _check_body(
+        self,
+        info: ModuleInfo,
+        body: list[ast.stmt],
+        scope: ScopeTypes,
+    ) -> Iterator[Finding]:
+        for stmt in iter_own_statements(body):
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Call):
+                    yield from self._check_call(info, node, scope)
+
+    def _check_call(
+        self, info: ModuleInfo, call: ast.Call, scope: ScopeTypes
+    ) -> Iterator[Finding]:
+        name = dotted_call_name(call.func)
+        if name is None:
+            return
+        leaf = name.rpartition(".")[2]
+        if leaf not in _REDUCERS or not call.args:
+            return
+        arg = call.args[0]
+        kind = self._classify_arg(arg, scope)
+        if kind is None:
+            return
+        if leaf == "fsum" and kind == "dict-view":
+            # Correctly-rounded sum over a per-process-deterministic
+            # order: the one combination with no reproducibility hazard.
+            return
+        if kind == "set":
+            yield self.finding(
+                info, call, _SET_MSG.format(reducer=leaf)
+            )
+        else:
+            yield self.finding(
+                info,
+                call,
+                _VIEW_MSG.format(
+                    reducer=leaf, view=self._view_name(arg)
+                ),
+            )
+
+    @staticmethod
+    def _classify_arg(arg: ast.expr, scope: ScopeTypes) -> str | None:
+        direct = classify_unordered(arg, scope)
+        if direct is not None:
+            return direct
+        if isinstance(arg, (ast.GeneratorExp, ast.ListComp)):
+            for gen in arg.generators:
+                kind = classify_unordered(gen.iter, scope)
+                if kind is not None:
+                    return kind
+        return None
+
+    @staticmethod
+    def _view_name(arg: ast.expr) -> str:
+        exprs: list[ast.expr] = [arg]
+        if isinstance(arg, (ast.GeneratorExp, ast.ListComp)):
+            exprs = [gen.iter for gen in arg.generators]
+        for expr in exprs:
+            if isinstance(expr, ast.Call) and isinstance(
+                expr.func, ast.Attribute
+            ):
+                if expr.func.attr in ("values", "keys", "items"):
+                    return f".{expr.func.attr}()"
+        return "a dict view"

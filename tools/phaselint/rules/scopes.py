@@ -1,0 +1,211 @@
+"""Shared dataflow helpers for the determinism rules (PL008–PL011).
+
+The unordered-iteration rules need one judgement call answered over and
+over: *is this expression an unordered collection?*  The helpers here
+answer it with a deliberately modest, predictable inference — syntactic
+set constructors, set-annotated parameters and locals, set-typed ``self``
+attributes gathered from the owning class, and module-level set bindings
+from the pass-1 symbol table.  No attempt is made to chase types across
+call boundaries; a rule that cannot be explained in one sentence gets
+argued with instead of fixed.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..project import (
+    ModuleInfo,
+    annotation_is_set,
+    dotted_call_name,
+    is_set_constructor,
+)
+
+__all__ = [
+    "ScopeTypes",
+    "class_set_attrs",
+    "scope_for_function",
+    "classify_unordered",
+    "iter_own_statements",
+    "ORDER_INSENSITIVE_CONSUMERS",
+]
+
+# Builtins whose result does not depend on iteration order (or that
+# re-establish an order themselves): consuming an unordered iterable in
+# these is fine.  `sum` is deliberately absent — that is PL011's beat.
+ORDER_INSENSITIVE_CONSUMERS = {
+    "sorted",
+    "len",
+    "any",
+    "all",
+    "min",
+    "max",
+    "set",
+    "frozenset",
+    "dict",
+    "Counter",
+    "iter",
+    "next",
+    "enumerate",
+    "zip",
+}
+
+
+@dataclass
+class ScopeTypes:
+    """Set-typed names visible to one function (or the module body).
+
+    Attributes:
+        set_locals: Parameter and local-variable names inferred set-typed.
+        set_self_attrs: ``self.<attr>`` names set-typed on the enclosing
+            class (from annotations and ``self.x = set()`` assignments in
+            any method).
+        module_sets: Module-level names inferred set-typed.
+    """
+
+    set_locals: set[str] = field(default_factory=set)
+    set_self_attrs: set[str] = field(default_factory=set)
+    module_sets: set[str] = field(default_factory=set)
+
+
+def class_set_attrs(node: ast.ClassDef) -> set[str]:
+    """Attribute names set-typed on ``node`` (annotations + assignments)."""
+    attrs: set[str] = set()
+    for stmt in node.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            if annotation_is_set(stmt.annotation):
+                attrs.add(stmt.target.id)
+        elif isinstance(stmt, ast.Assign):
+            if is_set_constructor(stmt.value):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        attrs.add(target.id)
+    for method in node.body:
+        if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for stmt in ast.walk(method):
+            target = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target, value = stmt.targets[0], stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                target, value = stmt.target, stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                target, value = stmt.target, None
+            else:
+                continue
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                if value is not None and is_set_constructor(value):
+                    attrs.add(target.attr)
+                elif isinstance(stmt, ast.AnnAssign) and annotation_is_set(
+                    stmt.annotation
+                ):
+                    attrs.add(target.attr)
+    return attrs
+
+
+def scope_for_function(
+    info: ModuleInfo,
+    node: ast.FunctionDef | ast.AsyncFunctionDef | None,
+    enclosing_class: ast.ClassDef | None,
+) -> ScopeTypes:
+    """Infer the set-typed names visible inside ``node``.
+
+    ``node=None`` builds the scope of the module body itself.
+    """
+    scope = ScopeTypes(module_sets=set(info.set_names))
+    if enclosing_class is not None:
+        scope.set_self_attrs = class_set_attrs(enclosing_class)
+    if node is None:
+        return scope
+    args = node.args
+    for arg in (
+        *args.posonlyargs,
+        *args.args,
+        *args.kwonlyargs,
+    ):
+        if annotation_is_set(arg.annotation):
+            scope.set_locals.add(arg.arg)
+    for stmt in iter_own_statements(node.body):
+        if isinstance(stmt, ast.Assign):
+            if is_set_constructor(stmt.value):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        scope.set_locals.add(target.id)
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            if annotation_is_set(stmt.annotation) or (
+                stmt.value is not None and is_set_constructor(stmt.value)
+            ):
+                scope.set_locals.add(stmt.target.id)
+    return scope
+
+
+def iter_own_statements(body: list[ast.stmt]) -> Iterator[ast.stmt]:
+    """All statements in ``body``, not descending into nested defs."""
+    stack: list[ast.stmt] = list(body)
+    while stack:
+        stmt = stack.pop()
+        if isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        yield stmt
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.stmt):
+                stack.append(child)
+
+
+def classify_unordered(expr: ast.expr, scope: ScopeTypes) -> str | None:
+    """``"set"`` / ``"dict-view"`` when ``expr`` iterates unordered.
+
+    ``dict-view`` covers ``.values()`` / ``.keys()`` / ``.items()`` —
+    deterministic per-process (insertion order) but an *implicit*
+    invariant; ``set`` covers genuinely hash-ordered collections.
+    """
+    if isinstance(expr, ast.Call):
+        func = expr.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in ("values", "keys", "items")
+            and not expr.args
+            and not expr.keywords
+        ):
+            return "dict-view"
+        name = dotted_call_name(func)
+        if name is not None and name.rpartition(".")[2] in (
+            "set",
+            "frozenset",
+        ):
+            return "set"
+        return None
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return "set"
+    if isinstance(expr, ast.Name):
+        if expr.id in scope.set_locals or expr.id in scope.module_sets:
+            return "set"
+        return None
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+    ):
+        if expr.attr in scope.set_self_attrs:
+            return "set"
+        return None
+    if isinstance(expr, ast.BinOp) and isinstance(
+        expr.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        left = classify_unordered(expr.left, scope)
+        right = classify_unordered(expr.right, scope)
+        if left == "set" or right == "set":
+            return "set"
+    return None

@@ -1,0 +1,107 @@
+"""Minimal SARIF 2.1.0 serialization for phaselint findings.
+
+SARIF (Static Analysis Results Interchange Format) is the lingua franca
+code-scanning UIs ingest — emitting it lets the phaselint CI job upload
+results so findings annotate the diff instead of hiding in a log.  Only
+the slice of the spec those consumers read is produced: one run, the tool
+descriptor with per-rule metadata, and one ``result`` per finding with a
+physical location.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .findings import Finding
+from .rules import ALL_RULES, PROJECT_RULES
+
+__all__ = ["to_sarif", "sarif_json"]
+
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _rule_descriptors() -> list[dict[str, object]]:
+    rules: list[dict[str, object]] = []
+    seen: set[str] = set()
+    for rule in (*ALL_RULES, *PROJECT_RULES):
+        if rule.code in seen:
+            continue
+        seen.add(rule.code)
+        rules.append(
+            {
+                "id": rule.code,
+                "name": rule.name,
+                "shortDescription": {"text": rule.description or rule.name},
+            }
+        )
+    rules.append(
+        {
+            "id": "PL000",
+            "name": "syntax-error",
+            "shortDescription": {"text": "file does not parse"},
+        }
+    )
+    return sorted(rules, key=lambda r: str(r["id"]))
+
+
+def to_sarif(
+    findings: Iterable[Finding], *, tool_version: str
+) -> dict[str, object]:
+    """Build the SARIF 2.1.0 log object for ``findings``."""
+    results: list[dict[str, object]] = []
+    for finding in findings:
+        results.append(
+            {
+                "ruleId": finding.rule,
+                "level": "error",
+                "message": {"text": finding.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": Path(finding.path).as_posix(),
+                            },
+                            "region": {
+                                "startLine": finding.line,
+                                "startColumn": finding.col + 1,
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    return {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "phaselint",
+                        "version": tool_version,
+                        "informationUri": (
+                            "https://example.invalid/phasebeat/phaselint"
+                        ),
+                        "rules": _rule_descriptors(),
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def sarif_json(
+    findings: Sequence[Finding], *, tool_version: str
+) -> str:
+    """``to_sarif`` rendered as stable, indented JSON text."""
+    return json.dumps(
+        to_sarif(findings, tool_version=tool_version),
+        indent=2,
+        sort_keys=True,
+    )
