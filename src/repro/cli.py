@@ -1,6 +1,6 @@
 """Command-line interface: simulate, estimate, and reproduce from a shell.
 
-Eight subcommands::
+Eleven subcommands::
 
     repro-phasebeat simulate  --scenario lab --duration 30 --out trace.npz
     repro-phasebeat estimate  trace.npz --persons 1 --heart
@@ -10,6 +10,9 @@ Eight subcommands::
     repro-phasebeat fleet     --sessions 50 --scenario shard-crash
     repro-phasebeat sanitize  --mode fleet --scenario shard-crash
     repro-phasebeat metrics   render metrics.json --format prometheus
+    repro-phasebeat record    --scenario lab --duration 20 --out store/
+    repro-phasebeat replay    --store store/ --json report.json
+    repro-phasebeat backtest  --corpus corpus/
 
 ``simulate`` builds one of the paper's three deployments and writes a CSI
 trace; ``estimate`` runs the PhaseBeat pipeline on a stored trace;
@@ -26,6 +29,14 @@ checks the isolation / recovery / bounded-shedding invariants;
 byte-diffs the event log, metrics snapshot, and estimates — the runtime
 side of the phaselint determinism rules; ``metrics`` renders or diffs
 those snapshots offline.
+
+The storage trio: ``record`` simulates a capture and records it into a
+crash-safe ``.cst`` trace store through the recording tap; ``replay``
+salvage-reads a store and drives the supervised monitor from it at
+simulated speed, reporting estimates and the wall-time speedup;
+``backtest`` replays a committed corpus of recorded scenarios and diffs
+median estimates against the manifest baselines, exiting non-zero on a
+regression (see ``docs/storage.md``).
 """
 
 from __future__ import annotations
@@ -268,28 +279,128 @@ def build_parser() -> argparse.ArgumentParser:
     )
     diff.add_argument("old", help="baseline snapshot path")
     diff.add_argument("new", help="candidate snapshot path")
+
+    record = sub.add_parser(
+        "record",
+        help="simulate a capture and record it into a crash-safe trace store",
+    )
+    record.add_argument(
+        "--scenario",
+        choices=("lab", "through-wall", "corridor"),
+        default="lab",
+        help="deployment to simulate",
+    )
+    record.add_argument("--duration", type=float, default=20.0, help="seconds")
+    record.add_argument(
+        "--rate", type=float, default=30.0, help="packets per second"
+    )
+    record.add_argument("--seed", type=int, default=0)
+    record.add_argument(
+        "--persons", type=int, default=1, help="number of subjects"
+    )
+    record.add_argument(
+        "--distance", type=float, default=None,
+        help="TX-RX separation for through-wall / corridor (m)",
+    )
+    record.add_argument(
+        "--session", default="", metavar="ID",
+        help="session id stamped into segment headers",
+    )
+    record.add_argument(
+        "--stem", default="trace", help="store name inside --out"
+    )
+    record.add_argument(
+        "--rotate-kib", type=int, default=256, metavar="KIB",
+        help="segment rotation budget in KiB (default: 256)",
+    )
+    record.add_argument(
+        "--flush-every", type=int, default=64, metavar="N",
+        help="durability boundary every N records (0 = only on close)",
+    )
+    record.add_argument(
+        "--out", required=True, help="store directory (created if absent)"
+    )
+
+    replay = sub.add_parser(
+        "replay",
+        help="replay a recorded store through the supervised monitor",
+    )
+    replay.add_argument(
+        "--store", required=True, help="store directory written by record"
+    )
+    replay.add_argument(
+        "--stem", default="trace", help="store name inside --store"
+    )
+    replay.add_argument(
+        "--window", type=float, default=8.0, help="analysis window (seconds)"
+    )
+    replay.add_argument(
+        "--hop", type=float, default=4.0, help="estimate cadence (seconds)"
+    )
+    replay.add_argument("--seed", type=int, default=0)
+    replay.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the replay summary as JSON",
+    )
+
+    backtest = sub.add_parser(
+        "backtest",
+        help="replay a recorded corpus and diff estimates against baselines",
+    )
+    backtest.add_argument(
+        "--corpus", default="corpus", help="corpus directory with manifest.json"
+    )
+    backtest.add_argument(
+        "--scenario", action="append", default=None, metavar="NAME",
+        help="run only this scenario (repeatable; default: all)",
+    )
+    backtest.add_argument("--seed", type=int, default=0)
+    backtest.add_argument(
+        "--inject-regression-bpm", type=float, default=0.0, metavar="BPM",
+        help="bias every estimate by this much — a gate self-test that "
+        "models an estimator regression and must make the backtest fail",
+    )
+    backtest.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the backtest report as JSON",
+    )
     return parser
 
 
-def _cmd_simulate(args: argparse.Namespace) -> int:
+def _make_scenario(
+    name: str,
+    n_persons: int,
+    seed: int,
+    *,
+    distance: float | None = None,
+    directional: bool = False,
+) -> Scenario:
+    """Build one of the paper's deployments with seeded subjects."""
     from .eval.harness import default_subject
 
-    rng = np.random.default_rng(args.seed)
+    rng = np.random.default_rng(seed)
     persons = [
-        default_subject(rng, with_heartbeat=True) for _ in range(args.persons)
+        default_subject(rng, with_heartbeat=True) for _ in range(n_persons)
     ]
-    if args.scenario == "lab":
-        scenario = laboratory_scenario(
-            persons, directional_tx=args.directional, clutter_seed=args.seed
+    if name == "lab":
+        return laboratory_scenario(
+            persons, directional_tx=directional, clutter_seed=seed
         )
-    elif args.scenario == "through-wall":
-        scenario = through_wall_scenario(
-            args.distance or 4.0, persons, clutter_seed=args.seed
+    if name == "through-wall":
+        return through_wall_scenario(
+            distance or 4.0, persons, clutter_seed=seed
         )
-    else:
-        scenario = corridor_scenario(
-            args.distance or 5.0, persons, clutter_seed=args.seed
-        )
+    return corridor_scenario(distance or 5.0, persons, clutter_seed=seed)
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    scenario = _make_scenario(
+        args.scenario,
+        args.persons,
+        args.seed,
+        distance=args.distance,
+        directional=args.directional,
+    )
     trace = capture_trace(
         scenario,
         duration_s=args.duration,
@@ -599,6 +710,137 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
     return 0 if report.clean else 1
 
 
+def _cmd_record(args: argparse.Namespace) -> int:
+    from .service.clock import SimulatedClock
+    from .service.sources import TracePacketSource
+    from .store import DirectoryBackend, RecordingTap
+
+    scenario = _make_scenario(
+        args.scenario, args.persons, args.seed, distance=args.distance
+    )
+    trace = capture_trace(
+        scenario,
+        duration_s=args.duration,
+        sample_rate_hz=args.rate,
+        seed=args.seed,
+    )
+    clock = SimulatedClock()
+    tap = RecordingTap(
+        TracePacketSource(trace, clock),
+        DirectoryBackend(args.out),
+        args.stem,
+        sample_rate_hz=args.rate,
+        session_id=args.session,
+        subcarrier_indices=[int(i) for i in trace.subcarrier_indices],
+        meta=_jsonable(trace.meta),
+        rotate_bytes=args.rotate_kib * 1024,
+        flush_every_records=args.flush_every,
+    )
+    while not tap.exhausted:
+        tap.next_packet()
+    tap.close()
+    digest = tap.digest()
+    truth = ", ".join(
+        f"{r:.2f}" for r in trace.meta["breathing_rates_bpm"]
+    )
+    print(
+        f"recorded {tap.n_recorded} packets into {args.out} "
+        f"({len(digest['segments'])} segment(s), truth: {truth} bpm)"
+    )
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from .core.streaming import StreamingConfig
+    from .obs.clock import WallClock
+    from .service.clock import SimulatedClock
+    from .service.supervisor import MonitorSupervisor
+    from .store import DirectoryBackend, ReplayPacketSource
+
+    backend = DirectoryBackend(args.store)
+    wall = WallClock()
+    wall_start = wall.now_s
+    clock = SimulatedClock()
+    probe = ReplayPacketSource(backend, args.stem, clock)
+    supervisor = MonitorSupervisor(
+        clock=clock,
+        streaming_config=StreamingConfig(window_s=args.window, hop_s=args.hop),
+        seed=args.seed,
+    )
+    supervisor.add_subject(
+        "replay",
+        lambda start_at_s: ReplayPacketSource(
+            backend,
+            args.stem,
+            clock,
+            start_at_s=start_at_s if start_at_s > 0 else None,
+        ),
+        probe.sample_rate_hz,
+    )
+    estimates = supervisor.run()["replay"]
+    wall_s = max(wall.now_s - wall_start, 1e-9)
+    speedup = probe.duration_s / wall_s
+    salvage = probe.salvage_report
+
+    print(f"=== replay: {args.store} ({args.stem}) ===")
+    print(
+        f"records: {probe.n_packets_total} over {probe.duration_s:.1f}s "
+        f"recorded, replayed in {wall_s:.2f}s wall ({speedup:.1f}x real time)"
+    )
+    if not salvage.clean:
+        print(
+            f"salvage: {salvage.n_records_recovered} recovered, "
+            f"{len(salvage.issues)} issue(s), "
+            f"{salvage.n_bytes_skipped} byte(s) skipped"
+        )
+    usable = [e for e in estimates if e.fresh and e.ok]
+    for e in usable:
+        print(f"  t={e.time_s:7.2f}s  {e.rate_bpm:6.2f} bpm  ({e.method})")
+    print(f"estimates: {len(usable)} usable of {len(estimates)}")
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(
+                {
+                    "store": args.store,
+                    "stem": args.stem,
+                    "n_records": probe.n_packets_total,
+                    "recorded_duration_s": probe.duration_s,
+                    "wall_s": wall_s,
+                    "speedup_ratio": speedup,
+                    "salvage": salvage.to_jsonable(),
+                    "estimates": [e.to_dict() for e in estimates],
+                },
+                indent=2,
+            )
+        )
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_backtest(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from .store.backtest import run_backtest
+
+    report = run_backtest(
+        args.corpus,
+        scenarios=args.scenario,
+        seed=args.seed,
+        inject_bias_bpm=args.inject_regression_bpm,
+    )
+    print(report.format_text())
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(report.to_jsonable(), indent=2)
+        )
+        print(f"wrote {args.json}")
+    return 0 if report.passed else 1
+
+
 def _jsonable(value):
     """Recursively convert an experiment result to JSON-safe types."""
     if isinstance(value, dict):
@@ -651,6 +893,9 @@ def main(argv: list[str] | None = None) -> int:
         "fleet": _cmd_fleet,
         "sanitize": _cmd_sanitize,
         "metrics": _cmd_metrics,
+        "record": _cmd_record,
+        "replay": _cmd_replay,
+        "backtest": _cmd_backtest,
     }
     try:
         return handlers[args.command](args)

@@ -88,6 +88,40 @@ class TraceFormatError(ReproError, ValueError):
     """A CSI trace container or file violates the expected layout."""
 
 
+class TraceStoreError(ReproError, RuntimeError):
+    """The trace store was misused or cannot operate on its backing files.
+
+    Raised for *caller* mistakes and environmental failures — appending to
+    a closed :class:`~repro.store.writer.TraceWriter`, a packet whose
+    geometry disagrees with the segment header, a store stem with no
+    segments.  Corrupted or torn segment *content* is never reported
+    through exceptions: the salvaging reader turns it into a
+    :class:`~repro.store.reader.SalvageReport` instead, because torn
+    files are a normal input after a crash, not an error.
+    """
+
+
+class TornWriteError(TraceStoreError):
+    """A simulated torn write: the process died mid-``write``.
+
+    Raised by the storage fault-injection layer
+    (:class:`~repro.store.faults.TornWriteFile`) after persisting only a
+    prefix of the requested bytes, modelling a crash between a ``write``
+    syscall and its completion.  Carries how many bytes of the torn call
+    actually reached the backing store.
+
+    Attributes:
+        n_bytes_persisted: Bytes of the torn write that survived.
+    """
+
+    def __init__(self, n_bytes_persisted: int):
+        self.n_bytes_persisted = int(n_bytes_persisted)
+        super().__init__(
+            f"torn write: only {self.n_bytes_persisted} byte(s) of the "
+            "call reached the backing store before the simulated crash"
+        )
+
+
 class ServiceError(ReproError, RuntimeError):
     """Base class for the supervised monitoring service layer.
 

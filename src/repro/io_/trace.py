@@ -25,6 +25,10 @@ __all__ = ["CSITrace"]
 
 _FORMAT_VERSION = 1
 
+# Every format version this loader can still read.  A bumped writer must
+# extend this tuple (or migrate) rather than silently re-using a number.
+_SUPPORTED_VERSIONS = (_FORMAT_VERSION,)
+
 
 @dataclass
 class CSITrace:
@@ -217,11 +221,20 @@ class CSITrace:
         path = Path(path)
         try:
             with np.load(path) as data:
-                version = int(data["format_version"])
-                if version != _FORMAT_VERSION:
+                raw_version = data["format_version"]
+                try:
+                    version = int(raw_version)
+                except (TypeError, ValueError) as exc:
+                    raise TraceFormatError(
+                        f"{path} has an unreadable trace format version "
+                        f"{raw_version!r} (supported: "
+                        f"{', '.join(str(v) for v in _SUPPORTED_VERSIONS)})"
+                    ) from exc
+                if version not in _SUPPORTED_VERSIONS:
                     raise TraceFormatError(
                         f"unsupported trace format version {version} "
-                        f"(expected {_FORMAT_VERSION})"
+                        f"(supported: "
+                        f"{', '.join(str(v) for v in _SUPPORTED_VERSIONS)})"
                     )
                 meta = json.loads(bytes(data["meta_json"]).decode())
                 return cls(

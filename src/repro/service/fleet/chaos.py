@@ -11,7 +11,10 @@ that only exist at fleet scale:
 * ``slow-consumer`` — targeted sessions' drain budget collapses, so their
   queues back up while ingest continues;
 * ``correlated-source-loss`` — N sessions lose their upstream packets
-  simultaneously (a shared capture appliance dying).
+  simultaneously (a shared capture appliance dying);
+* ``recorder-crash`` — the recording taps on N sessions die mid-write
+  (optionally tearing the bytes they had in flight) and are restarted,
+  resuming in a fresh segment while the torn one is left for salvage.
 
 :func:`run_fleet_chaos` runs a seeded fleet under one scenario and checks
 three invariants in :meth:`FleetChaosReport.violations`:
@@ -53,7 +56,9 @@ from ...rf.receiver import capture_trace
 from ...rf.scene import laboratory_scenario
 from ..clock import SimulatedClock
 from ..events import EventLog
-from ..sources import TracePacketSource
+from ...store.backend import MemoryBackend
+from ...store.tap import RecordingTap, store_digest
+from ..sources import PacketSource, TracePacketSource
 from ..supervisor import ServiceEstimate, SupervisorConfig
 from .config import FleetConfig
 from .gateway import FleetGateway, SessionStatus
@@ -71,6 +76,7 @@ _FLEET_FAULT_KINDS = (
     "ingest-burst",
     "slow-consumer",
     "correlated-source-loss",
+    "recorder-crash",
 )
 
 
@@ -89,6 +95,8 @@ class FleetFault:
         ingest_factor: Ingest-budget multiplier (``ingest-burst``).
         drain_factor: Drain-budget multiplier in (0, 1]
             (``slow-consumer``).
+        torn_tail_bytes: How many in-flight bytes the crash tears off the
+            recorder's current segment (``recorder-crash`` only).
     """
 
     kind: str
@@ -98,6 +106,7 @@ class FleetFault:
     n_sessions: int = 0
     ingest_factor: float = 4.0
     drain_factor: float = 0.25
+    torn_tail_bytes: int = 0
 
     def __post_init__(self) -> None:
         if self.kind not in _FLEET_FAULT_KINDS:
@@ -115,7 +124,8 @@ class FleetFault:
                 raise ConfigurationError(
                     f"{self.kind} fault needs n_sessions >= 1"
                 )
-            if self.duration_s <= 0:
+            # A recorder crash is instantaneous, like a shard crash.
+            if self.kind != "recorder-crash" and self.duration_s <= 0:
                 raise ConfigurationError(
                     f"{self.kind} fault needs duration_s > 0"
                 )
@@ -125,6 +135,8 @@ class FleetFault:
             0.0 < self.drain_factor <= 1.0
         ):
             raise ConfigurationError("drain_factor must be in (0, 1]")
+        if self.torn_tail_bytes < 0:
+            raise ConfigurationError("torn_tail_bytes must be >= 0")
 
     @property
     def end_s(self) -> float:
@@ -141,6 +153,7 @@ class FleetFault:
             "n_sessions": self.n_sessions,
             "ingest_factor": self.ingest_factor,
             "drain_factor": self.drain_factor,
+            "torn_tail_bytes": self.torn_tail_bytes,
         }
 
     @classmethod
@@ -154,6 +167,7 @@ class FleetFault:
             "n_sessions",
             "ingest_factor",
             "drain_factor",
+            "torn_tail_bytes",
         }
         unknown = set(data) - allowed
         if unknown:
@@ -306,6 +320,30 @@ FLEET_SCENARIOS: dict[str, FleetScenario] = {
             ),
         ),
     ),
+    "record-crash-resume": FleetScenario(
+        name="record-crash-resume",
+        description=(
+            "The recording taps on a few sessions die mid-write, tearing "
+            "the bytes they had in flight, and are restarted twice over; "
+            "each restart resumes in a fresh segment, the torn segments "
+            "salvage down to the last intact record, and the consumers "
+            "behind the taps never notice."
+        ),
+        faults=(
+            FleetFault(
+                kind="recorder-crash",
+                at_s=5.0,
+                n_sessions=3,
+                torn_tail_bytes=96,
+            ),
+            FleetFault(
+                kind="recorder-crash",
+                at_s=9.0,
+                n_sessions=2,
+                torn_tail_bytes=17,
+            ),
+        ),
+    ),
     "overload-shed": FleetScenario(
         name="overload-shed",
         description=(
@@ -356,6 +394,9 @@ class FleetChaosReport:
         metrics_json: Canonical JSON metrics snapshot, when a registry
             was supplied (``None`` otherwise).
         n_estimates_total: Estimates emitted across the whole fleet.
+        recordings: Per-session store digests (segment SHA-256s plus the
+            salvage outcome) for sessions the scenario recorded through a
+            tap; empty when no ``recorder-crash`` fault was scheduled.
     """
 
     scenario: FleetScenario
@@ -371,6 +412,7 @@ class FleetChaosReport:
     events_jsonl: str = field(repr=False)
     metrics_json: str | None = field(repr=False)
     n_estimates_total: int = 0
+    recordings: dict[str, Any] = field(default_factory=dict)
 
     def violations(self) -> list[str]:
         """Fleet invariants violated by this run (empty = all held)."""
@@ -398,6 +440,7 @@ class FleetChaosReport:
             "violations": self.violations(),
             "n_estimates_total": self.n_estimates_total,
             "n_events": len(self.events),
+            "recordings": self.recordings,
         }
 
 
@@ -447,6 +490,61 @@ def _trace_factory(trace: Any):
     return factory
 
 
+class _FleetRecorders:
+    """In-memory recording taps at the fleet front door.
+
+    One :class:`~repro.store.tap.RecordingTap` per targeted session,
+    recording into a per-session :class:`~repro.store.backend.MemoryBackend`.
+    The backend outlives any individual tap, so when a shard crash makes
+    the gateway rebuild a session's upstream, the fresh tap resumes the
+    same store in the next segment instead of clobbering it.
+    """
+
+    def __init__(self, session_ids: list[str], sample_rate_hz: float):
+        self._sample_rate_hz = float(sample_rate_hz)
+        self._backends = {sid: MemoryBackend() for sid in session_ids}
+        self._taps: dict[str, RecordingTap] = {}
+
+    @property
+    def session_ids(self) -> set[str]:
+        return set(self._backends)
+
+    def wrap(self, sid: str, factory: Any) -> Any:
+        """Wrap an upstream factory so its source records through a tap."""
+
+        def wrapped(clock: SimulatedClock) -> PacketSource:
+            tap = RecordingTap(
+                factory(clock),
+                self._backends[sid],
+                sid,
+                sample_rate_hz=self._sample_rate_hz,
+                session_id=sid,
+                flush_every_records=32,
+            )
+            self._taps[sid] = tap
+            return tap
+
+        return wrapped
+
+    def crash_and_resume(
+        self, targets: tuple[str, ...], torn_tail_bytes: int
+    ) -> None:
+        """Fire one recorder-crash fault at every targeted tap."""
+        for sid in targets:
+            tap = self._taps.get(sid)
+            if tap is not None:
+                tap.crash_and_resume(torn_tail_bytes=torn_tail_bytes)
+
+    def finalize(self) -> dict[str, Any]:
+        """Close every tap and digest every store, by session id."""
+        for sid in sorted(self._taps):
+            self._taps[sid].close()
+        return {
+            sid: store_digest(backend, sid)
+            for sid, backend in sorted(self._backends.items())
+        }
+
+
 def _build_gateway(
     traces: list[Any],
     session_ids: list[str],
@@ -459,6 +557,7 @@ def _build_gateway(
     registry: MetricsRegistry | None,
     trace_of: dict[str, int],
     priority_of: dict[str, int],
+    recorders: _FleetRecorders | None = None,
 ) -> FleetGateway:
     clock = SimulatedClock(
         min(float(t.timestamps_s[0]) for t in traces)
@@ -477,16 +576,23 @@ def _build_gateway(
         instrumentation=instrumentation,
     )
     for sid in session_ids:
+        factory = _trace_factory(traces[trace_of[sid]])
+        if recorders is not None and sid in recorders.session_ids:
+            factory = recorders.wrap(sid, factory)
         gateway.admit(
             sid,
-            _trace_factory(traces[trace_of[sid]]),
+            factory,
             sample_rate_hz,
             priority=priority_of[sid],
         )
     return gateway
 
 
-def _fault_firer(scenario: FleetScenario, faulted_ids: tuple[str, ...]):
+def _fault_firer(
+    scenario: FleetScenario,
+    faulted_ids: tuple[str, ...],
+    recorders: _FleetRecorders | None = None,
+):
     """An ``on_round`` hook firing scenario faults as their time arrives."""
     pending = sorted(scenario.faults, key=lambda f: f.at_s)
     cursor = {"next": 0}
@@ -513,6 +619,11 @@ def _fault_firer(scenario: FleetScenario, faulted_ids: tuple[str, ...]):
                     until_s=fault.end_s,
                     drain_factor=fault.drain_factor,
                 )
+            elif fault.kind == "recorder-crash":
+                if recorders is not None:
+                    recorders.crash_and_resume(
+                        targets, fault.torn_tail_bytes
+                    )
             else:
                 gateway.set_source_loss(targets, until_s=fault.end_s)
 
@@ -606,8 +717,26 @@ def run_fleet_chaos(
         trace_of=trace_of,
         priority_of=priority_of,
     )
+    # Sessions targeted by recorder-crash faults get a write-through
+    # recording tap at the front door; the solo baselines do not — a tap
+    # is transparent to the consumer, and the isolation byte-compare
+    # proves exactly that for any tapped-but-unfaulted configuration.
+    n_recorded = max(
+        (
+            f.n_sessions
+            for f in scenario.faults
+            if f.kind == "recorder-crash"
+        ),
+        default=0,
+    )
+    recorders = (
+        _FleetRecorders(session_ids[:n_recorded], sample_rate_hz)
+        if n_recorded
+        else None
+    )
+
     gateway = _build_gateway(
-        pool, session_ids, registry=registry, **build
+        pool, session_ids, registry=registry, recorders=recorders, **build
     )
 
     # Who counts as faulted: targeted sessions, plus (for a shard crash)
@@ -623,8 +752,9 @@ def run_fleet_chaos(
     run_budget_s = duration_s + 30.0
     gateway.run(
         max_duration_s=run_budget_s,
-        on_round=_fault_firer(scenario, faulted_ids),
+        on_round=_fault_firer(scenario, faulted_ids, recorders),
     )
+    recordings = recorders.finalize() if recorders is not None else {}
 
     shed_ids = tuple(
         sid
@@ -726,4 +856,5 @@ def run_fleet_chaos(
             else None
         ),
         n_estimates_total=sum(len(v) for v in results.values()),  # phaselint: insertion-order -- integer count, order-independent
+        recordings=recordings,
     )

@@ -1,0 +1,241 @@
+"""Storage backends for the trace store.
+
+The writer and reader never touch the filesystem directly; they go
+through a :class:`StorageBackend`, a minimal append/read/replace surface
+with two implementations:
+
+* :class:`DirectoryBackend` — real files in one directory, with
+  ``fsync`` durability on flush and atomic replace for the index
+  sidecar.  This is what production recording uses.
+* :class:`MemoryBackend` — a ``dict`` of named byte arrays.  Chaos and
+  sanitize runs record through this backend so a seeded scenario is
+  byte-reproducible and leaves nothing on disk.
+
+The fault-injection layer (:mod:`repro.store.faults`) wraps whichever
+backend sits underneath, so torn writes and bit flips can be injected
+against either one.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Protocol, runtime_checkable
+
+from ..errors import TraceStoreError
+
+__all__ = [
+    "AppendHandle",
+    "StorageBackend",
+    "DirectoryBackend",
+    "MemoryBackend",
+]
+
+
+@runtime_checkable
+class AppendHandle(Protocol):
+    """An open, append-only destination for one segment file."""
+
+    def write(self, data: bytes) -> int:
+        """Append ``data``; return the number of bytes written."""
+        ...
+
+    def flush(self) -> None:
+        """Push buffered bytes to the backing store durably."""
+        ...
+
+    def close(self) -> None:
+        """Flush and release the handle."""
+        ...
+
+
+class StorageBackend(Protocol):
+    """The surface the trace store needs from its storage.
+
+    Deliberately tiny: open-for-append, read-whole-file, atomic replace
+    (for the index sidecar), existence check, and listing.  No seek, no
+    partial reads — the salvaging reader always wants the whole
+    segment, and the writer only ever appends.
+    """
+
+    def open_append(self, name: str) -> AppendHandle:
+        """Open ``name`` for appending, creating it if absent."""
+        ...
+
+    def read_bytes(self, name: str) -> bytes:
+        """Return the full current content of ``name``.
+
+        Raises:
+            TraceStoreError: ``name`` does not exist.
+        """
+        ...
+
+    def replace_bytes(self, name: str, data: bytes) -> None:
+        """Atomically replace ``name`` with ``data`` (whole-file swap)."""
+        ...
+
+    def exists(self, name: str) -> bool:
+        """Whether ``name`` currently exists."""
+        ...
+
+    def list_names(self) -> list[str]:
+        """All names in the store, sorted."""
+        ...
+
+
+class _FileAppendHandle:
+    """Append handle over a real file descriptor with fsync durability."""
+
+    def __init__(self, path: str):
+        self._fh = open(path, "ab")
+        self._closed = False
+
+    def write(self, data: bytes) -> int:
+        return self._fh.write(data)
+
+    def flush(self) -> None:
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+        finally:
+            self._fh.close()
+
+
+class DirectoryBackend:
+    """Real files under one directory.
+
+    Args:
+        root: Directory holding the store's files; created if absent.
+    """
+
+    def __init__(self, root: str):
+        self._root = str(root)
+        os.makedirs(self._root, exist_ok=True)
+
+    @property
+    def root(self) -> str:
+        """The directory this backend stores files under."""
+        return self._root
+
+    def _path(self, name: str) -> str:
+        if os.sep in name or name in ("", ".", ".."):
+            raise TraceStoreError(f"invalid store file name {name!r}")
+        return os.path.join(self._root, name)
+
+    def open_append(self, name: str) -> AppendHandle:
+        """Open ``name`` for appending with fsync-on-flush durability."""
+        return _FileAppendHandle(self._path(name))
+
+    def read_bytes(self, name: str) -> bytes:
+        """Read the whole file, tolerating nothing but absence."""
+        path = self._path(name)
+        try:
+            with open(path, "rb") as fh:
+                return fh.read()
+        except FileNotFoundError as exc:
+            raise TraceStoreError(f"no such store file: {name}") from exc
+
+    def replace_bytes(self, name: str, data: bytes) -> None:
+        """Write-to-temp + fsync + rename, so readers never see a torn index."""
+        path = self._path(name)
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+
+    def exists(self, name: str) -> bool:
+        """Whether the file currently exists on disk."""
+        return os.path.exists(self._path(name))
+
+    def list_names(self) -> list[str]:
+        """Sorted file names in the store directory."""
+        return sorted(
+            entry
+            for entry in os.listdir(self._root)
+            if os.path.isfile(os.path.join(self._root, entry))
+        )
+
+
+class _MemoryAppendHandle:
+    """Append handle over a shared in-memory byte array."""
+
+    def __init__(self, buffer: bytearray):
+        self._buffer = buffer
+        self._closed = False
+
+    def write(self, data: bytes) -> int:
+        if self._closed:
+            raise TraceStoreError("write to a closed append handle")
+        self._buffer.extend(data)
+        return len(data)
+
+    def flush(self) -> None:
+        return None
+
+    def close(self) -> None:
+        self._closed = True
+
+
+class MemoryBackend:
+    """In-memory backend: a dict of named byte arrays.
+
+    Used by chaos scenarios and the sanitizer so seeded recording runs
+    are byte-reproducible and hermetic.  Also the natural target for
+    fault-injection tests that need to corrupt stored bytes directly.
+    """
+
+    def __init__(self) -> None:
+        self._files: dict[str, bytearray] = {}
+
+    def open_append(self, name: str) -> AppendHandle:
+        """Open ``name`` for appending, creating the buffer if absent."""
+        buffer = self._files.setdefault(name, bytearray())
+        return _MemoryAppendHandle(buffer)
+
+    def read_bytes(self, name: str) -> bytes:
+        """Snapshot the current content of ``name``."""
+        try:
+            return bytes(self._files[name])
+        except KeyError as exc:
+            raise TraceStoreError(f"no such store file: {name}") from exc
+
+    def replace_bytes(self, name: str, data: bytes) -> None:
+        """Atomically swap the whole buffer."""
+        self._files[name] = bytearray(data)
+
+    def exists(self, name: str) -> bool:
+        """Whether a buffer with this name exists."""
+        return name in self._files
+
+    def list_names(self) -> list[str]:
+        """Sorted buffer names."""
+        return sorted(self._files)
+
+    def corrupt(self, name: str, offset: int, new_byte: int) -> None:
+        """Overwrite one stored byte — test hook for targeted bit flips.
+
+        Raises:
+            TraceStoreError: ``name`` is absent or ``offset`` out of range.
+        """
+        if name not in self._files:
+            raise TraceStoreError(f"no such store file: {name}")
+        buffer = self._files[name]
+        if not 0 <= offset < len(buffer):
+            raise TraceStoreError(
+                f"corrupt offset {offset} outside file of {len(buffer)} bytes"
+            )
+        buffer[offset] = new_byte & 0xFF
+
+    def truncate(self, name: str, length: int) -> None:
+        """Cut ``name`` to ``length`` bytes — test hook for torn tails."""
+        if name not in self._files:
+            raise TraceStoreError(f"no such store file: {name}")
+        del self._files[name][max(0, int(length)):]

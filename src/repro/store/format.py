@@ -1,0 +1,301 @@
+"""The ``.cst`` segment format: CRC-framed, append-only, salvageable.
+
+A segment is one append-only file::
+
+    +----------------------+
+    | SEGMENT_MAGIC (8 B)  |  b"CSTSEG01" — name + on-disk version
+    +----------------------+
+    | header frame         |  kind=1, canonical-JSON stream header
+    +----------------------+
+    | packet frame         |  kind=2, one CSI packet
+    | packet frame         |
+    | ...                  |
+    +----------------------+
+
+Every frame is independently checksummed::
+
+    SYNC (2 B) | kind (u8) | payload_len (u32 LE) | crc32 (u32 LE) | payload
+
+so a reader can decide per record whether it is intact.  The format is
+designed for the failure model of a capture box losing power mid-write:
+
+* **append-only** — no record is ever rewritten, so a crash can only
+  produce a *torn tail* (a partial final frame), never a hole;
+* **per-frame CRC** — a bit flip anywhere invalidates exactly the frames
+  it touches;
+* **sync marker** — after a corrupt frame the reader rescans for the next
+  :data:`FRAME_SYNC` and realigns, so one bad record does not take the
+  rest of the segment with it.
+
+The header payload carries the stream geometry (antennas, subcarriers,
+dtype), the nominal rate, the subcarrier indices, and free-form metadata;
+packet payloads are a little-endian ``float64`` capture timestamp
+followed by the packet's CSI matrix in C order.
+
+Only parsing primitives live here; policy (rotation, durability, salvage
+accounting) lives in :mod:`~repro.store.writer` and
+:mod:`~repro.store.reader`.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..contracts import ComplexArray
+from ..errors import TraceFormatError, TraceStoreError
+
+__all__ = [
+    "SEGMENT_MAGIC",
+    "FRAME_SYNC",
+    "FRAME_HEADER_BYTES",
+    "KIND_HEADER",
+    "KIND_PACKET",
+    "MAX_PAYLOAD_BYTES",
+    "SegmentHeader",
+    "encode_frame",
+    "encode_header",
+    "encode_packet",
+    "decode_header_payload",
+    "decode_packet_payload",
+    "segment_name",
+    "index_name",
+]
+
+# Magic prefix of every segment file.  The trailing two digits are the
+# on-disk format version: a reader seeing b"CSTSEG" with other digits
+# refuses loudly (TraceFormatError) instead of guessing at frame layout.
+SEGMENT_MAGIC = b"CSTSEG01"
+_MAGIC_STEM = b"CSTSEG"
+
+# Two-byte frame sync marker.  Chosen with no repeated byte so a
+# self-overlapping scan cannot lock onto a half-marker.
+FRAME_SYNC = b"\xc5\x7e"
+
+# SYNC(2) + kind(1) + payload_len(4) + crc32(4).
+FRAME_HEADER_BYTES = 11
+_FRAME_HEADER_STRUCT = struct.Struct("<BII")
+
+KIND_HEADER = 1
+KIND_PACKET = 2
+
+# Upper bound on a single frame payload; anything larger in a length
+# field is treated as corruption, which caps how far a flipped length
+# byte can drag the parser off the rails.
+MAX_PAYLOAD_BYTES = 16 * 1024 * 1024
+
+_TIMESTAMP_STRUCT = struct.Struct("<d")
+
+# CSI dtypes a header may declare.  complex64 is the storage default
+# (the Intel 5300 reports far fewer than 24 significant bits anyway);
+# complex128 round-trips simulator output bit-exactly.
+_ALLOWED_DTYPES = ("complex64", "complex128")
+
+
+@dataclass(frozen=True)
+class SegmentHeader:
+    """Decoded stream header of one segment.
+
+    Attributes:
+        session_id: Recording-session name (``""`` for anonymous stores).
+        segment_index: Zero-based position of this segment in the store.
+        n_rx: Receive antennas per packet.
+        n_subcarriers: Subcarriers per packet.
+        csi_dtype: Stored CSI dtype, ``"complex64"`` or ``"complex128"``.
+        sample_rate_hz: Nominal packet rate of the recorded stream.
+        subcarrier_indices: The m_i index of each reported subcarrier.
+        meta: Free-form JSON-safe metadata copied from the recorded
+            stream (ground-truth rates, scenario name, seeds).
+    """
+
+    session_id: str
+    segment_index: int
+    n_rx: int
+    n_subcarriers: int
+    csi_dtype: str
+    sample_rate_hz: float
+    subcarrier_indices: tuple[int, ...]
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.n_rx < 1 or self.n_subcarriers < 1:
+            raise TraceStoreError(
+                f"segment header needs positive geometry, got "
+                f"{self.n_rx} rx x {self.n_subcarriers} subcarriers"
+            )
+        if self.csi_dtype not in _ALLOWED_DTYPES:
+            raise TraceStoreError(
+                f"unsupported CSI dtype {self.csi_dtype!r}; "
+                f"allowed: {_ALLOWED_DTYPES}"
+            )
+        if self.sample_rate_hz <= 0:
+            raise TraceStoreError("sample_rate_hz must be positive")
+
+    @property
+    def packet_payload_bytes(self) -> int:
+        """Exact payload size of every packet frame under this header."""
+        itemsize = np.dtype(self.csi_dtype).itemsize
+        return _TIMESTAMP_STRUCT.size + self.n_rx * self.n_subcarriers * itemsize
+
+
+def encode_frame(kind: int, payload: bytes) -> bytes:
+    """Frame ``payload`` with sync marker, kind, length, and CRC32."""
+    if len(payload) > MAX_PAYLOAD_BYTES:
+        raise TraceStoreError(
+            f"payload of {len(payload)} bytes exceeds the "
+            f"{MAX_PAYLOAD_BYTES}-byte frame cap"
+        )
+    header = _FRAME_HEADER_STRUCT.pack(
+        kind, len(payload), zlib.crc32(payload)
+    )
+    return FRAME_SYNC + header + payload
+
+
+def encode_header(header: SegmentHeader) -> bytes:
+    """The canonical-JSON payload of a ``kind=1`` header frame."""
+    payload = {
+        "session_id": header.session_id,
+        "segment_index": header.segment_index,
+        "n_rx": header.n_rx,
+        "n_subcarriers": header.n_subcarriers,
+        "csi_dtype": header.csi_dtype,
+        "sample_rate_hz": header.sample_rate_hz,
+        "subcarrier_indices": list(header.subcarrier_indices),
+        "meta": header.meta,
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode(
+        "utf-8"
+    )
+
+
+def decode_header_payload(payload: bytes) -> SegmentHeader:
+    """Parse a header-frame payload back into a :class:`SegmentHeader`.
+
+    Raises:
+        TraceStoreError: The payload is not the expected JSON object (a
+            CRC-valid frame of the wrong shape — a format bug, not
+            corruption, so it is not silently salvaged away).
+    """
+    try:
+        data = json.loads(payload.decode("utf-8"))
+        return SegmentHeader(
+            session_id=str(data["session_id"]),
+            segment_index=int(data["segment_index"]),
+            n_rx=int(data["n_rx"]),
+            n_subcarriers=int(data["n_subcarriers"]),
+            csi_dtype=str(data["csi_dtype"]),
+            sample_rate_hz=float(data["sample_rate_hz"]),
+            subcarrier_indices=tuple(
+                int(i) for i in data["subcarrier_indices"]
+            ),
+            meta=dict(data.get("meta", {})),
+        )
+    except (UnicodeDecodeError, json.JSONDecodeError, KeyError, TypeError,
+            ValueError) as exc:
+        raise TraceStoreError(
+            f"malformed segment header payload: {exc}"
+        ) from exc
+
+
+def encode_packet(
+    csi: ComplexArray, timestamp_s: float, header: SegmentHeader
+) -> bytes:
+    """The payload of a ``kind=2`` packet frame.
+
+    Args:
+        csi: The packet's CSI, shape ``(n_rx, n_subcarriers)``.
+        timestamp_s: Capture time of the packet.
+        header: The segment header fixing geometry and dtype.
+
+    Raises:
+        TraceStoreError: The packet's shape disagrees with the header.
+    """
+    matrix = np.asarray(csi)
+    if matrix.shape != (header.n_rx, header.n_subcarriers):
+        raise TraceStoreError(
+            f"packet shape {matrix.shape} does not match the segment "
+            f"header ({header.n_rx}, {header.n_subcarriers})"
+        )
+    return _TIMESTAMP_STRUCT.pack(float(timestamp_s)) + np.ascontiguousarray(
+        matrix, dtype=np.dtype(header.csi_dtype)
+    ).tobytes()
+
+
+def decode_packet_payload(
+    payload: bytes, header: SegmentHeader
+) -> tuple[float, ComplexArray]:
+    """Parse a packet-frame payload into ``(timestamp_s, csi)``.
+
+    Raises:
+        TraceStoreError: The payload size disagrees with the header
+            geometry (the salvaging reader catches this and records a
+            skip instead of propagating).
+    """
+    if len(payload) != header.packet_payload_bytes:
+        raise TraceStoreError(
+            f"packet payload is {len(payload)} bytes; header geometry "
+            f"requires exactly {header.packet_payload_bytes}"
+        )
+    (timestamp_s,) = _TIMESTAMP_STRUCT.unpack_from(payload, 0)
+    csi = np.frombuffer(
+        payload, dtype=np.dtype(header.csi_dtype), offset=_TIMESTAMP_STRUCT.size
+    ).reshape(header.n_rx, header.n_subcarriers)
+    return float(timestamp_s), csi
+
+
+def check_segment_magic(prefix: bytes) -> None:
+    """Validate the first bytes of a segment file.
+
+    Args:
+        prefix: Up to the first ``len(SEGMENT_MAGIC)`` bytes of the file.
+
+    Raises:
+        TraceFormatError: The file *is* a CST segment but from an
+            unsupported on-disk version — the one corruption-adjacent
+            condition that must fail loudly, because guessing at an
+            unknown frame layout would fabricate records.
+        TraceStoreError: The bytes are not a CST segment at all (the
+            salvaging reader converts this into a ``bad-magic`` issue).
+    """
+    if prefix == SEGMENT_MAGIC:
+        return
+    if len(prefix) >= len(SEGMENT_MAGIC) and prefix.startswith(_MAGIC_STEM):
+        found = prefix[len(_MAGIC_STEM):len(SEGMENT_MAGIC)].decode(
+            "ascii", errors="replace"
+        )
+        supported = SEGMENT_MAGIC[len(_MAGIC_STEM):].decode("ascii")
+        raise TraceFormatError(
+            f"unsupported segment format version {found!r} "
+            f"(supported: {supported!r})"
+        )
+    raise TraceStoreError(
+        f"not a CST segment (magic {prefix[:len(SEGMENT_MAGIC)]!r})"
+    )
+
+
+def unpack_frame_header(chunk: bytes) -> tuple[int, int, int]:
+    """Unpack ``(kind, payload_len, crc32)`` from the 9 bytes after SYNC."""
+    kind, length, crc = _FRAME_HEADER_STRUCT.unpack_from(chunk, 0)
+    return int(kind), int(length), int(crc)
+
+
+def payload_crc(payload: bytes) -> int:
+    """CRC32 of a frame payload (the value stored in the frame header)."""
+    return zlib.crc32(payload)
+
+
+def segment_name(stem: str, index: int) -> str:
+    """Canonical file name of segment ``index`` of store ``stem``."""
+    if index < 0:
+        raise TraceStoreError(f"segment index must be >= 0, got {index}")
+    return f"{stem}-{index:05d}.cst"
+
+
+def index_name(stem: str) -> str:
+    """Canonical file name of the store's index sidecar."""
+    return f"{stem}.cidx"

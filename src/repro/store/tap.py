@@ -1,0 +1,239 @@
+"""Recording tap: write-through capture at the fleet front door.
+
+:class:`RecordingTap` wraps any :class:`~repro.service.sources.PacketSource`
+and appends every delivered packet to a :class:`~repro.store.writer.TraceWriter`
+before passing it on — the service sees exactly the same stream it would
+have seen untapped.  The fleet gateway wraps admitted sessions' upstream
+factories with taps so every ingested packet leaves durable evidence.
+
+The tap also carries the chaos hooks for the *recorder* fault domain:
+:meth:`crash` models the recording process dying (optionally tearing the
+last bytes it had in flight), and :meth:`resume` models the supervisor
+restarting it — a fresh writer continues in the next segment, leaving
+the torn one for salvage.  :func:`store_digest` summarizes the store's
+bytes (per-segment SHA-256) plus its salvage outcome, which is what the
+fleet chaos report records and the run-twice sanitizer byte-compares.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+from ..errors import TraceStoreError
+from ..obs import NULL_INSTRUMENTATION, Instrumentation
+from ..service.sources import Packet, PacketSource
+from .backend import StorageBackend
+from .format import segment_name
+from .reader import TraceReader
+from .writer import DEFAULT_ROTATE_BYTES, TraceWriter
+
+__all__ = ["RecordingTap", "store_digest"]
+
+
+def store_digest(
+    backend: StorageBackend,
+    stem: str,
+    *,
+    instrumentation: Instrumentation | None = None,
+) -> dict[str, Any]:
+    """Deterministic summary of a store: per-segment SHA-256 + salvage.
+
+    The returned dict is JSON-safe and fully determined by the stored
+    bytes, so two byte-identical recording runs produce byte-identical
+    digests — the property the fleet sanitizer checks.
+    """
+    reader = TraceReader(backend, stem, instrumentation=instrumentation)
+    segments = []
+    for name in reader.segment_names():
+        data = backend.read_bytes(name)
+        segments.append(
+            {
+                "name": name,
+                "n_bytes": len(data),
+                "sha256": hashlib.sha256(data).hexdigest(),
+            }
+        )
+    _, report = reader.scan()
+    return {
+        "stem": stem,
+        "segments": segments,
+        "salvage": report.to_jsonable(),
+    }
+
+
+class RecordingTap:
+    """Pass packets through while appending them to a trace store.
+
+    The writer is created lazily on the first packet, because the stream
+    geometry (antennas × subcarriers) is only known once a packet shows
+    its shape.  Everything else about the store — backend, stem, rate,
+    metadata — is fixed at construction.
+
+    Args:
+        inner: The source being recorded.
+        backend: Storage to record into.
+        stem: Store name.
+        sample_rate_hz: Nominal packet rate stamped into segment headers.
+        session_id: Recording-session name for segment headers.
+        subcarrier_indices: The m_i index of each reported subcarrier;
+            defaults to ``0..n_subcarriers-1`` when omitted.
+        csi_dtype: Stored CSI dtype.
+        meta: Free-form JSON-safe metadata for segment headers.
+        rotate_bytes: Segment byte budget.
+        flush_every_records: Take a durability boundary every N appended
+            records (0 disables periodic flushing; rotation and close
+            still flush).
+        instrumentation: Optional :class:`repro.obs.Instrumentation`
+            shared with the writer.
+    """
+
+    def __init__(
+        self,
+        inner: PacketSource,
+        backend: StorageBackend,
+        stem: str,
+        *,
+        sample_rate_hz: float,
+        session_id: str = "",
+        subcarrier_indices: tuple[int, ...] | list[int] | None = None,
+        csi_dtype: str = "complex64",
+        meta: dict[str, Any] | None = None,
+        rotate_bytes: int = DEFAULT_ROTATE_BYTES,
+        flush_every_records: int = 0,
+        instrumentation: Instrumentation | None = None,
+    ):
+        if flush_every_records < 0:
+            raise TraceStoreError(
+                f"flush_every_records must be >= 0, got {flush_every_records}"
+            )
+        self._inner = inner
+        self._backend = backend
+        self._stem = str(stem)
+        self._sample_rate_hz = float(sample_rate_hz)
+        self._session_id = str(session_id)
+        self._subcarrier_indices = (
+            tuple(int(i) for i in subcarrier_indices)
+            if subcarrier_indices is not None
+            else None
+        )
+        self._csi_dtype = str(csi_dtype)
+        self._meta = dict(meta) if meta is not None else {}
+        self._rotate_bytes = int(rotate_bytes)
+        self._flush_every = int(flush_every_records)
+        self._obs = (
+            instrumentation if instrumentation is not None else NULL_INSTRUMENTATION
+        )
+        self._writer: TraceWriter | None = None
+        self._recording = True
+        self._since_flush = 0
+        self.n_recorded = 0
+        self.n_crashes = 0
+
+    @property
+    def stem(self) -> str:
+        """The store name this tap records into."""
+        return self._stem
+
+    @property
+    def backend(self) -> StorageBackend:
+        """The storage backend this tap records into."""
+        return self._backend
+
+    @property
+    def recording(self) -> bool:
+        """Whether packets are currently being persisted."""
+        return self._recording
+
+    @property
+    def exhausted(self) -> bool:
+        """Pass-through of the inner source's exhaustion state."""
+        return self._inner.exhausted
+
+    def _ensure_writer(self, packet: Packet) -> TraceWriter:
+        if self._writer is None:
+            n_rx, n_subcarriers = packet.csi.shape
+            indices = self._subcarrier_indices
+            if indices is None:
+                indices = tuple(range(int(n_subcarriers)))
+                self._subcarrier_indices = indices
+            resume = self._backend.exists(segment_name(self._stem, 0))
+            self._writer = TraceWriter(
+                self._backend,
+                self._stem,
+                session_id=self._session_id,
+                n_rx=int(n_rx),
+                n_subcarriers=int(n_subcarriers),
+                sample_rate_hz=self._sample_rate_hz,
+                subcarrier_indices=indices,
+                csi_dtype=self._csi_dtype,
+                meta=self._meta,
+                rotate_bytes=self._rotate_bytes,
+                resume=resume,
+                instrumentation=self._obs,
+            )
+        return self._writer
+
+    def next_packet(self) -> Packet | None:
+        """Deliver the inner source's next packet, recording it first."""
+        packet = self._inner.next_packet()
+        if packet is None or not self._recording:
+            return packet
+        writer = self._ensure_writer(packet)
+        writer.append(packet.csi, packet.timestamp_s)
+        self.n_recorded += 1
+        self._since_flush += 1
+        if self._flush_every and self._since_flush >= self._flush_every:
+            writer.flush()
+            self._since_flush = 0
+        return packet
+
+    def crash(self, *, torn_tail_bytes: int = 0) -> None:
+        """Kill the recorder as a process crash would.
+
+        The writer is abandoned without a final flush; optionally the
+        last ``torn_tail_bytes`` bytes of the current segment are torn
+        off, modelling a write that never fully reached the medium.
+        Packets keep flowing to the consumer — only recording stops.
+        """
+        if torn_tail_bytes < 0:
+            raise TraceStoreError(
+                f"torn_tail_bytes must be >= 0, got {torn_tail_bytes}"
+            )
+        self._recording = False
+        self.n_crashes += 1
+        writer, self._writer = self._writer, None
+        if writer is None:
+            return
+        current = segment_name(self._stem, writer.segment_index)
+        writer.abandon()
+        if torn_tail_bytes and self._backend.exists(current):
+            data = self._backend.read_bytes(current)
+            keep = max(0, len(data) - int(torn_tail_bytes))
+            self._backend.replace_bytes(current, data[:keep])
+
+    def resume(self) -> None:
+        """Restart recording after a crash, in a fresh segment.
+
+        The torn segment is left untouched for salvage; a new writer is
+        created lazily on the next packet and continues numbering after
+        the highest existing segment.
+        """
+        self._recording = True
+        self._since_flush = 0
+
+    def crash_and_resume(self, *, torn_tail_bytes: int = 0) -> None:
+        """Crash the recorder and immediately restart it (one fault)."""
+        self.crash(torn_tail_bytes=torn_tail_bytes)
+        self.resume()
+
+    def close(self) -> None:
+        """Finalize the recording (flush + index)."""
+        writer, self._writer = self._writer, None
+        self._recording = False
+        if writer is not None:
+            writer.close()
+
+    def digest(self) -> dict[str, Any]:
+        """The store's deterministic digest (see :func:`store_digest`)."""
+        return store_digest(self._backend, self._stem)

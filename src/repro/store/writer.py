@@ -1,0 +1,402 @@
+"""Crash-safe, append-only trace writing with segment rotation.
+
+:class:`TraceWriter` appends CSI packets to ``.cst`` segment files
+through a :class:`~repro.store.backend.StorageBackend`, rotating to a
+new segment when the current one reaches its byte budget, and keeping a
+``.cidx`` JSON index sidecar that maps the store at a glance.
+
+Durability model
+----------------
+
+The writer has exactly one durability boundary: :meth:`flush`.  Records
+appended since the last flush may be lost — or half-written (*torn*) —
+if the process dies.  ``flush`` pushes bytes to the backing store
+durably (``fsync`` on the directory backend) and then atomically
+rewrites the index sidecar, so the index never claims records that are
+not safely on disk.  The index is advisory: the salvaging reader
+enumerates segments from the backend and trusts only per-frame CRCs, so
+a stale or missing index costs nothing but a convenience.
+
+Crash → restart → resume
+------------------------
+
+After a crash, a restarted process calls :func:`TraceWriter.resume`
+(or passes ``resume=True``): the writer finds the highest existing
+segment of the stem and starts a **new** segment after it.  It never
+reopens or truncates the torn segment — append-only means the crash
+evidence is preserved byte-for-byte for the salvage reader, and the
+resumed stream continues cleanly in the next segment.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..contracts import ComplexArray
+from ..errors import TraceStoreError
+from ..obs import NULL_INSTRUMENTATION, Instrumentation
+from .backend import AppendHandle, StorageBackend
+from .format import (
+    KIND_HEADER,
+    KIND_PACKET,
+    SEGMENT_MAGIC,
+    SegmentHeader,
+    encode_frame,
+    encode_header,
+    encode_packet,
+    index_name,
+    segment_name,
+)
+
+__all__ = ["TraceWriter", "DEFAULT_ROTATE_BYTES"]
+
+# Default segment byte budget.  Small enough that a lab-length recording
+# rotates a few times (exercising the multi-segment read path), large
+# enough that frame overhead stays negligible.
+DEFAULT_ROTATE_BYTES = 1 * 1024 * 1024
+
+_INDEX_FORMAT_VERSION = 1
+
+
+class TraceWriter:
+    """Append CSI packets to CRC-framed ``.cst`` segments.
+
+    Args:
+        backend: Storage to write through.
+        stem: Store name; segments are ``{stem}-00000.cst`` etc. and the
+            index sidecar is ``{stem}.cidx``.
+        session_id: Recording-session name stamped into every header.
+        n_rx: Receive antennas per packet.
+        n_subcarriers: Subcarriers per packet.
+        sample_rate_hz: Nominal packet rate of the recorded stream.
+        subcarrier_indices: The m_i index of each reported subcarrier.
+        csi_dtype: Stored CSI dtype (``"complex64"`` default).
+        meta: Free-form JSON-safe metadata stamped into every header.
+        rotate_bytes: Byte budget per segment; the packet that would
+            cross it goes into a fresh segment instead.
+        resume: Continue an existing store — start a new segment after
+            the highest one present instead of failing on collision.
+        instrumentation: Optional :class:`repro.obs.Instrumentation` for
+            ``store_*`` counters.
+    """
+
+    def __init__(
+        self,
+        backend: StorageBackend,
+        stem: str,
+        *,
+        session_id: str = "",
+        n_rx: int,
+        n_subcarriers: int,
+        sample_rate_hz: float,
+        subcarrier_indices: tuple[int, ...] | list[int],
+        csi_dtype: str = "complex64",
+        meta: dict[str, Any] | None = None,
+        rotate_bytes: int = DEFAULT_ROTATE_BYTES,
+        resume: bool = False,
+        instrumentation: Instrumentation | None = None,
+    ):
+        if not stem:
+            raise TraceStoreError("store stem must be non-empty")
+        if rotate_bytes < 4096:
+            raise TraceStoreError(
+                f"rotate_bytes must be >= 4096, got {rotate_bytes}"
+            )
+        self._backend = backend
+        self._stem = str(stem)
+        self._session_id = str(session_id)
+        self._n_rx = int(n_rx)
+        self._n_subcarriers = int(n_subcarriers)
+        self._sample_rate_hz = float(sample_rate_hz)
+        self._subcarrier_indices = tuple(int(i) for i in subcarrier_indices)
+        self._csi_dtype = str(csi_dtype)
+        self._meta = dict(meta) if meta is not None else {}
+        self._rotate_bytes = int(rotate_bytes)
+        self._obs = (
+            instrumentation if instrumentation is not None else NULL_INSTRUMENTATION
+        )
+
+        self._closed = False
+        self._handle: AppendHandle | None = None
+        self._segment_index = -1
+        # Per-segment accounting of what we have *attempted* to append;
+        # durable truth is whatever survives on the backend.
+        self._segment_bytes = 0
+        self._segment_records = 0
+        self._segment_first_ts: float | None = None
+        self._segment_last_ts: float | None = None
+        # Completed segments' index rows (only flushed state goes in).
+        self._index_rows: list[dict[str, Any]] = []
+        self._records_total = 0
+
+        first_index = 0
+        if resume:
+            first_index = self._next_free_segment_index()
+            self._index_rows = self._load_prior_index_rows(first_index)
+        elif backend.exists(segment_name(self._stem, 0)):
+            raise TraceStoreError(
+                f"store {self._stem!r} already has segments; pass resume=True "
+                "to continue it after a crash or restart"
+            )
+        self._open_segment(first_index)
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def resume(
+        cls,
+        backend: StorageBackend,
+        stem: str,
+        *,
+        session_id: str = "",
+        n_rx: int,
+        n_subcarriers: int,
+        sample_rate_hz: float,
+        subcarrier_indices: tuple[int, ...] | list[int],
+        csi_dtype: str = "complex64",
+        meta: dict[str, Any] | None = None,
+        rotate_bytes: int = DEFAULT_ROTATE_BYTES,
+        instrumentation: Instrumentation | None = None,
+    ) -> "TraceWriter":
+        """Reopen an existing store after a crash and keep recording.
+
+        Equivalent to the constructor with ``resume=True``; reads the
+        highest existing segment index and starts the next one.  The
+        torn segment, if any, is left untouched for salvage.
+        """
+        return cls(
+            backend,
+            stem,
+            session_id=session_id,
+            n_rx=n_rx,
+            n_subcarriers=n_subcarriers,
+            sample_rate_hz=sample_rate_hz,
+            subcarrier_indices=subcarrier_indices,
+            csi_dtype=csi_dtype,
+            meta=meta,
+            rotate_bytes=rotate_bytes,
+            resume=True,
+            instrumentation=instrumentation,
+        )
+
+    def _next_free_segment_index(self) -> int:
+        prefix = f"{self._stem}-"
+        highest = -1
+        for name in self._backend.list_names():
+            if not (name.startswith(prefix) and name.endswith(".cst")):
+                continue
+            digits = name[len(prefix):-len(".cst")]
+            if digits.isdigit():
+                highest = max(highest, int(digits))
+        return highest + 1
+
+    def _load_prior_index_rows(self, first_index: int) -> list[dict[str, Any]]:
+        """Carry forward index rows for segments that predate this writer."""
+        sidecar = index_name(self._stem)
+        if not self._backend.exists(sidecar):
+            return []
+        try:
+            data = json.loads(self._backend.read_bytes(sidecar).decode("utf-8"))
+            rows = [
+                dict(row)
+                for row in data.get("segments", [])
+                if int(row.get("segment_index", -1)) < first_index
+            ]
+            return rows
+        except (UnicodeDecodeError, json.JSONDecodeError, TypeError,
+                ValueError):
+            # A torn index after a crash is expected; segments remain the
+            # source of truth, so resume with an empty prior index.
+            return []
+
+    # -- segment lifecycle ----------------------------------------------------
+
+    def _open_segment(self, index: int) -> None:
+        header = SegmentHeader(
+            session_id=self._session_id,
+            segment_index=index,
+            n_rx=self._n_rx,
+            n_subcarriers=self._n_subcarriers,
+            csi_dtype=self._csi_dtype,
+            sample_rate_hz=self._sample_rate_hz,
+            subcarrier_indices=self._subcarrier_indices,
+            meta=self._meta,
+        )
+        self._header = header
+        name = segment_name(self._stem, index)
+        handle = self._backend.open_append(name)
+        preamble = SEGMENT_MAGIC + encode_frame(KIND_HEADER, encode_header(header))
+        handle.write(preamble)
+        self._handle = handle
+        self._segment_index = index
+        self._segment_bytes = len(preamble)
+        self._segment_records = 0
+        self._segment_first_ts = None
+        self._segment_last_ts = None
+
+    def _rotate(self) -> None:
+        assert self._handle is not None
+        self._handle.flush()
+        self._finish_current_segment_row()
+        self._handle.close()
+        self._write_index()
+        self._open_segment(self._segment_index + 1)
+        self._obs.count(
+            "store_segments_rotated_total",
+            labels={"stem": self._stem},
+            help_text="Segment files closed because they hit the byte budget.",
+        )
+
+    def _finish_current_segment_row(self) -> None:
+        self._index_rows.append(
+            {
+                "segment_index": self._segment_index,
+                "name": segment_name(self._stem, self._segment_index),
+                "n_records": self._segment_records,
+                "n_bytes": self._segment_bytes,
+                "first_timestamp_s": self._segment_first_ts,
+                "last_timestamp_s": self._segment_last_ts,
+            }
+        )
+
+    def _write_index(self) -> None:
+        """Atomically rewrite the ``.cidx`` sidecar from flushed state."""
+        payload = {
+            "index_format_version": _INDEX_FORMAT_VERSION,
+            "stem": self._stem,
+            "session_id": self._session_id,
+            "n_rx": self._n_rx,
+            "n_subcarriers": self._n_subcarriers,
+            "csi_dtype": self._csi_dtype,
+            "sample_rate_hz": self._sample_rate_hz,
+            "segments": self._index_rows,
+        }
+        self._backend.replace_bytes(
+            index_name(self._stem),
+            json.dumps(payload, sort_keys=True, separators=(",", ":")).encode(
+                "utf-8"
+            ),
+        )
+
+    # -- public surface -------------------------------------------------------
+
+    @property
+    def stem(self) -> str:
+        """The store name this writer appends to."""
+        return self._stem
+
+    @property
+    def segment_index(self) -> int:
+        """Index of the segment currently being appended to."""
+        return self._segment_index
+
+    @property
+    def n_records_written(self) -> int:
+        """Records appended across all segments by this writer instance."""
+        return self._records_total
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has completed."""
+        return self._closed
+
+    def append(self, csi: ComplexArray, timestamp_s: float) -> None:
+        """Append one packet; rotates first if it would cross the budget.
+
+        The record is *not* durable until the next :meth:`flush` (or
+        rotation/close, which flush implicitly).
+
+        Raises:
+            TraceStoreError: The writer is closed, or the packet's
+                geometry disagrees with the store's.
+            TornWriteError: Propagated unchanged from a fault-injecting
+                backend — the simulated crash point.
+        """
+        if self._closed or self._handle is None:
+            raise TraceStoreError("append to a closed TraceWriter")
+        frame = encode_frame(
+            KIND_PACKET, encode_packet(csi, timestamp_s, self._header)
+        )
+        if self._segment_bytes + len(frame) > self._rotate_bytes and (
+            self._segment_records > 0
+        ):
+            self._rotate()
+        self._handle.write(frame)
+        self._segment_bytes += len(frame)
+        self._segment_records += 1
+        self._records_total += 1
+        ts = float(timestamp_s)
+        if self._segment_first_ts is None:
+            self._segment_first_ts = ts
+        self._segment_last_ts = ts
+        self._obs.count(
+            "store_records_written_total",
+            labels={"stem": self._stem},
+            help_text="Packet records appended to trace segments.",
+        )
+
+    def flush(self) -> None:
+        """Durability boundary: persist pending bytes, then the index.
+
+        After ``flush`` returns, every record appended so far survives a
+        crash intact (on the directory backend this is ``fsync``).
+        """
+        if self._closed or self._handle is None:
+            raise TraceStoreError("flush on a closed TraceWriter")
+        self._handle.flush()
+        # The current segment's row is provisional: rewrite it in place
+        # so the index reflects flushed reality.
+        rows = list(self._index_rows)
+        self._finish_current_segment_row()
+        try:
+            self._write_index()
+        finally:
+            self._index_rows = rows
+        self._obs.count(
+            "store_flushes_total",
+            labels={"stem": self._stem},
+            help_text="Explicit durability boundaries taken by writers.",
+        )
+
+    def close(self) -> None:
+        """Flush, finalize the index, and release the segment handle."""
+        if self._closed:
+            return
+        assert self._handle is not None
+        self._handle.flush()
+        self._finish_current_segment_row()
+        self._handle.close()
+        self._handle = None
+        self._closed = True
+        self._write_index()
+
+    def abandon(self) -> None:
+        """Release the handle without flushing — the crash path.
+
+        Used by fault-injection tests and the chaos recorder to model a
+        process death: whatever the backend already accepted stays,
+        nothing else is written, and the index is left stale.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        handle, self._handle = self._handle, None
+        if handle is not None:
+            try:
+                handle.close()
+            except TraceStoreError:
+                # A torn handle may refuse even close(); the bytes that
+                # reached the backend are all that matters here.
+                pass
+
+    def __enter__(self) -> "TraceWriter":
+        """Context-manager support: ``with TraceWriter(...) as w:``."""
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        """Close on clean exit; abandon if an exception is in flight."""
+        if exc_type is None:
+            self.close()
+        else:
+            self.abandon()

@@ -128,5 +128,20 @@ class TestRoundTrip:
             fields = {k: data[k] for k in data.files}
         fields["format_version"] = np.int64(99)
         np.savez(path, **fields)
-        with pytest.raises(TraceFormatError):
+        with pytest.raises(TraceFormatError) as excinfo:
             CSITrace.load(path)
+        # The error must name both the found and the supported versions.
+        assert "99" in str(excinfo.value)
+        assert "supported: 1" in str(excinfo.value)
+
+    def test_unreadable_version_rejected(self, tmp_path):
+        trace = make_trace()
+        path = trace.save(tmp_path / "trace.npz")
+        with np.load(path) as data:
+            fields = {k: data[k] for k in data.files}
+        fields["format_version"] = np.bytes_(b"not-a-version")
+        np.savez(path, **fields)
+        with pytest.raises(TraceFormatError) as excinfo:
+            CSITrace.load(path)
+        assert "unreadable trace format version" in str(excinfo.value)
+        assert "supported: 1" in str(excinfo.value)

@@ -57,6 +57,29 @@ class TestFleetFault:
                 {"kind": "shard-crash", "at_s": 1.0, "blast_radius": 9}
             )
 
+    def test_recorder_crash_is_instantaneous(self):
+        # No duration required: the crash happens between two packets.
+        fault = FleetFault(kind="recorder-crash", at_s=2.0, n_sessions=2)
+        assert fault.duration_s == 0.0
+
+    def test_recorder_crash_needs_targets(self):
+        with pytest.raises(ConfigurationError):
+            FleetFault(kind="recorder-crash", at_s=2.0)
+
+    def test_torn_tail_bytes_validated(self):
+        with pytest.raises(ConfigurationError, match="torn_tail_bytes"):
+            FleetFault(
+                kind="recorder-crash", at_s=2.0, n_sessions=1, torn_tail_bytes=-1
+            )
+
+    def test_recorder_crash_dict_round_trip(self):
+        fault = FleetFault(
+            kind="recorder-crash", at_s=5.0, n_sessions=3, torn_tail_bytes=96
+        )
+        data = fault.to_dict()
+        assert data["torn_tail_bytes"] == 96
+        assert FleetFault.from_dict(data) == fault
+
 
 class TestFleetScenario:
     def test_json_round_trip(self):
@@ -148,3 +171,27 @@ class TestEndToEnd:
         payload = json.loads(json.dumps(report.to_jsonable()))
         assert payload["violations"] == []
         assert payload["n_sessions"] == 2
+
+    def test_recorder_crash_scenario_produces_salvageable_recordings(self):
+        report = run_fleet_chaos(
+            FLEET_SCENARIOS["record-crash-resume"],
+            n_sessions=4,
+            duration_s=24.0,
+            seed=0,
+            trace_pool_size=2,
+            registry=MetricsRegistry(),
+        )
+        assert report.violations() == []
+        # Three sessions are recorded; two of them crash twice.
+        assert len(report.recordings) == 3
+        for session_id, digest in report.recordings.items():
+            salvage = digest["salvage"]
+            # Every crash rotates to a new segment on resume.
+            assert len(digest["segments"]) >= 2
+            assert salvage["n_records_recovered"] > 0
+            assert any(
+                issue["kind"] == "torn-tail" for issue in salvage["issues"]
+            ), session_id
+        # Recordings ride in the JSON report, so sanitize byte-compares them.
+        payload = report.to_jsonable()
+        assert set(payload["recordings"]) == set(report.recordings)

@@ -1,0 +1,54 @@
+"""Shared helpers for the trace-store suite: tiny deterministic stores."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.store import MemoryBackend, TraceWriter
+
+N_RX = 2
+N_SUB = 4
+RATE_HZ = 30.0
+
+
+def make_packets(n: int, seed: int = 0) -> list[tuple[float, np.ndarray]]:
+    """``n`` deterministic complex64 packets at RATE_HZ spacing."""
+    rng = np.random.default_rng(seed)
+    packets = []
+    for k in range(n):
+        csi = (
+            rng.standard_normal((N_RX, N_SUB))
+            + 1j * rng.standard_normal((N_RX, N_SUB))
+        ).astype(np.complex64)
+        packets.append((k / RATE_HZ, csi))
+    return packets
+
+
+def write_store(
+    backend: MemoryBackend,
+    stem: str = "t",
+    *,
+    n_packets: int = 10,
+    rotate_bytes: int = 1024 * 1024,
+    seed: int = 0,
+    flush: bool = True,
+) -> list[tuple[float, np.ndarray]]:
+    """Write a small store through ``TraceWriter``; return the truth."""
+    packets = make_packets(n_packets, seed=seed)
+    writer = TraceWriter(
+        backend,
+        stem,
+        session_id="test",
+        n_rx=N_RX,
+        n_subcarriers=N_SUB,
+        sample_rate_hz=RATE_HZ,
+        subcarrier_indices=tuple(range(N_SUB)),
+        rotate_bytes=rotate_bytes,
+    )
+    for ts, csi in packets:
+        writer.append(csi, ts)
+    if flush:
+        writer.close()
+    else:
+        writer.abandon()
+    return packets

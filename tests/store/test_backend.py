@@ -1,0 +1,95 @@
+"""Unit tests for the directory and in-memory storage backends."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TraceStoreError
+from repro.store import DirectoryBackend, MemoryBackend
+
+
+class TestDirectoryBackend:
+    def test_append_read_round_trip(self, tmp_path):
+        backend = DirectoryBackend(str(tmp_path / "store"))
+        handle = backend.open_append("a.cst")
+        handle.write(b"one")
+        handle.write(b"two")
+        handle.flush()
+        handle.close()
+        assert backend.read_bytes("a.cst") == b"onetwo"
+        assert backend.exists("a.cst")
+        assert not backend.exists("b.cst")
+        assert backend.list_names() == ["a.cst"]
+
+    def test_append_reopens_existing_file(self, tmp_path):
+        backend = DirectoryBackend(str(tmp_path))
+        first = backend.open_append("a")
+        first.write(b"abc")
+        first.close()
+        second = backend.open_append("a")
+        second.write(b"def")
+        second.close()
+        assert backend.read_bytes("a") == b"abcdef"
+
+    def test_replace_is_whole_file(self, tmp_path):
+        backend = DirectoryBackend(str(tmp_path))
+        backend.replace_bytes("idx", b"v1")
+        backend.replace_bytes("idx", b"version-two")
+        assert backend.read_bytes("idx") == b"version-two"
+        # No leftover temp file from the write-rename dance.
+        assert backend.list_names() == ["idx"]
+
+    def test_missing_file_raises(self, tmp_path):
+        backend = DirectoryBackend(str(tmp_path))
+        with pytest.raises(TraceStoreError, match="no such store file"):
+            backend.read_bytes("ghost")
+
+    @pytest.mark.parametrize("name", ["", ".", "..", "a/b"])
+    def test_path_escapes_rejected(self, tmp_path, name):
+        backend = DirectoryBackend(str(tmp_path))
+        with pytest.raises(TraceStoreError, match="invalid store file name"):
+            backend.open_append(name)
+
+
+class TestMemoryBackend:
+    def test_append_read_round_trip(self):
+        backend = MemoryBackend()
+        handle = backend.open_append("a")
+        assert handle.write(b"one") == 3
+        handle.close()
+        assert backend.read_bytes("a") == b"one"
+        assert backend.list_names() == ["a"]
+
+    def test_write_after_close_rejected(self):
+        backend = MemoryBackend()
+        handle = backend.open_append("a")
+        handle.close()
+        with pytest.raises(TraceStoreError, match="closed append handle"):
+            handle.write(b"late")
+
+    def test_read_snapshots_are_independent(self):
+        backend = MemoryBackend()
+        handle = backend.open_append("a")
+        handle.write(b"abc")
+        snapshot = backend.read_bytes("a")
+        handle.write(b"def")
+        assert snapshot == b"abc"
+        assert backend.read_bytes("a") == b"abcdef"
+
+    def test_corrupt_and_truncate_hooks(self):
+        backend = MemoryBackend()
+        handle = backend.open_append("a")
+        handle.write(b"abcdef")
+        handle.close()
+        backend.corrupt("a", 1, ord("X"))
+        assert backend.read_bytes("a") == b"aXcdef"
+        backend.truncate("a", 3)
+        assert backend.read_bytes("a") == b"aXc"
+        with pytest.raises(TraceStoreError, match="outside file"):
+            backend.corrupt("a", 99, 0)
+        with pytest.raises(TraceStoreError, match="no such store file"):
+            backend.corrupt("ghost", 0, 0)
+
+    def test_missing_file_raises(self):
+        with pytest.raises(TraceStoreError, match="no such store file"):
+            MemoryBackend().read_bytes("ghost")

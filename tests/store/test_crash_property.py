@@ -1,0 +1,206 @@
+"""Crash-point property: kill the writer at every byte offset.
+
+The central robustness claim of the store: for *any* prefix of a segment
+file — the writer's process may die between any two bytes reaching the
+medium — the salvaging reader
+
+* never raises,
+* recovers exactly the records whose frames were fully persisted, and
+* reports a clean scan iff the cut landed on a frame boundary
+  (including the end of the magic and the end of the header frame).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import TornWriteError, TraceStoreError
+from repro.store import (
+    MemoryBackend,
+    TornWriteFile,
+    TraceReader,
+    TraceWriter,
+    scan_segment,
+)
+from repro.store.format import (
+    FRAME_HEADER_BYTES,
+    FRAME_SYNC,
+    SEGMENT_MAGIC,
+    segment_name,
+    unpack_frame_header,
+)
+
+from .conftest import N_RX, N_SUB, RATE_HZ, make_packets, write_store
+
+
+def frame_boundaries(data: bytes) -> list[int]:
+    """Byte offsets at which a crash leaves a fully consistent prefix."""
+    boundaries = [len(SEGMENT_MAGIC)]
+    pos = len(SEGMENT_MAGIC)
+    while pos < len(data):
+        assert data[pos: pos + len(FRAME_SYNC)] == FRAME_SYNC
+        _, length, _ = unpack_frame_header(
+            data[pos + len(FRAME_SYNC): pos + FRAME_HEADER_BYTES]
+        )
+        pos += FRAME_HEADER_BYTES + length
+        boundaries.append(pos)
+    return boundaries
+
+
+@pytest.mark.determinism
+class TestKillAtEveryOffset:
+    def test_every_prefix_salvages_exactly(self):
+        backend = MemoryBackend()
+        write_store(backend, n_packets=8)
+        data = backend.read_bytes(segment_name("t", 0))
+        boundaries = frame_boundaries(data)
+        header_end = boundaries[1]  # magic end, then the header frame
+        packet_ends = boundaries[2:]
+
+        for cut in range(len(data) + 1):
+            scan = scan_segment(data[:cut], "seg")  # must never raise
+            expected = sum(1 for end in packet_ends if end <= cut)
+            if cut < header_end:
+                expected = 0  # no header yet, so nothing decodable
+            assert len(scan.packets) == expected, f"cut={cut}"
+            is_boundary = cut in boundaries or cut == len(data)
+            assert (not scan.issues) == is_boundary, f"cut={cut}"
+            # A pure truncation can never read as a damaged preamble.
+            assert not any(
+                i.kind in ("bad-magic", "version-mismatch") for i in scan.issues
+            ), f"cut={cut}"
+
+    def test_salvage_of_a_prefix_is_deterministic(self):
+        backend = MemoryBackend()
+        write_store(backend, n_packets=8)
+        data = backend.read_bytes(segment_name("t", 0))
+        for cut in (0, 5, 120, 200, len(data) - 13):
+            first = scan_segment(data[:cut], "seg")
+            second = scan_segment(data[:cut], "seg")
+            assert [i.to_jsonable() for i in first.issues] == [
+                i.to_jsonable() for i in second.issues
+            ]
+            assert len(first.packets) == len(second.packets)
+
+    def test_reader_never_raises_on_any_prefix(self):
+        clean = MemoryBackend()
+        write_store(clean, n_packets=8)
+        name = segment_name("t", 0)
+        data = clean.read_bytes(name)
+        for cut in range(len(data) + 1):
+            backend = MemoryBackend()
+            handle = backend.open_append(name)
+            handle.write(data[:cut])
+            handle.close()
+            _, report = TraceReader(backend, "t").scan()
+            assert report.n_segments_scanned == 1
+
+
+class _TornBackend:
+    """Backend whose appends die after a byte budget (test double)."""
+
+    def __init__(self, inner: MemoryBackend, crash_after_bytes: int):
+        self._inner = inner
+        self._budget = crash_after_bytes
+
+    def open_append(self, name):
+        return TornWriteFile(self._inner.open_append(name), self._budget)
+
+    def read_bytes(self, name):
+        return self._inner.read_bytes(name)
+
+    def replace_bytes(self, name, data):
+        self._inner.replace_bytes(name, data)
+
+    def exists(self, name):
+        return self._inner.exists(name)
+
+    def list_names(self):
+        return self._inner.list_names()
+
+
+class TestCrashResumeRoundTrip:
+    def test_torn_write_then_resume_recovers_everything_persisted(self):
+        storage = MemoryBackend()
+        torn_backend = _TornBackend(storage, crash_after_bytes=300)
+        writer = TraceWriter(
+            torn_backend,
+            "t",
+            n_rx=N_RX,
+            n_subcarriers=N_SUB,
+            sample_rate_hz=RATE_HZ,
+            subcarrier_indices=tuple(range(N_SUB)),
+        )
+        packets = make_packets(10)
+        persisted_before_crash = 0
+        crashed = False
+        for ts, csi in packets:
+            try:
+                writer.append(csi, ts)
+                persisted_before_crash += 1
+            except TornWriteError:
+                crashed = True
+                break
+        assert crashed
+        writer.abandon()
+
+        # Salvage sees the records whose frames fully fit the budget.
+        _, report = TraceReader(storage, "t").scan()
+        assert report.n_records_recovered < persisted_before_crash + 1
+        assert any(i.kind == "torn-tail" for i in report.issues)
+        recovered_at_crash = report.n_records_recovered
+
+        # Restart: resume appends the remaining packets to a new segment.
+        resumed = TraceWriter.resume(
+            storage,
+            "t",
+            n_rx=N_RX,
+            n_subcarriers=N_SUB,
+            sample_rate_hz=RATE_HZ,
+            subcarrier_indices=tuple(range(N_SUB)),
+        )
+        assert resumed.segment_index == 1
+        for ts, csi in packets[recovered_at_crash:]:
+            resumed.append(csi, ts)
+        resumed.close()
+
+        final_packets, _, final_report = TraceReader(storage, "t").read_packets()
+        assert len(final_packets) == 10
+        assert [ts for ts, _ in final_packets] == [ts for ts, _ in packets]
+        # The torn tail is still reported — crash evidence is preserved.
+        assert any(i.kind == "torn-tail" for i in final_report.issues)
+
+    def test_index_never_claims_unpersisted_records(self):
+        storage = MemoryBackend()
+        torn_backend = _TornBackend(storage, crash_after_bytes=500)
+        writer = TraceWriter(
+            torn_backend,
+            "t",
+            n_rx=N_RX,
+            n_subcarriers=N_SUB,
+            sample_rate_hz=RATE_HZ,
+            subcarrier_indices=tuple(range(N_SUB)),
+        )
+        appended = 0
+        try:
+            for ts, csi in make_packets(4):
+                writer.append(csi, ts)
+                appended += 1
+                writer.flush()
+        except TornWriteError:
+            pass
+        writer.abandon()
+        if storage.exists("t.cidx"):
+            index = json.loads(storage.read_bytes("t.cidx").decode())
+            claimed = sum(r["n_records"] for r in index["segments"])
+            _, report = TraceReader(storage, "t").scan()
+            assert claimed <= report.n_records_recovered
+
+
+def test_store_error_is_catchable_as_repro_error():
+    from repro.errors import ReproError
+
+    with pytest.raises(ReproError):
+        raise TraceStoreError("typed for the CLI's exit-code path")

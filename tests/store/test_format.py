@@ -1,0 +1,145 @@
+"""Unit tests for the ``.cst`` framing and parsing primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceFormatError, TraceStoreError
+from repro.store.format import (
+    FRAME_HEADER_BYTES,
+    FRAME_SYNC,
+    KIND_PACKET,
+    MAX_PAYLOAD_BYTES,
+    SEGMENT_MAGIC,
+    SegmentHeader,
+    check_segment_magic,
+    decode_header_payload,
+    decode_packet_payload,
+    encode_frame,
+    encode_header,
+    encode_packet,
+    index_name,
+    payload_crc,
+    segment_name,
+    unpack_frame_header,
+)
+
+
+def make_header(**overrides) -> SegmentHeader:
+    fields = dict(
+        session_id="s",
+        segment_index=0,
+        n_rx=2,
+        n_subcarriers=3,
+        csi_dtype="complex64",
+        sample_rate_hz=30.0,
+        subcarrier_indices=(0, 1, 2),
+        meta={"k": 1},
+    )
+    fields.update(overrides)
+    return SegmentHeader(**fields)
+
+
+class TestFrame:
+    def test_frame_layout_round_trips(self):
+        payload = b"hello, frames"
+        frame = encode_frame(KIND_PACKET, payload)
+        assert frame.startswith(FRAME_SYNC)
+        assert len(frame) == FRAME_HEADER_BYTES + len(payload)
+        kind, length, crc = unpack_frame_header(frame[len(FRAME_SYNC):])
+        assert kind == KIND_PACKET
+        assert length == len(payload)
+        assert crc == payload_crc(payload)
+        assert frame[FRAME_HEADER_BYTES:] == payload
+
+    def test_oversized_payload_rejected(self):
+        with pytest.raises(TraceStoreError, match="frame cap"):
+            encode_frame(KIND_PACKET, b"\x00" * (MAX_PAYLOAD_BYTES + 1))
+
+    def test_sync_marker_has_no_repeated_byte(self):
+        # A self-overlapping marker could lock the resync scan onto a
+        # half-marker; the format relies on the two bytes differing.
+        assert FRAME_SYNC[0] != FRAME_SYNC[1]
+
+
+class TestHeader:
+    def test_header_round_trips(self):
+        header = make_header()
+        assert decode_header_payload(encode_header(header)) == header
+
+    def test_header_payload_is_canonical_json(self):
+        payload = encode_header(make_header())
+        text = payload.decode("utf-8")
+        assert ": " not in text and ", " not in text
+        keys = [part.split('"')[1] for part in text.split(",") if '":' in part]
+        assert keys == sorted(keys)
+
+    def test_malformed_header_payload_raises_store_error(self):
+        for junk in (b"not json", b"[1,2]", b'{"n_rx": 2}'):
+            with pytest.raises(TraceStoreError, match="malformed segment"):
+                decode_header_payload(junk)
+
+    def test_header_validation(self):
+        with pytest.raises(TraceStoreError, match="positive geometry"):
+            make_header(n_rx=0)
+        with pytest.raises(TraceStoreError, match="unsupported CSI dtype"):
+            make_header(csi_dtype="float32")
+        with pytest.raises(TraceStoreError, match="sample_rate_hz"):
+            make_header(sample_rate_hz=0.0)
+
+    def test_packet_payload_bytes(self):
+        assert make_header().packet_payload_bytes == 8 + 2 * 3 * 8
+        assert (
+            make_header(csi_dtype="complex128").packet_payload_bytes
+            == 8 + 2 * 3 * 16
+        )
+
+
+class TestPacket:
+    @pytest.mark.parametrize("dtype", ["complex64", "complex128"])
+    def test_packet_round_trips(self, dtype):
+        header = make_header(csi_dtype=dtype)
+        rng = np.random.default_rng(3)
+        csi = (
+            rng.standard_normal((2, 3)) + 1j * rng.standard_normal((2, 3))
+        ).astype(dtype)
+        payload = encode_packet(csi, 1.25, header)
+        ts, decoded = decode_packet_payload(payload, header)
+        assert ts == 1.25
+        np.testing.assert_array_equal(decoded, csi)
+        assert decoded.dtype == np.dtype(dtype)
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(TraceStoreError, match="does not match"):
+            encode_packet(np.zeros((3, 2), dtype=np.complex64), 0.0, make_header())
+
+    def test_wrong_payload_size_rejected(self):
+        with pytest.raises(TraceStoreError, match="requires exactly"):
+            decode_packet_payload(b"\x00" * 10, make_header())
+
+
+class TestMagic:
+    def test_exact_magic_accepted(self):
+        check_segment_magic(SEGMENT_MAGIC)
+
+    def test_future_version_raises_format_error(self):
+        with pytest.raises(TraceFormatError) as excinfo:
+            check_segment_magic(b"CSTSEG99")
+        assert "'99'" in str(excinfo.value)
+        assert "'01'" in str(excinfo.value)
+
+    def test_non_segment_raises_store_error(self):
+        with pytest.raises(TraceStoreError, match="not a CST segment"):
+            check_segment_magic(b"PNG\r\n\x1a\n\x00")
+
+
+class TestNames:
+    def test_segment_and_index_names(self):
+        assert segment_name("trace", 0) == "trace-00000.cst"
+        assert segment_name("trace", 123) == "trace-00123.cst"
+        assert index_name("trace") == "trace.cidx"
+
+    def test_negative_segment_index_rejected(self):
+        with pytest.raises(TraceStoreError, match=">= 0"):
+            segment_name("trace", -1)

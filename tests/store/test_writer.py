@@ -1,0 +1,201 @@
+"""Unit tests for the crash-safe ``TraceWriter``."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceStoreError
+from repro.obs import Instrumentation, MetricsRegistry
+from repro.service.clock import SimulatedClock
+from repro.store import MemoryBackend, TraceReader, TraceWriter
+from repro.store.format import index_name, segment_name
+
+from .conftest import N_RX, N_SUB, RATE_HZ, make_packets, write_store
+
+
+def make_writer(backend, stem="t", **overrides):
+    fields = dict(
+        session_id="test",
+        n_rx=N_RX,
+        n_subcarriers=N_SUB,
+        sample_rate_hz=RATE_HZ,
+        subcarrier_indices=tuple(range(N_SUB)),
+    )
+    fields.update(overrides)
+    return TraceWriter(backend, stem, **fields)
+
+
+class TestBasics:
+    def test_write_then_clean_read(self):
+        backend = MemoryBackend()
+        truth = write_store(backend, n_packets=10)
+        packets, header, report = TraceReader(backend, "t").read_packets()
+        assert report.clean
+        assert header is not None and header.session_id == "test"
+        assert len(packets) == 10
+        for (ts, csi), (truth_ts, truth_csi) in zip(packets, truth):
+            assert ts == truth_ts
+            np.testing.assert_array_equal(csi, truth_csi)
+
+    def test_records_written_counter(self):
+        writer = make_writer(MemoryBackend())
+        assert writer.n_records_written == 0
+        for ts, csi in make_packets(5):
+            writer.append(csi, ts)
+        assert writer.n_records_written == 5
+        writer.close()
+
+    def test_validation(self):
+        with pytest.raises(TraceStoreError, match="non-empty"):
+            make_writer(MemoryBackend(), stem="")
+        with pytest.raises(TraceStoreError, match="rotate_bytes"):
+            make_writer(MemoryBackend(), rotate_bytes=100)
+
+    def test_geometry_mismatch_rejected(self):
+        writer = make_writer(MemoryBackend())
+        with pytest.raises(TraceStoreError, match="does not match"):
+            writer.append(np.zeros((N_RX, N_SUB + 1), dtype=np.complex64), 0.0)
+        writer.close()
+
+    def test_closed_writer_rejects_use(self):
+        writer = make_writer(MemoryBackend())
+        writer.close()
+        assert writer.closed
+        with pytest.raises(TraceStoreError, match="closed"):
+            writer.append(np.zeros((N_RX, N_SUB), dtype=np.complex64), 0.0)
+        with pytest.raises(TraceStoreError, match="closed"):
+            writer.flush()
+        writer.close()  # idempotent
+
+
+class TestRotation:
+    def test_rotation_splits_into_segments(self):
+        backend = MemoryBackend()
+        write_store(backend, n_packets=60, rotate_bytes=4096)
+        reader = TraceReader(backend, "t")
+        names = reader.segment_names()
+        assert len(names) > 1
+        assert names[0] == segment_name("t", 0)
+        packets, _, report = reader.read_packets()
+        assert report.clean
+        assert len(packets) == 60
+        # Every segment respects its byte budget.
+        for name in names:
+            assert len(backend.read_bytes(name)) <= 4096
+
+    def test_rotation_counter(self):
+        registry = MetricsRegistry()
+        obs = Instrumentation(clock=SimulatedClock(), registry=registry)
+        backend = MemoryBackend()
+        writer = make_writer(backend, rotate_bytes=4096, instrumentation=obs)
+        for ts, csi in make_packets(60):
+            writer.append(csi, ts)
+        writer.close()
+        n_segments = len(TraceReader(backend, "t").segment_names())
+        rotated = next(
+            sample["value"]
+            for sample in registry.snapshot()["metrics"]
+            if sample["name"] == "store_segments_rotated_total"
+        )
+        assert rotated == n_segments - 1
+
+
+class TestIndex:
+    def test_close_writes_complete_index(self):
+        backend = MemoryBackend()
+        write_store(backend, n_packets=20, rotate_bytes=4096)
+        index = json.loads(backend.read_bytes(index_name("t")).decode())
+        assert index["stem"] == "t"
+        rows = index["segments"]
+        assert sum(row["n_records"] for row in rows) == 20
+        assert [row["segment_index"] for row in rows] == list(range(len(rows)))
+        last = rows[-1]
+        assert last["last_timestamp_s"] == pytest.approx(19 / RATE_HZ)
+
+    def test_flush_is_the_durability_boundary(self):
+        backend = MemoryBackend()
+        writer = make_writer(backend)
+        packets = make_packets(6)
+        for ts, csi in packets[:4]:
+            writer.append(csi, ts)
+        writer.flush()
+        flushed = json.loads(backend.read_bytes(index_name("t")).decode())
+        assert sum(r["n_records"] for r in flushed["segments"]) == 4
+        for ts, csi in packets[4:]:
+            writer.append(csi, ts)
+        # Unflushed records are not yet claimed by the index.
+        stale = json.loads(backend.read_bytes(index_name("t")).decode())
+        assert sum(r["n_records"] for r in stale["segments"]) == 4
+        writer.close()
+        final = json.loads(backend.read_bytes(index_name("t")).decode())
+        assert sum(r["n_records"] for r in final["segments"]) == 6
+
+
+class TestResume:
+    def test_collision_without_resume_raises(self):
+        backend = MemoryBackend()
+        write_store(backend, n_packets=2)
+        with pytest.raises(TraceStoreError, match="resume=True"):
+            make_writer(backend)
+
+    def test_resume_continues_in_next_segment(self):
+        backend = MemoryBackend()
+        write_store(backend, n_packets=5)
+        resumed = TraceWriter.resume(
+            backend,
+            "t",
+            session_id="test",
+            n_rx=N_RX,
+            n_subcarriers=N_SUB,
+            sample_rate_hz=RATE_HZ,
+            subcarrier_indices=tuple(range(N_SUB)),
+        )
+        assert resumed.segment_index == 1
+        for ts, csi in make_packets(5, seed=1):
+            resumed.append(csi, ts)
+        assert resumed.n_records_written == 5  # new records only
+        resumed.close()
+        packets, _, report = TraceReader(backend, "t").read_packets()
+        assert report.clean
+        assert len(packets) == 10
+        index = json.loads(backend.read_bytes(index_name("t")).decode())
+        assert [r["segment_index"] for r in index["segments"]] == [0, 1]
+
+    def test_resume_tolerates_torn_index(self):
+        backend = MemoryBackend()
+        write_store(backend, n_packets=3)
+        backend.truncate(index_name("t"), 20)  # torn mid-JSON
+        resumed = TraceWriter.resume(
+            backend,
+            "t",
+            n_rx=N_RX,
+            n_subcarriers=N_SUB,
+            sample_rate_hz=RATE_HZ,
+            subcarrier_indices=tuple(range(N_SUB)),
+        )
+        assert resumed.segment_index == 1
+        resumed.close()
+
+
+class TestContextManager:
+    def test_clean_exit_closes(self):
+        backend = MemoryBackend()
+        with make_writer(backend) as writer:
+            for ts, csi in make_packets(3):
+                writer.append(csi, ts)
+        assert writer.closed
+        assert backend.exists(index_name("t"))
+
+    def test_exception_abandons_without_flush(self):
+        backend = MemoryBackend()
+        with pytest.raises(RuntimeError, match="boom"):
+            with make_writer(backend) as writer:
+                for ts, csi in make_packets(3):
+                    writer.append(csi, ts)
+                raise RuntimeError("boom")
+        assert writer.closed
+        # Abandon skips the index finalization — the crash path.
+        assert not backend.exists(index_name("t"))

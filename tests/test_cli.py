@@ -364,3 +364,133 @@ class TestMetricsCommand:
         code = main(["metrics", "render", str(tmp_path / "missing.json")])
         assert code == 2
         assert "cannot read snapshot" in capsys.readouterr().err
+
+
+@pytest.fixture(scope="module")
+def recorded_store(tmp_path_factory):
+    """A short capture recorded via the CLI, shared by the store commands."""
+    out = tmp_path_factory.mktemp("store")
+    code = main(
+        [
+            "record",
+            "--duration", "20",
+            "--rate", "30",
+            "--seed", "3",
+            "--session", "cli-test",
+            "--out", str(out),
+        ]
+    )
+    assert code == 0
+    return out
+
+
+class TestRecordCommand:
+    def test_record_defaults(self):
+        args = build_parser().parse_args(["record", "--out", "x"])
+        assert args.scenario == "lab"
+        assert args.stem == "trace"
+        assert args.rotate_kib == 256
+        assert args.flush_every == 64
+
+    def test_record_writes_segments_and_index(self, recorded_store, capsys):
+        names = sorted(p.name for p in recorded_store.iterdir())
+        assert "trace-00000.cst" in names
+        assert "trace.cidx" in names
+
+    def test_record_help(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["record", "--help"])
+        assert excinfo.value.code == 0
+        assert "durability boundary" in capsys.readouterr().out
+
+
+class TestReplayCommand:
+    def test_replay_reports_estimates_and_speedup(
+        self, recorded_store, tmp_path, capsys
+    ):
+        import json
+
+        summary = tmp_path / "replay.json"
+        code = main(
+            ["replay", "--store", str(recorded_store), "--json", str(summary)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "x real time" in out
+        assert "estimates:" in out
+        payload = json.loads(summary.read_text())
+        assert payload["n_records"] == 600
+        assert payload["speedup_ratio"] > 20.0
+        assert payload["salvage"]["clean"] is True
+
+    def test_missing_store_is_a_clean_error(self, tmp_path, capsys):
+        code = main(["replay", "--store", str(tmp_path)])
+        assert code == 2
+        assert capsys.readouterr().err != ""
+
+    def test_replay_help(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["replay", "--help"])
+        assert excinfo.value.code == 0
+        assert "replay" in capsys.readouterr().out
+
+
+class TestBacktestCommand:
+    @pytest.fixture(scope="class")
+    def corpus(self, recorded_store, tmp_path_factory):
+        import json
+        import shutil
+
+        from repro.store import DirectoryBackend, TraceReader
+
+        root = tmp_path_factory.mktemp("cli-corpus")
+        shutil.copytree(recorded_store, root / "lab")
+        backend = DirectoryBackend(str(root / "lab"))
+        _, header, _ = TraceReader(backend, "trace").read_packets()
+        truth_bpm = float(header.meta["breathing_rates_bpm"][0])
+        manifest = {
+            "corpus_format_version": 1,
+            "stem": "trace",
+            "scenarios": {
+                "lab": {
+                    "expected_breathing_bpm": truth_bpm,
+                    "tolerance_bpm": 6.0,
+                    "min_estimates": 2,
+                }
+            },
+        }
+        (root / "manifest.json").write_text(json.dumps(manifest))
+        return root
+
+    def test_backtest_passes_on_clean_corpus(self, corpus, tmp_path, capsys):
+        import json
+
+        report = tmp_path / "backtest.json"
+        code = main(
+            ["backtest", "--corpus", str(corpus), "--json", str(report)]
+        )
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out
+        assert json.loads(report.read_text())["passed"] is True
+
+    def test_injected_regression_exits_nonzero(self, corpus, capsys):
+        code = main(
+            [
+                "backtest",
+                "--corpus", str(corpus),
+                "--inject-regression-bpm", "25",
+            ]
+        )
+        assert code == 1
+        assert "rate-regression" in capsys.readouterr().out
+
+    def test_missing_corpus_is_a_clean_error(self, tmp_path, capsys):
+        code = main(["backtest", "--corpus", str(tmp_path / "nope")])
+        assert code == 2
+        assert "manifest" in capsys.readouterr().err
+
+    def test_backtest_help(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["backtest", "--help"])
+        assert excinfo.value.code == 0
+        assert "manifest.json" in capsys.readouterr().out

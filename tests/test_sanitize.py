@@ -148,6 +148,15 @@ class TestSeededScenarios:
             "report.json",
         )
 
+    def test_record_crash_resume_is_byte_reproducible(self):
+        # The report embeds per-session store digests, so a clean run
+        # proves record -> crash -> restart -> resume is byte-identical.
+        report = sanitize_fleet(
+            "record-crash-resume", n_sessions=6, duration_s=24.0, seed=11
+        )
+        assert report.clean, report.format_text()
+        assert "report.json" in report.artifacts
+
     def test_unknown_scenarios_raise_configuration_error(self):
         with pytest.raises(ConfigurationError, match="unknown solo"):
             sanitize_solo("nope")
