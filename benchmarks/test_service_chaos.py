@@ -25,6 +25,12 @@ from repro.service import SHIPPED_SCENARIOS, run_chaos
 
 TOLERANCE_BPM = 0.5
 
+# One shared scene seed for every scenario.  The scene must be one whose
+# clean tail is quiet enough that post-recovery error reflects recovery,
+# not capture noise — seed 0's tail has intrinsic multi-bpm outliers that
+# fail the budget even fault-free.
+CHAOS_SEED = 2
+
 # Event-order signatures: for each scenario, these kinds must all appear,
 # in this relative order, in the faulted run's event log.
 EXPECTED_ORDER = {
@@ -33,6 +39,8 @@ EXPECTED_ORDER = {
     "transient-errors": ["breaker-open", "breaker-half-open",
                          "breaker-closed"],
     "degradation-burst": ["fallback-escalated", "fallback-recovered"],
+    "learned-degradation-burst": ["fallback-escalated",
+                                  "fallback-recovered"],
     "checkpoint-restore-loss": ["checkpoint", "monitor-crash",
                                 "monitor-restart"],
 }
@@ -49,7 +57,7 @@ def _assert_ordered(kinds, expected):
 @pytest.mark.parametrize("name", sorted(SHIPPED_SCENARIOS))
 def test_service_chaos(benchmark, name):
     scenario = SHIPPED_SCENARIOS[name]
-    report = run_once(benchmark, run_chaos, scenario)
+    report = run_once(benchmark, run_chaos, scenario, seed=CHAOS_SEED)
 
     banner(f"Chaos — {name}")
     print(f"scenario: {scenario.description}")
@@ -82,6 +90,15 @@ def test_service_chaos(benchmark, name):
             e for e in report.events if e.kind == "monitor-restart"
         ]
         assert restarts and all(e.detail["restored"] for e in restarts)
+    if name == "learned-degradation-burst":
+        # Escalation must land on the learned rung (not a classical
+        # baseline) and the learned estimator must actually serve
+        # estimates through the burst.
+        escalations = [
+            e for e in report.events if e.kind == "fallback-escalated"
+        ]
+        assert escalations[0].detail["to_method"] == "learned"
+        assert any(e.method == "learned" for e in report.estimates)
     # The last breaker event, if any, must be a close — never leave the
     # service wedged open.
     breaker_kinds = [

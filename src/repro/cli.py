@@ -1,6 +1,6 @@
 """Command-line interface: simulate, estimate, and reproduce from a shell.
 
-Eleven subcommands::
+Twelve subcommands::
 
     repro-phasebeat simulate  --scenario lab --duration 30 --out trace.npz
     repro-phasebeat estimate  trace.npz --persons 1 --heart
@@ -13,6 +13,7 @@ Eleven subcommands::
     repro-phasebeat record    --scenario lab --duration 20 --out store/
     repro-phasebeat replay    --store store/ --json report.json
     repro-phasebeat backtest  --corpus corpus/
+    repro-phasebeat learn     train --mode rf --out bundle.json
 
 ``simulate`` builds one of the paper's three deployments and writes a CSI
 trace; ``estimate`` runs the PhaseBeat pipeline on a stored trace;
@@ -37,6 +38,12 @@ simulated speed, reporting estimates and the wall-time speedup;
 ``backtest`` replays a committed corpus of recorded scenarios and diffs
 median estimates against the manifest baselines, exiting non-zero on a
 regression (see ``docs/storage.md``).
+
+``learn`` drives the learned estimator track (see ``docs/learned.md``):
+``learn train`` fits the tiny numpy model family from the simulator (or a
+recorded ``.cst`` store via ``--store``) and writes a byte-reproducible
+canonical-JSON bundle; ``learn eval`` loads a bundle and runs a paired
+learned-vs-classical head-to-head through the evaluation harness.
 """
 
 from __future__ import annotations
@@ -363,6 +370,80 @@ def build_parser() -> argparse.ArgumentParser:
     backtest.add_argument(
         "--json", default=None, metavar="PATH",
         help="also write the backtest report as JSON",
+    )
+
+    learn = sub.add_parser(
+        "learn", help="train or evaluate the learned estimator track"
+    )
+    learn_sub = learn.add_subparsers(dest="learn_command", required=True)
+    learn_train = learn_sub.add_parser(
+        "train",
+        help="fit the model family and write a canonical-JSON bundle",
+    )
+    learn_train.add_argument(
+        "--mode",
+        choices=("synthetic", "rf"),
+        default="rf",
+        help="corpus source: fast synthetic windows or full RF simulation "
+        "(default: rf; ignored with --store)",
+    )
+    learn_train.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="train from a recorded .cst store instead of the simulator",
+    )
+    learn_train.add_argument(
+        "--stem", action="append", default=None, metavar="NAME",
+        help="store stem inside --store (repeatable; default: all)",
+    )
+    learn_train.add_argument(
+        "--windows", type=int, default=160,
+        help="corpus size in windows (default: 160)",
+    )
+    learn_train.add_argument("--seed", type=int, default=0)
+    learn_train.add_argument(
+        "--no-mlp", action="store_true",
+        help="skip the optional MLP rate head (faster, smaller bundle)",
+    )
+    learn_train.add_argument(
+        "--out", required=True, help="bundle JSON output path"
+    )
+    learn_eval = learn_sub.add_parser(
+        "eval",
+        help="paired learned-vs-classical head-to-head on one scenario",
+    )
+    learn_eval.add_argument("bundle", help="bundle JSON written by learn train")
+    learn_eval.add_argument(
+        "--scenario",
+        choices=("lab", "through-wall"),
+        default="through-wall",
+        help="deployment family (default: through-wall)",
+    )
+    learn_eval.add_argument(
+        "--distance", type=float, default=6.5,
+        help="TX-RX separation for through-wall (m, default: 6.5)",
+    )
+    learn_eval.add_argument(
+        "--trials", type=int, default=8, help="paired trials (default: 8)"
+    )
+    learn_eval.add_argument(
+        "--duration", type=float, default=30.0, help="seconds per trial"
+    )
+    learn_eval.add_argument(
+        "--rate", type=float, default=50.0, help="packets per second"
+    )
+    learn_eval.add_argument("--seed", type=int, default=0)
+    learn_eval.add_argument(
+        "--heavy", action="store_true",
+        help="degrade every capture with the heavy impairment mix "
+        "(loss + timestamp jitter + impulses + subcarrier nulls)",
+    )
+    learn_eval.add_argument(
+        "--mlp", action="store_true",
+        help="serve the MLP rate head instead of the ridge head",
+    )
+    learn_eval.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the per-method error summary as JSON",
     )
     return parser
 
@@ -841,6 +922,133 @@ def _cmd_backtest(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def _cmd_learn(args: argparse.Namespace) -> int:
+    if args.learn_command == "train":
+        return _cmd_learn_train(args)
+    return _cmd_learn_eval(args)
+
+
+def _cmd_learn_train(args: argparse.Namespace) -> int:
+    from .learn import TrainingConfig, save_bundle, train, train_from_store
+
+    config = TrainingConfig(
+        mode=args.mode,
+        n_windows=args.windows,
+        seed=args.seed,
+        with_mlp=not args.no_mlp,
+    )
+    if args.store is not None:
+        bundle = train_from_store(
+            args.store,
+            tuple(args.stem) if args.stem else None,
+            config=config,
+        )
+    else:
+        bundle = train(config)
+    save_bundle(bundle, args.out)
+    meta = bundle.meta
+    heads = ["ridge"]
+    if bundle.breathing_mlp is not None:
+        heads.append("mlp")
+    if bundle.apnea_model is not None:
+        heads.append("apnea")
+    print(
+        f"trained on {meta.get('n_windows', '?')} windows "
+        f"(mode={meta.get('mode')}, seed={meta.get('seed')})"
+    )
+    print(f"heads: {', '.join(heads)}")
+    if "train_mae_bpm" in meta:
+        print(f"train MAE: {meta['train_mae_bpm']:.2f} bpm")
+    print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_learn_eval(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from .eval.harness import default_subject, run_breathing_trials
+    from .learn import LearnedEstimator, read_bundle
+    from .physio.person import Person
+    from .rf.impairments import (
+        BernoulliLoss,
+        Impairment,
+        ImpulsiveCorruption,
+        SubcarrierNulls,
+        TimestampJitter,
+    )
+
+    bundle = read_bundle(args.bundle)
+    learned = LearnedEstimator(bundle, use_mlp=args.mlp)
+
+    def factory(k: int, rng: np.random.Generator) -> Scenario:
+        subject = default_subject(rng, with_heartbeat=False)
+        person = Person(
+            position=(2.5, 0.8, 1.0),
+            breathing=subject.breathing,
+            heartbeat=None,
+        )
+        if args.scenario == "lab":
+            return laboratory_scenario([person], clutter_seed=args.seed + k)
+        return through_wall_scenario(
+            args.distance,
+            [person],
+            wall_loss_db=10.0,
+            clutter_seed=args.seed + k,
+        )
+
+    def impairments(k: int, rng: np.random.Generator) -> list[Impairment]:
+        if not args.heavy:
+            return []
+        return [
+            BernoulliLoss(loss_fraction=0.4),
+            TimestampJitter(std_s=8e-3),
+            ImpulsiveCorruption(hit_fraction=0.05, magnitude=12.0),
+            SubcarrierNulls(n_nulls=8),
+        ]
+
+    results = run_breathing_trials(
+        factory,
+        args.trials,
+        duration_s=args.duration,
+        sample_rate_hz=args.rate,
+        methods=("phasebeat", "learned"),
+        base_seed=args.seed,
+        learned=learned,
+        impairments_factory=impairments,
+    )
+    condition = "heavy impairments" if args.heavy else "clean capture"
+    print(
+        f"=== learn eval: {args.scenario} ({condition}), "
+        f"{args.trials} paired trials ==="
+    )
+    summary: dict[str, dict[str, float]] = {}
+    for method in ("phasebeat", "learned"):
+        errors = results.errors(method)
+        row = {
+            "median_error_bpm": float(np.median(errors)),
+            "mean_error_bpm": float(np.mean(errors)),
+            "failure_rate": results.failure_rate(method),
+        }
+        summary[method] = row
+        print(
+            f"  {method:<10s} median {row['median_error_bpm']:6.2f} bpm, "
+            f"mean {row['mean_error_bpm']:6.2f} bpm, "
+            f"failures {row['failure_rate']:.0%}"
+        )
+    margin = (
+        summary["phasebeat"]["median_error_bpm"]
+        - summary["learned"]["median_error_bpm"]
+    )
+    print(f"  learned margin: {margin:+.2f} bpm median (positive = better)")
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps({"condition": condition, "methods": summary}, indent=2)
+        )
+        print(f"wrote {args.json}")
+    return 0
+
+
 def _jsonable(value):
     """Recursively convert an experiment result to JSON-safe types."""
     if isinstance(value, dict):
@@ -896,6 +1104,7 @@ def main(argv: list[str] | None = None) -> int:
         "record": _cmd_record,
         "replay": _cmd_replay,
         "backtest": _cmd_backtest,
+        "learn": _cmd_learn,
     }
     try:
         return handlers[args.command](args)

@@ -9,7 +9,7 @@ that loop; :mod:`repro.eval.experiments` parameterizes it per figure.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Any, Callable
 
 import numpy as np
 
@@ -21,6 +21,7 @@ from ..io_.trace import CSITrace
 from ..physio.breathing import SinusoidalBreathing
 from ..physio.heartbeat import SinusoidalHeartbeat
 from ..physio.person import Person
+from ..rf.impairments import Impairment, apply_impairments
 from ..rf.receiver import capture_trace
 from ..rf.scene import Scenario
 from .metrics import absolute_error_bpm, accuracy
@@ -128,6 +129,10 @@ def run_breathing_trials(
     methods: tuple[str, ...] = ("phasebeat",),
     pipeline_config: PhaseBeatConfig | None = None,
     base_seed: int = 0,
+    learned: Any | None = None,
+    impairments_factory: (
+        Callable[[int, np.random.Generator], list[Impairment]] | None
+    ) = None,
 ) -> BreathingTrialResults:
     """Run a batch of single-person breathing trials.
 
@@ -137,16 +142,29 @@ def run_breathing_trials(
         n_trials: Number of trials.
         duration_s: Capture length per trial.
         sample_rate_hz: Packet rate.
-        methods: Any of ``"phasebeat"``, ``"amplitude"``, ``"rss"``.
+        methods: Any of ``"phasebeat"``, ``"amplitude"``, ``"rss"``,
+            ``"learned"`` (the last needs ``learned``).
         pipeline_config: PhaseBeat parameters (sweeps disable stationarity
             enforcement by default — the harness controls the scene).
         base_seed: Base RNG seed; trial k uses ``base_seed + k``.
+        learned: A trained estimator (typically
+            :class:`~repro.learn.LearnedEstimator`) backing the
+            ``"learned"`` method; every method in a trial sees the same
+            trace, so classical/learned comparisons are paired.
+        impairments_factory: Optional ``(trial index, rng) -> impairments``
+            hook; when given, each trial's capture is degraded through
+            :func:`repro.rf.impairments.apply_impairments` before any
+            method sees it (heavy-impairment head-to-heads).
 
     Returns:
         :class:`BreathingTrialResults` keyed by method label.
     """
     if n_trials < 1:
         raise ReproError(f"n_trials must be >= 1, got {n_trials}")
+    if "learned" in methods and learned is None:
+        raise ReproError(
+            "methods includes 'learned' but no learned estimator was given"
+        )
     if pipeline_config is None:
         pipeline_config = PhaseBeatConfig(enforce_stationarity=False)
     pipeline = PhaseBeat(pipeline_config)
@@ -164,8 +182,17 @@ def run_breathing_trials(
             sample_rate_hz=sample_rate_hz,
             seed=seed,
         )
+        if impairments_factory is not None:
+            impairments = impairments_factory(k, rng)
+            if impairments:
+                trace = apply_impairments(trace, impairments, seed=seed + 1)
         for method in methods:
-            results.add(_run_method(method, pipeline, amplitude, trace, truth))
+            results.add(
+                _run_method(
+                    method, pipeline, amplitude, trace, truth,
+                    learned=learned,
+                )
+            )
     return results
 
 
@@ -175,6 +202,8 @@ def _run_method(
     amplitude: AmplitudeMethod,
     trace: CSITrace,
     truth: float,
+    *,
+    learned: Any | None = None,
 ) -> TrialOutcome:
     try:
         if method == "phasebeat":
@@ -186,6 +215,9 @@ def _run_method(
             from ..baselines.rss import RSSMethod
 
             estimate = RSSMethod().estimate_breathing_bpm(trace)
+        elif method == "learned":
+            assert learned is not None  # validated by run_breathing_trials
+            estimate = learned.estimate_breathing_bpm(trace)
         else:
             raise ReproError(f"unknown method {method!r}")
     except (EstimationError, NotStationaryError):

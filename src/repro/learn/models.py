@@ -1,0 +1,429 @@
+"""From-scratch seeded numpy models for the learned track.
+
+Three tiny estimators, chosen so training is exactly reproducible:
+
+* :class:`RidgeRegressor` — closed-form regularized least squares for
+  breathing rate (no iteration, no RNG);
+* :class:`LogisticClassifier` — fixed-iteration full-batch gradient
+  descent for apnea presence (no RNG);
+* :class:`TinyMLP` — one tanh hidden layer trained by fixed-iteration
+  full-batch gradient descent with momentum; the only randomness is the
+  weight init, drawn from a ``numpy.random.Generator`` constructed inside
+  :meth:`TinyMLP.fit` from the model's seed, so two fits from the same
+  seed produce bit-identical weights.
+
+Every model serializes to a plain JSON-safe ``state`` dict (see
+:mod:`repro.learn.persist`) and restores without refitting.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..contracts import FloatArray, check_matrix
+from ..errors import ConfigurationError
+
+__all__ = ["RidgeRegressor", "LogisticClassifier", "TinyMLP"]
+
+_SIGMA_FLOOR = 1e-9
+_RELATIVE_SIGMA_FLOOR = 1e-2
+
+
+def _standardize_columns(
+    features: FloatArray,
+) -> tuple[FloatArray, FloatArray, FloatArray]:
+    """Column means/scales and the standardized matrix."""
+    mu = features.mean(axis=0)
+    sigma = features.std(axis=0)
+    # A column that is (near-)constant in training carries no signal, but a
+    # raw 1/sigma scale would wildly amplify any serving-time deviation
+    # (e.g. a context feature like window duration served outside the
+    # training range).  Floor the scale relative to the column magnitude so
+    # such columns are effectively muted instead of explosive.
+    floor = _RELATIVE_SIGMA_FLOOR * (1.0 + np.abs(mu))
+    sigma = np.where(sigma > floor, sigma, 1.0 + np.abs(mu))
+    return mu, sigma, (features - mu) / sigma
+
+
+def _check_training_pair(features: FloatArray, targets: FloatArray) -> None:
+    if features.shape[0] != targets.shape[0]:
+        raise ConfigurationError(
+            f"features ({features.shape[0]} rows) and targets "
+            f"({targets.shape[0]}) disagree"
+        )
+    if features.shape[0] < 2:
+        raise ConfigurationError("need at least 2 training rows")
+
+
+class RidgeRegressor:
+    """Closed-form ridge regression over standardized features.
+
+    Args:
+        l2: Ridge penalty on the standardized weights.
+    """
+
+    kind = "ridge"
+
+    def __init__(self, l2: float = 1.0):
+        if l2 < 0:
+            raise ConfigurationError(f"l2 must be >= 0, got {l2}")
+        self.l2 = float(l2)
+        self._mu: FloatArray | None = None
+        self._sigma: FloatArray | None = None
+        self._weights: FloatArray | None = None
+        self._intercept = 0.0
+
+    @property
+    def fitted(self) -> bool:
+        """Whether the model carries trained weights."""
+        return self._weights is not None
+
+    @check_matrix("features")
+    def fit(
+        self, features: FloatArray, targets: FloatArray
+    ) -> "RidgeRegressor":
+        """Fit by solving the regularized normal equations.
+
+        Args:
+            features: ``[n_rows x n_features]`` training matrix.
+            targets: ``[n_rows]`` regression targets.
+
+        Returns:
+            ``self`` (for chaining).
+        """
+        targets = np.asarray(targets, dtype=float)
+        _check_training_pair(features, targets)
+        self._mu, self._sigma, standardized = _standardize_columns(features)
+        self._intercept = float(targets.mean())
+        centered = targets - self._intercept
+        gram = standardized.T @ standardized
+        gram[np.diag_indices_from(gram)] += self.l2
+        self._weights = np.linalg.solve(gram, standardized.T @ centered)
+        return self
+
+    @check_matrix("features")
+    def predict(self, features: FloatArray) -> FloatArray:
+        """Predict targets for ``[n_rows x n_features]`` rows."""
+        if self._weights is None or self._mu is None or self._sigma is None:
+            raise ConfigurationError("RidgeRegressor is not fitted")
+        standardized = (features - self._mu) / self._sigma
+        return np.asarray(
+            self._intercept + standardized @ self._weights, dtype=float
+        )
+
+    def state(self) -> dict[str, Any]:
+        """JSON-safe trained state (inverse of :meth:`from_state`)."""
+        if self._weights is None or self._mu is None or self._sigma is None:
+            raise ConfigurationError("RidgeRegressor is not fitted")
+        return {
+            "kind": self.kind,
+            "l2": self.l2,
+            "mu": self._mu.tolist(),
+            "sigma": self._sigma.tolist(),
+            "weights": self._weights.tolist(),
+            "intercept": self._intercept,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict[str, Any]) -> "RidgeRegressor":
+        """Restore a fitted model from :meth:`state` output."""
+        model = cls(l2=float(state["l2"]))
+        model._mu = np.asarray(state["mu"], dtype=float)
+        model._sigma = np.asarray(state["sigma"], dtype=float)
+        model._weights = np.asarray(state["weights"], dtype=float)
+        model._intercept = float(state["intercept"])
+        return model
+
+
+class LogisticClassifier:
+    """Full-batch gradient-descent logistic regression (deterministic).
+
+    Args:
+        l2: L2 penalty on the standardized weights.
+        step_size: Gradient-descent step.
+        n_iterations: Fixed iteration count (no early stopping, so the
+            trained weights are a pure function of the data).
+    """
+
+    kind = "logistic"
+
+    def __init__(
+        self, l2: float = 1e-2, step_size: float = 0.5, n_iterations: int = 300
+    ):
+        if l2 < 0:
+            raise ConfigurationError(f"l2 must be >= 0, got {l2}")
+        if step_size <= 0:
+            raise ConfigurationError("step_size must be positive")
+        if n_iterations < 1:
+            raise ConfigurationError("n_iterations must be >= 1")
+        self.l2 = float(l2)
+        self.step_size = float(step_size)
+        self.n_iterations = int(n_iterations)
+        self._mu: FloatArray | None = None
+        self._sigma: FloatArray | None = None
+        self._weights: FloatArray | None = None
+        self._bias = 0.0
+
+    @property
+    def fitted(self) -> bool:
+        """Whether the model carries trained weights."""
+        return self._weights is not None
+
+    @check_matrix("features")
+    def fit(
+        self, features: FloatArray, labels: FloatArray
+    ) -> "LogisticClassifier":
+        """Fit on binary ``labels`` (0/1).
+
+        Args:
+            features: ``[n_rows x n_features]`` training matrix.
+            labels: ``[n_rows]`` binary labels.
+
+        Returns:
+            ``self`` (for chaining).
+        """
+        labels = np.asarray(labels, dtype=float)
+        _check_training_pair(features, labels)
+        unique = np.unique(labels)
+        if not np.all(np.isin(unique, (0.0, 1.0))):
+            raise ConfigurationError(
+                f"labels must be binary 0/1, got values {unique}"
+            )
+        self._mu, self._sigma, standardized = _standardize_columns(features)
+        n_rows = standardized.shape[0]
+        weights = np.zeros(standardized.shape[1])
+        bias = 0.0
+        for _ in range(self.n_iterations):
+            logits = standardized @ weights + bias
+            probabilities = 1.0 / (1.0 + np.exp(-logits))
+            residual = probabilities - labels
+            gradient = standardized.T @ residual / n_rows + self.l2 * weights
+            weights -= self.step_size * gradient
+            bias -= self.step_size * float(residual.mean())
+        self._weights = weights
+        self._bias = bias
+        return self
+
+    @check_matrix("features")
+    def predict_probability(self, features: FloatArray) -> FloatArray:
+        """Per-row probability of the positive class."""
+        if self._weights is None or self._mu is None or self._sigma is None:
+            raise ConfigurationError("LogisticClassifier is not fitted")
+        standardized = (features - self._mu) / self._sigma
+        logits = standardized @ self._weights + self._bias
+        return np.asarray(1.0 / (1.0 + np.exp(-logits)), dtype=float)
+
+    def state(self) -> dict[str, Any]:
+        """JSON-safe trained state (inverse of :meth:`from_state`)."""
+        if self._weights is None or self._mu is None or self._sigma is None:
+            raise ConfigurationError("LogisticClassifier is not fitted")
+        return {
+            "kind": self.kind,
+            "l2": self.l2,
+            "step_size": self.step_size,
+            "n_iterations": self.n_iterations,
+            "mu": self._mu.tolist(),
+            "sigma": self._sigma.tolist(),
+            "weights": self._weights.tolist(),
+            "bias": self._bias,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict[str, Any]) -> "LogisticClassifier":
+        """Restore a fitted model from :meth:`state` output."""
+        model = cls(
+            l2=float(state["l2"]),
+            step_size=float(state["step_size"]),
+            n_iterations=int(state["n_iterations"]),
+        )
+        model._mu = np.asarray(state["mu"], dtype=float)
+        model._sigma = np.asarray(state["sigma"], dtype=float)
+        model._weights = np.asarray(state["weights"], dtype=float)
+        model._bias = float(state["bias"])
+        return model
+
+
+class TinyMLP:
+    """One-hidden-layer tanh MLP regressor, seeded and deterministic.
+
+    The ``Generator`` that initializes the weights is constructed inside
+    :meth:`fit` from ``seed`` — it never lives at module or class level —
+    so the model owns its stream and two fits with the same seed and data
+    produce bit-identical weights (PL009's RNG-flow discipline).
+
+    Args:
+        hidden_units: Hidden-layer width.
+        l2: L2 penalty on both weight matrices.
+        step_size: Gradient-descent step.
+        n_iterations: Fixed iteration count.
+        momentum: Classical momentum coefficient.
+        seed: Weight-init seed.
+    """
+
+    kind = "mlp"
+
+    def __init__(
+        self,
+        hidden_units: int = 16,
+        l2: float = 1e-4,
+        step_size: float = 0.05,
+        n_iterations: int = 400,
+        momentum: float = 0.9,
+        seed: int = 0,
+    ):
+        if hidden_units < 1:
+            raise ConfigurationError("hidden_units must be >= 1")
+        if l2 < 0:
+            raise ConfigurationError(f"l2 must be >= 0, got {l2}")
+        if step_size <= 0:
+            raise ConfigurationError("step_size must be positive")
+        if n_iterations < 1:
+            raise ConfigurationError("n_iterations must be >= 1")
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigurationError("momentum must be in [0, 1)")
+        self.hidden_units = int(hidden_units)
+        self.l2 = float(l2)
+        self.step_size = float(step_size)
+        self.n_iterations = int(n_iterations)
+        self.momentum = float(momentum)
+        self.seed = int(seed)
+        self._mu: FloatArray | None = None
+        self._sigma: FloatArray | None = None
+        self._hidden_weights: FloatArray | None = None
+        self._hidden_bias: FloatArray | None = None
+        self._out_weights: FloatArray | None = None
+        self._out_bias = 0.0
+        self._target_mu = 0.0
+        self._target_sigma = 1.0
+
+    @property
+    def fitted(self) -> bool:
+        """Whether the model carries trained weights."""
+        return self._hidden_weights is not None
+
+    @check_matrix("features")
+    def fit(self, features: FloatArray, targets: FloatArray) -> "TinyMLP":
+        """Fit by full-batch gradient descent with momentum.
+
+        Args:
+            features: ``[n_rows x n_features]`` training matrix.
+            targets: ``[n_rows]`` regression targets.
+
+        Returns:
+            ``self`` (for chaining).
+        """
+        targets = np.asarray(targets, dtype=float)
+        _check_training_pair(features, targets)
+        self._mu, self._sigma, standardized = _standardize_columns(features)
+        self._target_mu = float(targets.mean())
+        self._target_sigma = max(float(targets.std()), _SIGMA_FLOOR)
+        scaled_targets = (targets - self._target_mu) / self._target_sigma
+
+        n_rows, n_features = standardized.shape
+        rng = np.random.default_rng(self.seed)
+        scale = 1.0 / np.sqrt(n_features)
+        hidden_w = rng.normal(0.0, scale, size=(n_features, self.hidden_units))
+        hidden_b = np.zeros(self.hidden_units)
+        out_w = rng.normal(
+            0.0, 1.0 / np.sqrt(self.hidden_units), size=self.hidden_units
+        )
+        out_b = 0.0
+        velocity = [
+            np.zeros_like(hidden_w),
+            np.zeros_like(hidden_b),
+            np.zeros_like(out_w),
+            0.0,
+        ]
+        for _ in range(self.n_iterations):
+            hidden = np.tanh(standardized @ hidden_w + hidden_b)
+            prediction = hidden @ out_w + out_b
+            residual = prediction - scaled_targets
+            grad_out_w = hidden.T @ residual / n_rows + self.l2 * out_w
+            grad_out_b = float(residual.mean())
+            back = np.outer(residual, out_w) * (1.0 - hidden * hidden)
+            grad_hidden_w = (
+                standardized.T @ back / n_rows + self.l2 * hidden_w
+            )
+            grad_hidden_b = back.mean(axis=0)
+            velocity[0] = self.momentum * velocity[0] - self.step_size * grad_hidden_w
+            velocity[1] = self.momentum * velocity[1] - self.step_size * grad_hidden_b
+            velocity[2] = self.momentum * velocity[2] - self.step_size * grad_out_w
+            velocity[3] = self.momentum * velocity[3] - self.step_size * grad_out_b
+            hidden_w = hidden_w + velocity[0]
+            hidden_b = hidden_b + velocity[1]
+            out_w = out_w + velocity[2]
+            out_b = out_b + velocity[3]
+        self._hidden_weights = hidden_w
+        self._hidden_bias = hidden_b
+        self._out_weights = out_w
+        self._out_bias = float(out_b)
+        return self
+
+    @check_matrix("features")
+    def predict(self, features: FloatArray) -> FloatArray:
+        """Predict targets for ``[n_rows x n_features]`` rows."""
+        if (
+            self._hidden_weights is None
+            or self._mu is None
+            or self._sigma is None
+            or self._hidden_bias is None
+            or self._out_weights is None
+        ):
+            raise ConfigurationError("TinyMLP is not fitted")
+        standardized = (features - self._mu) / self._sigma
+        hidden = np.tanh(standardized @ self._hidden_weights + self._hidden_bias)
+        scaled = hidden @ self._out_weights + self._out_bias
+        return np.asarray(
+            self._target_mu + self._target_sigma * scaled, dtype=float
+        )
+
+    def state(self) -> dict[str, Any]:
+        """JSON-safe trained state (inverse of :meth:`from_state`)."""
+        if (
+            self._hidden_weights is None
+            or self._mu is None
+            or self._sigma is None
+            or self._hidden_bias is None
+            or self._out_weights is None
+        ):
+            raise ConfigurationError("TinyMLP is not fitted")
+        return {
+            "kind": self.kind,
+            "hidden_units": self.hidden_units,
+            "l2": self.l2,
+            "step_size": self.step_size,
+            "n_iterations": self.n_iterations,
+            "momentum": self.momentum,
+            "seed": self.seed,
+            "mu": self._mu.tolist(),
+            "sigma": self._sigma.tolist(),
+            "hidden_weights": self._hidden_weights.tolist(),
+            "hidden_bias": self._hidden_bias.tolist(),
+            "out_weights": self._out_weights.tolist(),
+            "out_bias": self._out_bias,
+            "target_mu": self._target_mu,
+            "target_sigma": self._target_sigma,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict[str, Any]) -> "TinyMLP":
+        """Restore a fitted model from :meth:`state` output."""
+        model = cls(
+            hidden_units=int(state["hidden_units"]),
+            l2=float(state["l2"]),
+            step_size=float(state["step_size"]),
+            n_iterations=int(state["n_iterations"]),
+            momentum=float(state["momentum"]),
+            seed=int(state["seed"]),
+        )
+        model._mu = np.asarray(state["mu"], dtype=float)
+        model._sigma = np.asarray(state["sigma"], dtype=float)
+        model._hidden_weights = np.asarray(state["hidden_weights"], dtype=float)
+        model._hidden_bias = np.asarray(state["hidden_bias"], dtype=float)
+        model._out_weights = np.asarray(state["out_weights"], dtype=float)
+        model._out_bias = float(state["out_bias"])
+        model._target_mu = float(state["target_mu"])
+        model._target_sigma = float(state["target_sigma"])
+        return model

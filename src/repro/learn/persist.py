@@ -1,0 +1,212 @@
+"""Canonical-JSON serialization for trained model bundles.
+
+A :class:`LearnedBundle` is everything the serving rung needs: the fitted
+rate models, the optional apnea classifier, the feature catalogue they
+were trained against, and the training metadata (seed, corpus shape).
+Serialization is canonical — sorted keys, compact separators, ``repr``
+floats — so training twice from the same seed yields *byte-identical*
+artifacts, which is what the determinism suite asserts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..contracts import FloatArray
+from ..errors import ConfigurationError
+from .features import FEATURE_NAMES
+from .models import LogisticClassifier, RidgeRegressor, TinyMLP
+
+__all__ = [
+    "MODEL_SCHEMA_VERSION",
+    "LearnedBundle",
+    "dump_bundle",
+    "load_bundle",
+    "save_bundle",
+    "read_bundle",
+]
+
+# Bump when the bundle schema changes shape; loaders reject other versions.
+MODEL_SCHEMA_VERSION = 1
+
+_MODEL_KINDS: dict[str, Any] = {
+    RidgeRegressor.kind: RidgeRegressor,
+    LogisticClassifier.kind: LogisticClassifier,
+    TinyMLP.kind: TinyMLP,
+}
+
+
+@dataclass(frozen=True)
+class LearnedBundle:
+    """A trained model family ready to serve.
+
+    Attributes:
+        feature_names: The feature catalogue the models consume; serving
+            refuses a bundle whose catalogue disagrees with the running
+            :data:`repro.learn.features.FEATURE_NAMES`.
+        breathing_model: Primary breathing-rate regressor (ridge).
+        breathing_mlp: Optional MLP alternative for the rate head.
+        apnea_model: Optional apnea-presence classifier.
+        meta: Training metadata (seed, corpus mode/size, residuals).
+    """
+
+    feature_names: tuple[str, ...]
+    breathing_model: RidgeRegressor
+    breathing_mlp: TinyMLP | None = None
+    apnea_model: LogisticClassifier | None = None
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "feature_names", tuple(self.feature_names)
+        )
+        if not self.breathing_model.fitted:
+            raise ConfigurationError("bundle needs a fitted rate model")
+
+    def check_catalogue(self) -> None:
+        """Reject a bundle trained against a different feature catalogue."""
+        if self.feature_names != FEATURE_NAMES:
+            raise ConfigurationError(
+                "model bundle was trained against a different feature "
+                f"catalogue ({len(self.feature_names)} features vs the "
+                f"running {len(FEATURE_NAMES)})"
+            )
+
+    def predict_rate_bpm(
+        self, features: FloatArray, *, use_mlp: bool = False
+    ) -> float:
+        """Breathing rate for one feature vector.
+
+        Args:
+            features: A 1-D vector aligned with :attr:`feature_names`.
+            use_mlp: Serve the MLP head instead of the ridge head.
+
+        Returns:
+            The predicted rate in bpm.
+        """
+        row = np.asarray(features, dtype=float).reshape(1, -1)
+        if use_mlp:
+            if self.breathing_mlp is None:
+                raise ConfigurationError("bundle has no MLP rate head")
+            return float(self.breathing_mlp.predict(row)[0])
+        return float(self.breathing_model.predict(row)[0])
+
+    def apnea_probability(self, features: FloatArray) -> float:
+        """Probability the window contains an apneic pause.
+
+        Args:
+            features: A 1-D vector aligned with :attr:`feature_names`.
+
+        Returns:
+            Probability in ``[0, 1]``.
+        """
+        if self.apnea_model is None:
+            raise ConfigurationError("bundle has no apnea head")
+        row = np.asarray(features, dtype=float).reshape(1, -1)
+        return float(self.apnea_model.predict_probability(row)[0])
+
+
+def dump_bundle(bundle: LearnedBundle) -> str:
+    """Serialize a bundle to canonical JSON (byte-reproducible).
+
+    Args:
+        bundle: The trained bundle.
+
+    Returns:
+        Canonical JSON text ending in a newline.
+    """
+    payload: dict[str, Any] = {
+        "version": MODEL_SCHEMA_VERSION,
+        "feature_names": list(bundle.feature_names),
+        "breathing_model": bundle.breathing_model.state(),
+        "breathing_mlp": (
+            bundle.breathing_mlp.state() if bundle.breathing_mlp is not None else None
+        ),
+        "apnea_model": (
+            bundle.apnea_model.state()
+            if bundle.apnea_model is not None
+            else None
+        ),
+        "meta": bundle.meta,
+    }
+    return (
+        json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+    )
+
+
+def _restore(state: dict[str, Any] | None, expected_kind: str) -> Any:
+    if state is None:
+        return None
+    kind = state.get("kind")
+    if kind != expected_kind:
+        raise ConfigurationError(
+            f"expected a {expected_kind!r} model state, got {kind!r}"
+        )
+    return _MODEL_KINDS[expected_kind].from_state(state)
+
+
+def load_bundle(text: str) -> LearnedBundle:
+    """Parse a bundle from its canonical JSON text.
+
+    Args:
+        text: Output of :func:`dump_bundle`.
+
+    Returns:
+        The restored :class:`LearnedBundle`.
+
+    Raises:
+        ConfigurationError: On malformed JSON, a wrong schema version, or
+            an unexpected model kind.
+    """
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(
+            f"model bundle is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(payload, dict):
+        raise ConfigurationError("model bundle JSON must be an object")
+    version = payload.get("version")
+    if version != MODEL_SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"unsupported model schema version {version!r} "
+            f"(this build reads version {MODEL_SCHEMA_VERSION})"
+        )
+    breathing_model = _restore(payload.get("breathing_model"), RidgeRegressor.kind)
+    if breathing_model is None:
+        raise ConfigurationError("model bundle has no rate model")
+    return LearnedBundle(
+        feature_names=tuple(payload.get("feature_names", ())),
+        breathing_model=breathing_model,
+        breathing_mlp=_restore(payload.get("breathing_mlp"), TinyMLP.kind),
+        apnea_model=_restore(payload.get("apnea_model"), LogisticClassifier.kind),
+        meta=dict(payload.get("meta", {})),
+    )
+
+
+def save_bundle(bundle: LearnedBundle, path: str) -> None:
+    """Write a bundle's canonical JSON to ``path``.
+
+    Args:
+        bundle: The trained bundle.
+        path: Destination file path.
+    """
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(dump_bundle(bundle))
+
+
+def read_bundle(path: str) -> LearnedBundle:
+    """Load a bundle previously written by :func:`save_bundle`.
+
+    Args:
+        path: Source file path.
+
+    Returns:
+        The restored :class:`LearnedBundle`.
+    """
+    with open(path, encoding="utf-8") as fh:
+        return load_bundle(fh.read())

@@ -164,11 +164,15 @@ class ChaosScenario:
         name: Scenario identifier (used in reports and CLI).
         faults: The fault schedule.
         description: Human-readable intent of the scenario.
+        use_learned_rung: Run the service with a learned estimator rung in
+            the fallback ladder (a synthetic-corpus bundle is trained
+            in-process from the run seed, so reports stay deterministic).
     """
 
     name: str
     faults: tuple[TimedFault, ...]
     description: str = ""
+    use_learned_rung: bool = False
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -204,6 +208,7 @@ class ChaosScenario:
             "name": self.name,
             "description": self.description,
             "faults": [f.to_dict() for f in self.faults],
+            "use_learned_rung": self.use_learned_rung,
         }
 
     @classmethod
@@ -218,6 +223,7 @@ class ChaosScenario:
             name=str(data["name"]),
             faults=tuple(TimedFault.from_dict(f) for f in faults),
             description=str(data.get("description", "")),
+            use_learned_rung=bool(data.get("use_learned_rung", False)),
         )
 
     @classmethod
@@ -307,6 +313,20 @@ SHIPPED_SCENARIOS: dict[str, ChaosScenario] = {
                 kind="degrade", at_s=28.0, duration_s=14.0, loss_fraction=0.6
             ),
         ),
+    ),
+    "learned-degradation-burst": ChaosScenario(
+        name="learned-degradation-burst",
+        description=(
+            "The degradation burst again, but with a learned estimator "
+            "rung in the ladder: escalation must land on the learned rung "
+            "first, serve through the burst, and recover to the primary."
+        ),
+        faults=(
+            TimedFault(
+                kind="degrade", at_s=28.0, duration_s=14.0, loss_fraction=0.6
+            ),
+        ),
+        use_learned_rung=True,
     ),
 }
 
@@ -446,6 +466,7 @@ def _run_supervised(
     subject_name: str,
     registry: MetricsRegistry | None = None,
     monitor_crash_times_s: tuple[float, ...] = (),
+    learned_bundle: Any | None = None,
 ) -> tuple[MonitorSupervisor, list[ServiceEstimate]]:
     clock = SimulatedClock(float(trace.timestamps_s[0]))
     instrumentation = (
@@ -453,12 +474,22 @@ def _run_supervised(
         if registry is not None
         else None
     )
+    learned_estimator = None
+    if learned_bundle is not None:
+        # Each run gets its own estimator instance so its feature cache and
+        # metrics stay confined to that run.
+        from ..learn import LearnedEstimator
+
+        learned_estimator = LearnedEstimator(
+            learned_bundle, instrumentation=instrumentation
+        )
     supervisor = MonitorSupervisor(
         clock=clock,
         config=supervisor_config,
         streaming_config=streaming_config,
         seed=seed,
         instrumentation=instrumentation,
+        learned_estimator=learned_estimator,
     )
     interval_s = 1.0 / sample_rate_hz
     supervisor.add_subject(
@@ -554,6 +585,18 @@ def run_chaos(
             seed=seed + 1,
         )
 
+    learned_bundle = None
+    if scenario.use_learned_rung:
+        # One deterministic training pass shared by both runs; each run
+        # then wraps the bundle in its own estimator instance.
+        from ..learn import TrainingConfig, train
+
+        learned_bundle = train(
+            TrainingConfig(
+                mode="synthetic", n_windows=96, seed=seed, with_mlp=False
+            )
+        )
+
     _, reference_estimates = _run_supervised(
         trace,
         sample_rate_hz,
@@ -562,6 +605,7 @@ def run_chaos(
         supervisor_config=supervisor_config,
         seed=seed,
         subject_name="subject",
+        learned_bundle=learned_bundle,
     )
     fault_free_median, _ = _median_error(reference_estimates, truth_bpm)
 
@@ -575,6 +619,7 @@ def run_chaos(
         subject_name="subject",
         registry=registry,
         monitor_crash_times_s=scenario.monitor_crash_times_s(),
+        learned_bundle=learned_bundle,
     )
     health = faulted.health_summary()["subject"]
 

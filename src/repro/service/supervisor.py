@@ -17,7 +17,11 @@ explicit fault boundary around each:
   window gates firing for K consecutive windows) walks the subject down an
   **estimator fallback ladder** — phase difference → CSI ratio → amplitude
   baseline — and cross-checks against the primary estimator on recovery
-  before climbing back up.
+  before climbing back up.  Passing a trained
+  :class:`~repro.learn.LearnedEstimator` inserts a ``"learned"`` rung
+  between the primary and the CSI-ratio baseline, so degraded windows are
+  first served by the learned track before falling to the classical
+  baselines.
 
 Every transition lands in the shared :class:`~repro.service.events.EventLog`,
 so a run is fully auditable and the chaos harness can assert transition
@@ -29,7 +33,7 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Protocol
 
 from ..baselines.amplitude import AmplitudeMethod
 from ..core.pipeline import PhaseBeatConfig
@@ -61,6 +65,8 @@ from .sources import PacketSource, ResilientSource, RetryConfig
 __all__ = [
     "SubjectHealth",
     "FALLBACK_METHODS",
+    "LEARNED_FALLBACK_METHODS",
+    "BreathingEstimator",
     "SupervisorConfig",
     "ServiceEstimate",
     "MonitorSupervisor",
@@ -73,6 +79,23 @@ FALLBACK_METHODS: tuple[str, ...] = (
     "csi-ratio",
     "amplitude",
 )
+
+# The ladder when a learned estimator is supplied: the learned rung serves
+# degraded windows before the classical baselines get a turn.
+LEARNED_FALLBACK_METHODS: tuple[str, ...] = (
+    "phase-difference",
+    "learned",
+    "csi-ratio",
+    "amplitude",
+)
+
+
+class BreathingEstimator(Protocol):
+    """Anything servable on a ladder rung: window trace in, bpm out."""
+
+    def estimate_breathing_bpm(self, trace: Any) -> float:
+        """Breathing-rate estimate (bpm) for one window trace."""
+        ...
 
 
 class SubjectHealth(enum.Enum):
@@ -245,6 +268,11 @@ class MonitorSupervisor:
             shared with every subject's source, breaker, monitor, and
             pipeline; records restarts, checkpoints, fallback-ladder
             moves, stalls, and health levels (``supervisor_*`` series).
+        learned_estimator: Optional trained estimator (typically a
+            :class:`~repro.learn.LearnedEstimator`); when given, the
+            fallback ladder becomes
+            :data:`LEARNED_FALLBACK_METHODS` and degraded windows are
+            served by the learned rung before the classical baselines.
     """
 
     def __init__(
@@ -256,6 +284,7 @@ class MonitorSupervisor:
         events: EventLog | None = None,
         seed: int = 0,
         instrumentation: Instrumentation | None = None,
+        learned_estimator: BreathingEstimator | None = None,
     ):
         self.clock = clock if clock is not None else SimulatedClock()
         self.config = config if config is not None else SupervisorConfig()
@@ -271,6 +300,22 @@ class MonitorSupervisor:
         self._subjects: dict[str, _Subject] = {}
         self._csi_ratio = CsiRatioEstimator()
         self._amplitude = AmplitudeMethod()
+        self._ladder: tuple[str, ...] = (
+            LEARNED_FALLBACK_METHODS
+            if learned_estimator is not None
+            else FALLBACK_METHODS
+        )
+        self._rung_estimators: dict[str, BreathingEstimator] = {
+            "csi-ratio": self._csi_ratio,
+            "amplitude": self._amplitude,
+        }
+        if learned_estimator is not None:
+            self._rung_estimators["learned"] = learned_estimator
+
+    @property
+    def fallback_methods(self) -> tuple[str, ...]:
+        """The estimator ladder in effect (primary first)."""
+        return self._ladder
 
     @property
     def subjects(self) -> tuple[str, ...]:
@@ -416,9 +461,9 @@ class MonitorSupervisor:
         floor.  Lowering the floor releases the pin and lets the normal
         recovery path climb the rest of the way.
         """
-        if not 0 <= level < len(FALLBACK_METHODS):
+        if not 0 <= level < len(self._ladder):
             raise ConfigurationError(
-                f"fallback level must be in [0, {len(FALLBACK_METHODS) - 1}], "
+                f"fallback level must be in [0, {len(self._ladder) - 1}], "
                 f"got {level}"
             )
         subject = self._subject(name)
@@ -436,7 +481,7 @@ class MonitorSupervisor:
                 self.clock.now_s,
                 subject.name,
                 "fallback-escalated",
-                to_method=FALLBACK_METHODS[subject.fallback_level],
+                to_method=self._ladder[subject.fallback_level],
                 level=subject.fallback_level,
                 reason=reason,
             )
@@ -476,7 +521,7 @@ class MonitorSupervisor:
         for name, s in self._subjects.items():
             summary[name] = {
                 "health": s.health.value,
-                "method": FALLBACK_METHODS[s.fallback_level],
+                "method": self._ladder[s.fallback_level],
                 "fallback_level": s.fallback_level,
                 "monitor_restarts": s.monitor_restarts,
                 "breaker": s.source.breaker.state.value,
@@ -671,11 +716,13 @@ class MonitorSupervisor:
         trace = subject.monitor.window_trace()
         if trace is None:
             return None
+        estimator = self._rung_estimators[self._ladder[subject.fallback_level]]
         try:
-            if subject.fallback_level == 1:
-                return float(self._csi_ratio.estimate_breathing_bpm(trace))
-            return float(self._amplitude.estimate_breathing_bpm(trace))
+            return float(estimator.estimate_breathing_bpm(trace))
         except ReproError:
+            # A rung that cannot serve this window (contract violation,
+            # degraded input, …) yields to the held-over primary estimate
+            # rather than poisoning the emission stream.
             return None
 
     def _handle_estimate(
@@ -702,7 +749,7 @@ class MonitorSupervisor:
                 subject,
                 estimate,
                 rate_bpm=primary_bpm,
-                method=FALLBACK_METHODS[0],
+                method=self._ladder[0],
                 fresh=True,
             )
             return
@@ -717,9 +764,9 @@ class MonitorSupervisor:
                 estimate,
                 rate_bpm=alt_bpm if alt_bpm is not None else primary_bpm,
                 method=(
-                    FALLBACK_METHODS[subject.fallback_level]
+                    self._ladder[subject.fallback_level]
                     if alt_bpm is not None
-                    else FALLBACK_METHODS[0]
+                    else self._ladder[0]
                 ),
                 fresh=True,
             )
@@ -758,7 +805,7 @@ class MonitorSupervisor:
                 self.clock.now_s,
                 subject.name,
                 "fallback-recovered",
-                from_method=FALLBACK_METHODS[from_level],
+                from_method=self._ladder[from_level],
                 reason=reason,
                 primary_bpm=primary_bpm,
                 fallback_bpm=alt_bpm,
@@ -768,7 +815,7 @@ class MonitorSupervisor:
                     subject,
                     estimate,
                     rate_bpm=primary_bpm,
-                    method=FALLBACK_METHODS[0],
+                    method=self._ladder[0],
                     fresh=True,
                 )
             else:
@@ -780,9 +827,9 @@ class MonitorSupervisor:
                         pinned_bpm if pinned_bpm is not None else primary_bpm
                     ),
                     method=(
-                        FALLBACK_METHODS[subject.fallback_level]
+                        self._ladder[subject.fallback_level]
                         if pinned_bpm is not None
-                        else FALLBACK_METHODS[0]
+                        else self._ladder[0]
                     ),
                     fresh=True,
                 )
@@ -791,9 +838,9 @@ class MonitorSupervisor:
             # it has one, else report the (unconfirmed) primary value.
             rate = alt_bpm if alt_bpm is not None else primary_bpm
             method = (
-                FALLBACK_METHODS[subject.fallback_level]
+                self._ladder[subject.fallback_level]
                 if alt_bpm is not None
-                else FALLBACK_METHODS[0]
+                else self._ladder[0]
             )
             self._emit(
                 subject, estimate, rate_bpm=rate, method=method, fresh=True
@@ -804,7 +851,7 @@ class MonitorSupervisor:
     ) -> None:
         if (
             subject.consecutive_gated < self.config.fallback_after_windows
-            or subject.fallback_level >= len(FALLBACK_METHODS) - 1
+            or subject.fallback_level >= len(self._ladder) - 1
         ):
             return
         subject.fallback_level += 1
@@ -819,7 +866,7 @@ class MonitorSupervisor:
             self.clock.now_s,
             subject.name,
             "fallback-escalated",
-            to_method=FALLBACK_METHODS[subject.fallback_level],
+            to_method=self._ladder[subject.fallback_level],
             level=subject.fallback_level,
             reason=reason,
         )
@@ -841,7 +888,7 @@ class MonitorSupervisor:
                 subject,
                 estimate,
                 rate_bpm=alt_bpm,
-                method=FALLBACK_METHODS[subject.fallback_level],
+                method=self._ladder[subject.fallback_level],
                 fresh=True,
             )
         elif estimate.result is not None:  # held-over primary estimate
@@ -849,7 +896,7 @@ class MonitorSupervisor:
                 subject,
                 estimate,
                 rate_bpm=float(estimate.result.breathing_rates_bpm[0]),
-                method=FALLBACK_METHODS[0],
+                method=self._ladder[0],
                 fresh=False,
             )
         else:

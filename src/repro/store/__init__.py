@@ -15,12 +15,15 @@ The storage layer the service records through and backtests from:
 * :mod:`~repro.store.tap` — :class:`RecordingTap` wrapping any packet
   source with a write-through recorder;
 * :mod:`~repro.store.backtest` — replay a committed scenario corpus and
-  diff accuracy/health against baselines.
+  diff accuracy/health against baselines;
+* :mod:`~repro.store.memo` — content-keyed memoization of calibration
+  and subcarrier selection over recorded stores.
 """
 
 from .backend import DirectoryBackend, MemoryBackend, StorageBackend
 from .faults import FaultyBackend, FaultyFile, TornWriteFile
 from .format import SegmentHeader
+from .memo import StoreCalibrationMemo, store_digest
 from .reader import SalvageIssue, SalvageReport, TraceReader, scan_segment
 from .replay import ReplayPacketSource
 from .tap import RecordingTap
@@ -41,4 +44,6 @@ __all__ = [
     "FaultyBackend",
     "ReplayPacketSource",
     "RecordingTap",
+    "StoreCalibrationMemo",
+    "store_digest",
 ]

@@ -1,0 +1,213 @@
+"""Content-keyed memoization of calibration over recorded stores.
+
+Offline consumers (replay backtests, learned-track training and eval)
+repeatedly run the same expensive front half — phase difference, Hampel
+calibration, subcarrier selection — over the same immutable ``.cst``
+segments.  :class:`StoreCalibrationMemo` caches those results keyed by a
+SHA-256 digest of the store's segment *bytes* (plus the configuration), so
+a hit is only possible when the recorded data and the processing
+parameters are literally identical — a crash-salvaged or appended store
+re-computes.
+
+The memo is deliberately instance-based: ``repro.store`` is inside the
+fleet's shared-state patrol (phaselint PL010), so there is no module-level
+cache — each consumer owns its memo and its hit-rate, and shares it
+explicitly when sharing is wanted.  Hits and misses are counted through
+``repro.obs`` (``store_memo_cache_hits_count`` /
+``store_memo_cache_misses_count``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Any
+
+from ..contracts import BoolArray, FloatArray
+from ..core.calibration import CalibrationConfig
+from ..core.pipeline import prepare_calibrated_matrix
+from ..core.subcarrier_selection import (
+    SelectionConfig,
+    SelectionResult,
+    select_subcarrier,
+)
+from ..errors import ConfigurationError
+from ..obs import NULL_INSTRUMENTATION, Instrumentation
+from .backend import StorageBackend
+from .reader import TraceReader
+
+__all__ = ["StoreCalibrationMemo", "store_digest"]
+
+
+def store_digest(backend: StorageBackend, stem: str) -> str:
+    """SHA-256 digest over a store's segment names and bytes.
+
+    The digest covers every segment of ``stem`` in name order, each
+    prefixed by its name, so renames, truncations, appends, and bit flips
+    all change the key.
+
+    Args:
+        backend: The storage backend holding the segments.
+        stem: The store stem (as passed to
+            :class:`~repro.store.reader.TraceReader`).
+
+    Returns:
+        The hex digest.
+    """
+    names = TraceReader(backend, stem).segment_names()
+    if not names:
+        raise ConfigurationError(f"no segments found for stem {stem!r}")
+    digest = hashlib.sha256()
+    for name in names:
+        digest.update(name.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(backend.read_bytes(name))
+    return digest.hexdigest()
+
+
+class StoreCalibrationMemo:
+    """Memoize calibrated matrices and subcarrier selections per store.
+
+    Args:
+        max_entries: LRU capacity (distinct ``(store, config)`` results).
+        instrumentation: Optional metrics sink for hit/miss counters.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_entries: int = 32,
+        instrumentation: Instrumentation | None = None,
+    ):
+        if max_entries < 1:
+            raise ConfigurationError("max_entries must be >= 1")
+        self.max_entries = int(max_entries)
+        self._obs = (
+            instrumentation
+            if instrumentation is not None
+            else NULL_INSTRUMENTATION
+        )
+        self._entries: OrderedDict[tuple[Any, ...], Any] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    @property
+    def hits(self) -> int:
+        """Cache hits served so far."""
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Cache misses (fresh computations) so far."""
+        return self._misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of lookups served from the cache (0 when unused)."""
+        total = self._hits + self._misses
+        if total == 0:
+            return 0.0
+        return self._hits / total
+
+    def _lookup(self, key: tuple[Any, ...], operation: str) -> Any | None:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self._hits += 1
+            self._obs.count(
+                "store_memo_cache_hits_count",
+                labels={"op": operation},
+                help_text="Calibration/selection results served from the "
+                "store memo.",
+            )
+            return entry
+        self._misses += 1
+        self._obs.count(
+            "store_memo_cache_misses_count",
+            labels={"op": operation},
+            help_text="Calibration/selection results computed fresh.",
+        )
+        return None
+
+    def _insert(self, key: tuple[Any, ...], value: Any) -> None:
+        self._entries[key] = value
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def calibrated_matrix(
+        self,
+        backend: StorageBackend,
+        stem: str,
+        *,
+        calibration: CalibrationConfig | None = None,
+    ) -> tuple[FloatArray, BoolArray, float]:
+        """Calibrated phase-difference matrix for a whole store.
+
+        Reads the store through :class:`~repro.store.reader.TraceReader`
+        (salvage semantics included) and runs
+        :func:`repro.core.pipeline.prepare_calibrated_matrix`, memoized by
+        segment digest + calibration parameters.
+
+        Args:
+            backend: The storage backend holding the segments.
+            stem: The store stem.
+            calibration: Calibration parameters (part of the cache key).
+
+        Returns:
+            ``(matrix, quality, sample_rate_hz)`` exactly as
+            :func:`prepare_calibrated_matrix` returns them.  Treat the
+            arrays as read-only — they are shared across callers.
+        """
+        key = (
+            "calibrated",
+            store_digest(backend, stem),
+            repr(calibration),
+        )
+        cached = self._lookup(key, "calibrated")
+        if cached is not None:
+            return cached  # type: ignore[no-any-return]
+        reader = TraceReader(backend, stem)
+        trace, _ = reader.read_trace()
+        matrix, quality, rate_hz = prepare_calibrated_matrix(
+            trace, calibration=calibration
+        )
+        matrix.setflags(write=False)
+        quality.setflags(write=False)
+        value = (matrix, quality, float(rate_hz))
+        self._insert(key, value)
+        return value
+
+    def selection(
+        self,
+        backend: StorageBackend,
+        stem: str,
+        *,
+        selection: SelectionConfig | None = None,
+        calibration: CalibrationConfig | None = None,
+    ) -> SelectionResult:
+        """Memoized subcarrier selection over a store's calibrated matrix.
+
+        Args:
+            backend: The storage backend holding the segments.
+            stem: The store stem.
+            selection: Selection parameters (part of the cache key).
+            calibration: Calibration parameters (part of the cache key).
+
+        Returns:
+            The :class:`~repro.core.subcarrier_selection.SelectionResult`.
+        """
+        key = (
+            "selection",
+            store_digest(backend, stem),
+            repr(selection),
+            repr(calibration),
+        )
+        cached = self._lookup(key, "selection")
+        if cached is not None:
+            return cached  # type: ignore[no-any-return]
+        matrix, quality, _ = self.calibrated_matrix(
+            backend, stem, calibration=calibration
+        )
+        result = select_subcarrier(matrix, selection, mask=quality)
+        self._insert(key, result)
+        return result

@@ -1,0 +1,15 @@
+"""Learn-suite fixtures: one cheap synthetic training run per session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.learn import TrainingConfig, train
+
+
+@pytest.fixture(scope="session")
+def synthetic_bundle():
+    """A small synthetic-corpus bundle shared across the learn suite."""
+    return train(
+        TrainingConfig(mode="synthetic", n_windows=64, seed=7, with_mlp=True)
+    )

@@ -1,0 +1,142 @@
+"""The from-scratch model family: fit quality, determinism, persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.learn import LogisticClassifier, RidgeRegressor, TinyMLP
+
+
+def linear_problem(n_rows: int = 200, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    features = rng.standard_normal((n_rows, 5))
+    weights = np.array([2.0, -1.0, 0.5, 0.0, 3.0])
+    targets = features @ weights + 10.0 + 0.01 * rng.standard_normal(n_rows)
+    return features, targets
+
+
+def blob_problem(n_rows: int = 200, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    half = n_rows // 2
+    negative = rng.standard_normal((half, 3)) + np.array([-2.0, 0.0, 0.0])
+    positive = rng.standard_normal((half, 3)) + np.array([2.0, 0.0, 0.0])
+    features = np.vstack([negative, positive])
+    labels = np.concatenate([np.zeros(half), np.ones(half)])
+    return features, labels
+
+
+class TestRidgeRegressor:
+    def test_recovers_a_linear_relation(self):
+        features, targets = linear_problem()
+        model = RidgeRegressor(l2=1e-6).fit(features, targets)
+        predictions = model.predict(features)
+        assert float(np.abs(predictions - targets).mean()) < 0.1
+
+    def test_near_constant_column_is_muted_not_amplified(self):
+        # The serving-time failure this guards: a context feature (e.g.
+        # window duration) nearly constant in training must not blow up
+        # a prediction when served outside its training range.
+        features, targets = linear_problem()
+        features[:, 3] = 20.0 + 1e-3 * np.arange(features.shape[0]) / 1e3
+        model = RidgeRegressor().fit(features, targets)
+        row = features[:1].copy()
+        baseline = float(model.predict(row)[0])
+        row[0, 3] = 30.0  # 50% outside anything seen in training
+        shifted = float(model.predict(row)[0])
+        assert abs(shifted - baseline) < 1.0
+
+    def test_unfitted_predict_rejected(self):
+        with pytest.raises(ConfigurationError, match="not fitted"):
+            RidgeRegressor().predict(np.zeros((1, 3)))
+
+    def test_state_round_trip_is_exact(self):
+        features, targets = linear_problem()
+        model = RidgeRegressor().fit(features, targets)
+        restored = RidgeRegressor.from_state(model.state())
+        probe = np.linspace(-2, 2, 15).reshape(3, 5)
+        assert np.array_equal(model.predict(probe), restored.predict(probe))
+
+    def test_bad_construction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RidgeRegressor(l2=-1.0)
+        with pytest.raises(ConfigurationError, match="disagree"):
+            RidgeRegressor().fit(np.zeros((3, 2)), np.zeros(4))
+        with pytest.raises(ConfigurationError, match="at least 2"):
+            RidgeRegressor().fit(np.zeros((1, 2)), np.zeros(1))
+
+
+class TestLogisticClassifier:
+    def test_separates_two_blobs(self):
+        features, labels = blob_problem()
+        model = LogisticClassifier().fit(features, labels)
+        probabilities = model.predict_probability(features)
+        assert np.all((probabilities >= 0) & (probabilities <= 1))
+        accuracy = float(
+            ((probabilities >= 0.5).astype(float) == labels).mean()
+        )
+        assert accuracy > 0.95
+
+    def test_training_is_deterministic(self):
+        features, labels = blob_problem()
+        first = LogisticClassifier().fit(features, labels)
+        second = LogisticClassifier().fit(features.copy(), labels.copy())
+        assert first.state() == second.state()
+
+    def test_non_binary_labels_rejected(self):
+        features, labels = blob_problem()
+        with pytest.raises(ConfigurationError, match="binary"):
+            LogisticClassifier().fit(features, labels + 0.5)
+
+    def test_state_round_trip_is_exact(self):
+        features, labels = blob_problem()
+        model = LogisticClassifier().fit(features, labels)
+        restored = LogisticClassifier.from_state(model.state())
+        assert np.array_equal(
+            model.predict_probability(features),
+            restored.predict_probability(features),
+        )
+
+    def test_unfitted_predict_rejected(self):
+        with pytest.raises(ConfigurationError, match="not fitted"):
+            LogisticClassifier().predict_probability(np.zeros((1, 3)))
+
+
+class TestTinyMLP:
+    def test_beats_the_mean_predictor_on_a_nonlinear_target(self):
+        rng = np.random.default_rng(3)
+        features = rng.uniform(-1, 1, size=(300, 2))
+        targets = np.sin(2.5 * features[:, 0]) + features[:, 1] ** 2
+        model = TinyMLP(seed=3).fit(features, targets)
+        residual = float(np.abs(model.predict(features) - targets).mean())
+        baseline = float(np.abs(targets - targets.mean()).mean())
+        assert residual < 0.5 * baseline
+
+    def test_same_seed_gives_bit_identical_weights(self):
+        features, targets = linear_problem()
+        first = TinyMLP(seed=11).fit(features, targets)
+        second = TinyMLP(seed=11).fit(features.copy(), targets.copy())
+        assert first.state() == second.state()
+
+    def test_different_seeds_differ(self):
+        features, targets = linear_problem()
+        first = TinyMLP(seed=1).fit(features, targets)
+        second = TinyMLP(seed=2).fit(features, targets)
+        assert first.state() != second.state()
+
+    def test_state_round_trip_is_exact(self):
+        features, targets = linear_problem()
+        model = TinyMLP(seed=5).fit(features, targets)
+        restored = TinyMLP.from_state(model.state())
+        assert np.array_equal(
+            model.predict(features), restored.predict(features)
+        )
+
+    def test_bad_construction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TinyMLP(hidden_units=0)
+        with pytest.raises(ConfigurationError):
+            TinyMLP(momentum=1.0)
+        with pytest.raises(ConfigurationError):
+            TinyMLP(step_size=0.0)

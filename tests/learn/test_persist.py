@@ -1,0 +1,112 @@
+"""Bundle serialization: canonical JSON, round trips, refusals."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.learn import (
+    FEATURE_NAMES,
+    MODEL_SCHEMA_VERSION,
+    LearnedBundle,
+    RidgeRegressor,
+    dump_bundle,
+    load_bundle,
+    read_bundle,
+    save_bundle,
+)
+
+
+def make_bundle(seed: int = 0) -> LearnedBundle:
+    rng = np.random.default_rng(seed)
+    features = rng.standard_normal((40, len(FEATURE_NAMES)))
+    targets = rng.uniform(10, 25, size=40)
+    return LearnedBundle(
+        feature_names=FEATURE_NAMES,
+        breathing_model=RidgeRegressor().fit(features, targets),
+        meta={"seed": seed},
+    )
+
+
+class TestDumpLoad:
+    def test_round_trip_preserves_predictions(self):
+        bundle = make_bundle()
+        restored = load_bundle(dump_bundle(bundle))
+        probe = np.linspace(-1, 1, 2 * len(FEATURE_NAMES)).reshape(
+            2, len(FEATURE_NAMES)
+        )
+        assert np.array_equal(
+            bundle.breathing_model.predict(probe),
+            restored.breathing_model.predict(probe),
+        )
+        assert restored.feature_names == FEATURE_NAMES
+        assert restored.meta == {"seed": 0}
+
+    def test_dump_is_canonical_and_stable(self):
+        bundle = make_bundle()
+        first = dump_bundle(bundle)
+        second = dump_bundle(load_bundle(first))
+        assert first == second
+        assert first.endswith("\n")
+        # Canonical form: sorted keys, no whitespace padding.
+        assert '", "' not in first
+
+    def test_wrong_schema_version_rejected(self):
+        payload = json.loads(dump_bundle(make_bundle()))
+        payload["version"] = MODEL_SCHEMA_VERSION + 1
+        with pytest.raises(ConfigurationError, match="schema version"):
+            load_bundle(json.dumps(payload))
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            load_bundle("{nope")
+        with pytest.raises(ConfigurationError, match="must be an object"):
+            load_bundle("[1, 2]")
+
+    def test_missing_rate_model_rejected(self):
+        payload = json.loads(dump_bundle(make_bundle()))
+        payload["breathing_model"] = None
+        with pytest.raises(ConfigurationError, match="no rate model"):
+            load_bundle(json.dumps(payload))
+
+    def test_swapped_model_kind_rejected(self):
+        payload = json.loads(dump_bundle(make_bundle()))
+        payload["breathing_model"]["kind"] = "mlp"
+        with pytest.raises(ConfigurationError, match="expected a"):
+            load_bundle(json.dumps(payload))
+
+
+class TestBundleChecks:
+    def test_unfitted_rate_model_rejected(self):
+        with pytest.raises(ConfigurationError, match="fitted rate model"):
+            LearnedBundle(
+                feature_names=FEATURE_NAMES, breathing_model=RidgeRegressor()
+            )
+
+    def test_catalogue_mismatch_refused(self):
+        bundle = make_bundle()
+        stale = LearnedBundle(
+            feature_names=FEATURE_NAMES[:-1],
+            breathing_model=bundle.breathing_model,
+        )
+        with pytest.raises(ConfigurationError, match="feature"):
+            stale.check_catalogue()
+
+    def test_missing_optional_heads_raise_cleanly(self):
+        bundle = make_bundle()
+        probe = np.zeros(len(FEATURE_NAMES))
+        with pytest.raises(ConfigurationError, match="no MLP"):
+            bundle.predict_rate_bpm(probe, use_mlp=True)
+        with pytest.raises(ConfigurationError, match="no apnea"):
+            bundle.apnea_probability(probe)
+
+
+class TestFileRoundTrip:
+    def test_save_read_is_byte_exact(self, tmp_path):
+        bundle = make_bundle()
+        path = str(tmp_path / "bundle.json")
+        save_bundle(bundle, path)
+        assert dump_bundle(read_bundle(path)) == dump_bundle(bundle)

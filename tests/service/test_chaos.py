@@ -78,6 +78,7 @@ class TestChaosScenario:
             "transient-errors",
             "checkpoint-restore-loss",
             "degradation-burst",
+            "learned-degradation-burst",
         }
         for name, scenario in SHIPPED_SCENARIOS.items():
             assert scenario.name == name

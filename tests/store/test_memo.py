@@ -1,0 +1,125 @@
+"""Content-keyed calibration memoization over recorded stores."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from .conftest import write_store
+
+from repro.errors import ConfigurationError
+from repro.obs import MetricsRegistry
+from repro.obs.instrument import Instrumentation
+from repro.store import MemoryBackend, StoreCalibrationMemo, store_digest
+
+N_PACKETS = 240  # 8 s at the conftest's 30 Hz — enough to calibrate
+
+
+class TestStoreDigest:
+    def test_digest_is_stable_for_identical_bytes(self):
+        backend = MemoryBackend()
+        write_store(backend, "a", n_packets=N_PACKETS, seed=1)
+        assert store_digest(backend, "a") == store_digest(backend, "a")
+
+    def test_digest_tracks_content(self):
+        backend = MemoryBackend()
+        write_store(backend, "a", n_packets=N_PACKETS, seed=1)
+        write_store(backend, "b", n_packets=N_PACKETS, seed=2)
+        assert store_digest(backend, "a") != store_digest(backend, "b")
+
+    def test_missing_store_rejected(self):
+        with pytest.raises(ConfigurationError, match="no segments"):
+            store_digest(MemoryBackend(), "ghost")
+
+
+class TestStoreCalibrationMemo:
+    def test_repeat_calibration_hits(self):
+        backend = MemoryBackend()
+        write_store(backend, "a", n_packets=N_PACKETS)
+        memo = StoreCalibrationMemo()
+        first = memo.calibrated_matrix(backend, "a")
+        assert (memo.hits, memo.misses) == (0, 1)
+        second = memo.calibrated_matrix(backend, "a")
+        assert (memo.hits, memo.misses) == (1, 1)
+        assert first[0] is second[0]  # literally the shared array
+        assert memo.hit_ratio == pytest.approx(0.5)
+
+    def test_cached_arrays_are_read_only(self):
+        backend = MemoryBackend()
+        write_store(backend, "a", n_packets=N_PACKETS)
+        memo = StoreCalibrationMemo()
+        matrix, quality, rate_hz = memo.calibrated_matrix(backend, "a")
+        assert rate_hz > 0
+        with pytest.raises(ValueError, match="read-only"):
+            matrix[0, 0] = 0.0
+        with pytest.raises(ValueError, match="read-only"):
+            quality[0] = False
+
+    def test_changed_segment_bytes_invalidate(self):
+        backend = MemoryBackend()
+        write_store(backend, "a", n_packets=N_PACKETS)
+        write_store(backend, "donor", n_packets=N_PACKETS, seed=3)
+        memo = StoreCalibrationMemo()
+        memo.calibrated_matrix(backend, "a")
+        # Swap in a valid segment with different content — the digest
+        # changes, so the next lookup misses instead of serving stale data.
+        backend.replace_bytes(
+            "a-00000.cst", backend.read_bytes("donor-00000.cst")
+        )
+        memo.calibrated_matrix(backend, "a")
+        assert (memo.hits, memo.misses) == (0, 2)
+
+    def test_selection_reuses_the_calibrated_entry(self):
+        backend = MemoryBackend()
+        write_store(backend, "a", n_packets=N_PACKETS)
+        memo = StoreCalibrationMemo()
+        first = memo.selection(backend, "a")
+        # selection miss + calibrated miss on the way in.
+        assert (memo.hits, memo.misses) == (0, 2)
+        second = memo.selection(backend, "a")
+        assert second is first
+        assert memo.hits == 1
+
+    def test_lru_eviction_respects_capacity(self):
+        backend = MemoryBackend()
+        write_store(backend, "a", n_packets=N_PACKETS, seed=1)
+        write_store(backend, "b", n_packets=N_PACKETS, seed=2)
+        memo = StoreCalibrationMemo(max_entries=1)
+        memo.calibrated_matrix(backend, "a")
+        memo.calibrated_matrix(backend, "b")  # evicts a
+        memo.calibrated_matrix(backend, "a")  # recomputed
+        assert memo.hits == 0
+        assert memo.misses == 3
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ConfigurationError, match="max_entries"):
+            StoreCalibrationMemo(max_entries=0)
+
+    def test_hit_and_miss_counters_land_in_metrics(self):
+        backend = MemoryBackend()
+        write_store(backend, "a", n_packets=N_PACKETS)
+        registry = MetricsRegistry()
+        memo = StoreCalibrationMemo(
+            instrumentation=Instrumentation(registry=registry)
+        )
+        memo.calibrated_matrix(backend, "a")
+        memo.calibrated_matrix(backend, "a")
+        counters = {
+            (metric["name"], metric["labels"].get("op")): metric["value"]
+            for metric in registry.snapshot()["metrics"]
+            if metric["kind"] == "counter"
+        }
+        assert counters[("store_memo_cache_misses_count", "calibrated")] == 1.0
+        assert counters[("store_memo_cache_hits_count", "calibrated")] == 1.0
+
+    def test_calibration_config_is_part_of_the_key(self):
+        from repro.core.calibration import CalibrationConfig
+
+        backend = MemoryBackend()
+        write_store(backend, "a", n_packets=N_PACKETS)
+        memo = StoreCalibrationMemo()
+        default = memo.calibrated_matrix(backend, "a")
+        tweaked = memo.calibrated_matrix(
+            backend, "a", calibration=CalibrationConfig(target_rate_hz=10.0)
+        )
+        assert memo.misses == 2
+        assert not np.shares_memory(default[0], tweaked[0])

@@ -157,6 +157,18 @@ class TestSeededScenarios:
         assert report.clean, report.format_text()
         assert "report.json" in report.artifacts
 
+    def test_learned_rung_scenario_is_byte_reproducible(self):
+        # The learned rung adds a trained-model inference to the replayed
+        # path; seeded training + serving must still be byte-stable.
+        report = sanitize_solo(
+            "learned-degradation-burst",
+            duration_s=90.0,
+            sample_rate_hz=50.0,
+            seed=2,
+        )
+        assert report.clean, report.format_text()
+        assert report.artifact_bytes_total > 0
+
     def test_unknown_scenarios_raise_configuration_error(self):
         with pytest.raises(ConfigurationError, match="unknown solo"):
             sanitize_solo("nope")
